@@ -1,0 +1,211 @@
+package repro_test
+
+// One benchmark per experiment table and strategy column, at reduced scale
+// (see internal/bench.SmallConfig). Each benchmark iteration runs every
+// query of its table under one strategy, so relative times across
+// Benchmark*_* variants reproduce the within-table comparisons of the
+// paper. cmd/pctbench prints the same data in the papers' layout at larger
+// scales.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *bench.Suite
+)
+
+// benchSuite loads the benchmark data sets once per process.
+func benchSuite(b *testing.B) *bench.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite = bench.NewSuite(bench.SmallConfig(), nil)
+	})
+	return suite
+}
+
+// runVpct times the eight primary queries in vertical form under opts.
+func runVpct(b *testing.B, opts core.Options) {
+	s := benchSuite(b)
+	for _, ds := range []string{"employee", "sales"} {
+		if err := s.Ensure(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range s.PrimaryQueries() {
+			if _, err := s.TimeQuery(q.VpctSQL(), opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// runHpct times the eight primary queries in horizontal form under opts.
+func runHpct(b *testing.B, opts core.Options) {
+	s := benchSuite(b)
+	for _, ds := range []string{"employee", "sales"} {
+		if err := s.Ensure(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range s.PrimaryQueries() {
+			if _, err := s.TimeQuery(q.HpctSQL(), opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// runHagg times the seventeen companion queries under opts.
+func runHagg(b *testing.B, opts core.Options) {
+	s := benchSuite(b)
+	for _, ds := range []string{"census", "trans1", "trans2"} {
+		if err := s.Ensure(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range s.CompanionQueries() {
+			if _, err := s.TimeQuery(q.HaggSQL(), opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ---- Table 4: Vpct optimization strategies ----
+
+func BenchmarkTable4Best(b *testing.B) {
+	runVpct(b, core.Options{Vpct: core.VpctOptions{SubkeyIndexes: true}})
+}
+
+func BenchmarkTable4NoSubkeyIndexes(b *testing.B) {
+	runVpct(b, core.Options{Vpct: core.VpctOptions{SubkeyIndexes: false}})
+}
+
+func BenchmarkTable4UpdateInsteadOfInsert(b *testing.B) {
+	runVpct(b, core.Options{Vpct: core.VpctOptions{SubkeyIndexes: true, UseUpdate: true}})
+}
+
+func BenchmarkTable4FjFromF(b *testing.B) {
+	runVpct(b, core.Options{Vpct: core.VpctOptions{SubkeyIndexes: true, FjFromF: true}})
+}
+
+// ---- Table 5: Hpct strategies ----
+
+func BenchmarkTable5FromF(b *testing.B) {
+	runHpct(b, core.Options{})
+}
+
+func BenchmarkTable5FromFV(b *testing.B) {
+	runHpct(b, core.Options{Hpct: core.HpctOptions{FromFV: true, Vpct: core.VpctOptions{SubkeyIndexes: true}}})
+}
+
+// ---- Table 6: percentage aggregations vs OLAP extensions ----
+
+func BenchmarkTable6Vpct(b *testing.B) {
+	runVpct(b, core.Options{Vpct: core.VpctOptions{SubkeyIndexes: true}})
+}
+
+func BenchmarkTable6Hpct(b *testing.B) {
+	s := benchSuite(b)
+	for _, ds := range []string{"employee", "sales"} {
+		if err := s.Ensure(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range s.PrimaryQueries() {
+			if _, err := s.TimeQuery(q.HpctSQL(), s.BestHpctOptions(q)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTable6OLAP(b *testing.B) {
+	s := benchSuite(b)
+	for _, ds := range []string{"employee", "sales"} {
+		if err := s.Ensure(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	queries := make([]string, 0, 8)
+	for _, q := range s.PrimaryQueries() {
+		sql, err := s.OLAPSQL(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries = append(queries, sql)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sql := range queries {
+			if _, err := s.TimeSQL(sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ---- DMKD Table 3: horizontal aggregation strategies ----
+
+func BenchmarkTableH3SPJFromF(b *testing.B) {
+	runHagg(b, core.Options{Hagg: core.HaggOptions{Method: core.HaggSPJ}})
+}
+
+func BenchmarkTableH3SPJFromFV(b *testing.B) {
+	runHagg(b, core.Options{Hagg: core.HaggOptions{Method: core.HaggSPJ, FromFV: true}})
+}
+
+func BenchmarkTableH3CASEFromF(b *testing.B) {
+	runHagg(b, core.Options{Hagg: core.HaggOptions{Method: core.HaggCASE}})
+}
+
+func BenchmarkTableH3CASEFromFV(b *testing.B) {
+	runHagg(b, core.Options{Hagg: core.HaggOptions{Method: core.HaggCASE, FromFV: true}})
+}
+
+// ---- Ablation: CASE evaluation vs the proposed hash pivot ----
+
+func BenchmarkAblationHpctCASE(b *testing.B) {
+	s := benchSuite(b)
+	if err := s.Ensure("sales"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range s.PrimaryQueries()[4:] {
+			if _, err := s.TimeQuery(q.HpctSQL(), core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkAblationHpctHashPivot(b *testing.B) {
+	s := benchSuite(b)
+	if err := s.Ensure("sales"); err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{Hpct: core.HpctOptions{HashPivot: true}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range s.PrimaryQueries()[4:] {
+			if _, err := s.TimeQuery(q.HpctSQL(), opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command pctbench regenerates the evaluation tables of both papers on
+// synthetic data and prints them in the papers' layout.
+//
+// Usage:
+//
+//	pctbench                       # all tables, medium scale
+//	pctbench -table 4              # only Table 4
+//	pctbench -scale small|medium|paper
+//	pctbench -reps 3               # average over repetitions
+//	pctbench -o results.txt        # also write to a file
+//	pctbench -md                   # markdown output (for EXPERIMENTS.md)
+//
+// The -scale paper setting uses the papers' exact sizes (sales n=10M);
+// expect a long run and several GB of memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	scale := flag.String("scale", "medium", "data scale: small, medium, or paper")
+	table := flag.String("table", "all", "which table to run: 4, 5, 6, h3, ablation, or all")
+	reps := flag.Int("reps", 1, "repetitions per measurement (the paper used 5)")
+	out := flag.String("o", "", "also write results to this file")
+	md := flag.Bool("md", false, "emit markdown tables")
+	quiet := flag.Bool("quiet", false, "suppress progress messages")
+	filter := flag.String("filter", "", "only run query rows whose label contains this substring")
+	flag.Parse()
+
+	var cfg bench.Config
+	switch *scale {
+	case "small":
+		cfg = bench.SmallConfig()
+	case "medium":
+		cfg = bench.MediumConfig()
+	case "paper":
+		cfg = bench.PaperConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "pctbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg.Reps = *reps
+	cfg.LabelFilter = *filter
+
+	var log io.Writer = os.Stderr
+	if *quiet {
+		log = nil
+	}
+	s := bench.NewSuite(cfg, log)
+
+	writers := []io.Writer{os.Stdout}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		writers = append(writers, f)
+	}
+	w := io.MultiWriter(writers...)
+
+	fmt.Fprintf(w, "pctbench scale=%s (employee=%d sales=%d trans=%d/%d census=%d, store card=%d) reps=%d\n\n",
+		*scale, cfg.EmployeeN, cfg.SalesN, cfg.TransN1, cfg.TransN2, cfg.CensusN, cfg.Cards.Store, cfg.Reps)
+
+	type runner struct {
+		key string
+		fn  func() (*bench.Table, error)
+	}
+	runners := []runner{
+		{"4", s.RunTable4},
+		{"5", s.RunTable5},
+		{"6", s.RunTable6},
+		{"h3", s.RunTableH3},
+		{"ablation", s.RunAblationPivot},
+		{"update", s.RunAblationUpdate},
+		{"shared", s.RunAblationShared},
+	}
+	want := strings.ToLower(*table)
+	ran := false
+	for _, r := range runners {
+		if want != "all" && want != r.key {
+			continue
+		}
+		ran = true
+		tab, err := r.fn()
+		if err != nil {
+			fatal(err)
+		}
+		if *md {
+			fmt.Fprintln(w, markdown(tab))
+		} else {
+			fmt.Fprintln(w, tab.Format())
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "pctbench: unknown table %q (4, 5, 6, h3, ablation, update, all)\n", *table)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pctbench:", err)
+	os.Exit(1)
+}
+
+// markdown renders a bench table as a markdown table.
+func markdown(t *bench.Table) string {
+	var sb strings.Builder
+	sb.WriteString("### " + t.Title + "\n\n")
+	if t.Note != "" {
+		sb.WriteString(t.Note + "\n\n")
+	}
+	sb.WriteString("| query |")
+	for _, h := range t.Header {
+		sb.WriteString(" " + h + " |")
+	}
+	sb.WriteString("\n|---|")
+	for range t.Header {
+		sb.WriteString("---|")
+	}
+	sb.WriteString("\n")
+	for _, r := range t.Rows {
+		sb.WriteString("| " + r.Label + " |")
+		for _, d := range r.Times {
+			sb.WriteString(fmt.Sprintf(" %.3f |", d.Seconds()))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,327 @@
+// Command pctq is an interactive SQL shell for the percentage-aggregation
+// engine. It accepts standard SQL plus the paper's extensions (Vpct, Hpct,
+// BY-aggregates, OVER/PARTITION BY) and a few backslash meta-commands.
+//
+// Usage:
+//
+//	pctq                 # interactive shell
+//	pctq -e "SQL"        # execute one statement/script and exit
+//	pctq -f script.sql   # execute a file and exit
+//	pctq -demo           # preload the paper's example tables
+//
+// Meta-commands inside the shell:
+//
+//	\dt                 list tables
+//	\explain <query>    show the generated standard-SQL plan
+//	\olap <query>       show the ANSI OLAP window-function equivalent
+//	\strategy           show the active evaluation strategies
+//	\strategy <k>=<v>   set a strategy knob (see \strategy help)
+//	\import <table> <file.csv>   load a CSV (header row, schema inferred)
+//	\export <file.csv> <query>   write a query result as CSV
+//	\save <file>        snapshot every table to a file
+//	\load <file>        restore a snapshot
+//	\q                  quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/pctagg"
+)
+
+func main() {
+	exec := flag.String("e", "", "execute this SQL and exit")
+	file := flag.String("f", "", "execute this SQL file and exit")
+	demo := flag.Bool("demo", false, "preload the paper's example tables (sales, daily)")
+	flag.Parse()
+
+	db := pctagg.Open()
+	if *demo {
+		if err := loadDemo(db); err != nil {
+			fatal(err)
+		}
+		fmt.Println("demo tables loaded: sales (paper Table 1), daily (stores × weekdays)")
+	}
+
+	switch {
+	case *exec != "":
+		if err := runScript(db, *exec); err != nil {
+			fatal(err)
+		}
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runScript(db, string(data)); err != nil {
+			fatal(err)
+		}
+	default:
+		repl(db)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pctq:", err)
+	os.Exit(1)
+}
+
+// runScript executes statements one by one, printing query results.
+func runScript(db *pctagg.DB, script string) error {
+	for _, stmt := range splitStatements(script) {
+		if err := runOne(db, stmt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runOne(db *pctagg.DB, stmt string) error {
+	upper := strings.ToUpper(strings.TrimSpace(stmt))
+	if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "EXPLAIN") {
+		rows, err := db.Query(stmt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rows.String())
+		return nil
+	}
+	n, err := db.Exec(stmt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ok (%d rows affected)\n", n)
+	return nil
+}
+
+// splitStatements splits on top-level semicolons, respecting string
+// literals.
+func splitStatements(script string) []string {
+	var out []string
+	var sb strings.Builder
+	inStr := false
+	for i := 0; i < len(script); i++ {
+		ch := script[i]
+		if ch == '\'' {
+			inStr = !inStr
+		}
+		if ch == ';' && !inStr {
+			if s := strings.TrimSpace(sb.String()); s != "" {
+				out = append(out, s)
+			}
+			sb.Reset()
+			continue
+		}
+		sb.WriteByte(ch)
+	}
+	if s := strings.TrimSpace(sb.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+func repl(db *pctagg.DB) {
+	fmt.Println("pctq — percentage aggregations shell. \\q quits, \\dt lists tables.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := "pctq> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if meta(db, trimmed) {
+				return
+			}
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		if !strings.Contains(line, ";") {
+			prompt = "  ... "
+			continue
+		}
+		script := pending.String()
+		pending.Reset()
+		prompt = "pctq> "
+		if err := runScript(db, script); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+// meta handles backslash commands; returns true to quit.
+func meta(db *pctagg.DB, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return true
+	case "\\dt":
+		for _, t := range db.Tables() {
+			fmt.Println(t)
+		}
+	case "\\explain":
+		q := strings.TrimSpace(strings.TrimPrefix(cmd, "\\explain"))
+		sql, err := db.Explain(q)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		fmt.Print(sql)
+	case "\\olap":
+		q := strings.TrimSpace(strings.TrimPrefix(cmd, "\\olap"))
+		sql, err := db.OLAPEquivalent(q)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		fmt.Println(sql)
+	case "\\import":
+		if len(fields) != 3 {
+			fmt.Fprintln(os.Stderr, "usage: \\import <table> <file.csv>")
+			return false
+		}
+		f, err := os.Open(fields[2])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		defer f.Close()
+		n, err := db.LoadCSV(fields[1], f, pctagg.CSVOptions{Header: true, CreateTable: !hasTable(db, fields[1])})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		fmt.Printf("loaded %d rows into %s\n", n, fields[1])
+	case "\\export":
+		if len(fields) < 3 {
+			fmt.Fprintln(os.Stderr, "usage: \\export <file.csv> <query>")
+			return false
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(cmd, "\\export"))
+		q := strings.TrimSpace(strings.TrimPrefix(rest, fields[1]))
+		f, err := os.Create(fields[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		defer f.Close()
+		if err := db.WriteCSV(f, q, ""); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		fmt.Printf("wrote %s\n", fields[1])
+	case "\\save":
+		if len(fields) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: \\save <file>")
+			return false
+		}
+		f, err := os.Create(fields[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		defer f.Close()
+		if err := db.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		fmt.Printf("saved %d tables to %s\n", len(db.Tables()), fields[1])
+	case "\\load":
+		if len(fields) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: \\load <file>")
+			return false
+		}
+		f, err := os.Open(fields[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		defer f.Close()
+		if err := db.Load(f); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		fmt.Printf("restored; tables: %v\n", db.Tables())
+	case "\\strategy":
+		if len(fields) == 1 {
+			s := db.GetStrategies()
+			fmt.Printf("vpct: coarseTotalsFromF=%v updateInPlace=%v subkeyIndexes=%v missingRows=%q\n",
+				s.Vpct.CoarseTotalsFromF, s.Vpct.UpdateInPlace, s.Vpct.SubkeyIndexes, s.Vpct.MissingRows)
+			fmt.Printf("hpct: fromVertical=%v hashPivot=%v\n", s.Hpct.FromVertical, s.Hpct.HashPivot)
+			fmt.Printf("hagg: spj=%v fromVertical=%v hashPivot=%v\n", s.Hagg.SPJ, s.Hagg.FromVertical, s.Hagg.HashPivot)
+			return false
+		}
+		s := db.GetStrategies()
+		for _, kv := range fields[1:] {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				fmt.Fprintf(os.Stderr, "error: expected key=value, got %q\n", kv)
+				return false
+			}
+			on := parts[1] == "true" || parts[1] == "on" || parts[1] == "1"
+			switch strings.ToLower(parts[0]) {
+			case "vpct.fjfromf":
+				s.Vpct.CoarseTotalsFromF = on
+			case "vpct.update":
+				s.Vpct.UpdateInPlace = on
+			case "vpct.indexes":
+				s.Vpct.SubkeyIndexes = on
+			case "vpct.missing":
+				s.Vpct.MissingRows = parts[1]
+			case "hpct.fromfv":
+				s.Hpct.FromVertical = on
+			case "hpct.hashpivot":
+				s.Hpct.HashPivot = on
+			case "hagg.spj":
+				s.Hagg.SPJ = on
+			case "hagg.fromfv":
+				s.Hagg.FromVertical = on
+			case "hagg.hashpivot":
+				s.Hagg.HashPivot = on
+			default:
+				fmt.Fprintf(os.Stderr, "error: unknown knob %q (vpct.fjfromf, vpct.update, vpct.indexes, vpct.missing, hpct.fromfv, hpct.hashpivot, hagg.spj, hagg.fromfv, hagg.hashpivot)\n", parts[0])
+				return false
+			}
+		}
+		db.SetStrategies(s)
+		fmt.Println("ok")
+	default:
+		fmt.Fprintf(os.Stderr, "error: unknown command %s\n", fields[0])
+	}
+	return false
+}
+
+// hasTable reports whether the database already has the named table.
+func hasTable(db *pctagg.DB, name string) bool {
+	for _, t := range db.Tables() {
+		if strings.EqualFold(t, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDemo creates the paper's Table 1 sales table and the store/day table.
+func loadDemo(db *pctagg.DB) error {
+	_, err := db.Exec(`
+		CREATE TABLE sales (RID INTEGER, state VARCHAR, city VARCHAR, salesAmt INTEGER);
+		INSERT INTO sales VALUES
+		(1,'CA','San Francisco',13),(2,'CA','San Francisco',3),(3,'CA','San Francisco',67),
+		(4,'CA','Los Angeles',23),(5,'TX','Houston',5),(6,'TX','Houston',35),
+		(7,'TX','Houston',10),(8,'TX','Houston',14),(9,'TX','Dallas',53),(10,'TX','Dallas',32);
+		CREATE TABLE daily (store INTEGER, dweek VARCHAR, salesAmt INTEGER);
+		INSERT INTO daily VALUES
+		(2,'Mo',7),(2,'Tu',6),(2,'We',8),(2,'Th',9),(2,'Fr',16),(2,'Sa',24),(2,'Su',30),
+		(4,'Tu',9),(4,'We',9),(4,'Th',9),(4,'Fr',18),(4,'Sa',20),(4,'Su',35)`)
+	return err
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"testing"
+
+	"repro/pctagg"
+)
+
+func TestSplitStatements(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"SELECT 1", 1},
+		{"SELECT 1;", 1},
+		{"SELECT 1; SELECT 2", 2},
+		{"SELECT 'a;b'; SELECT 2", 2},
+		{"  ;;  ", 0},
+		{"INSERT INTO t VALUES ('x;y'), ('z')", 1},
+	}
+	for _, c := range cases {
+		got := splitStatements(c.in)
+		if len(got) != c.want {
+			t.Errorf("splitStatements(%q) = %v, want %d parts", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRunScriptAndMeta(t *testing.T) {
+	db := pctagg.Open()
+	if err := loadDemo(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScript(db, "SELECT state, Vpct(salesAmt) FROM sales GROUP BY state"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScript(db, "CREATE TABLE x (a INTEGER); INSERT INTO x VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScript(db, "SELECT bogus FROM sales"); err == nil {
+		t.Error("bad query must error")
+	}
+	// Meta commands: \q returns true, others false.
+	if !meta(db, "\\q") {
+		t.Error("\\q must quit")
+	}
+	for _, cmd := range []string{
+		"\\dt",
+		"\\strategy",
+		"\\strategy vpct.update=true hpct.fromfv=on",
+		"\\strategy bogus=1",
+		"\\explain SELECT state, city, Vpct(salesAmt BY city) FROM sales GROUP BY state, city",
+		"\\olap SELECT state, city, Vpct(salesAmt BY city) FROM sales GROUP BY state, city",
+		"\\explain not sql",
+		"\\nosuch",
+		"\\import onlyonearg",
+		"\\save",
+	} {
+		if meta(db, cmd) {
+			t.Errorf("meta(%q) must not quit", cmd)
+		}
+	}
+	if !db.GetStrategies().Vpct.UpdateInPlace || !db.GetStrategies().Hpct.FromVertical {
+		t.Error("\\strategy did not apply knobs")
+	}
+	if !hasTable(db, "SALES") || hasTable(db, "zz") {
+		t.Error("hasTable wrong")
+	}
+}
+
+func TestImportExportSaveLoadMeta(t *testing.T) {
+	dir := t.TempDir()
+	db := pctagg.Open()
+	if err := loadDemo(db); err != nil {
+		t.Fatal(err)
+	}
+	csvPath := dir + "/out.csv"
+	if meta(db, "\\export "+csvPath+" SELECT state, city, salesAmt FROM sales") {
+		t.Fatal("export quit")
+	}
+	if meta(db, "\\import imported "+csvPath) {
+		t.Fatal("import quit")
+	}
+	if !hasTable(db, "imported") {
+		t.Fatal("import did not create table")
+	}
+	snapPath := dir + "/snap.bin"
+	if meta(db, "\\save "+snapPath) {
+		t.Fatal("save quit")
+	}
+	db2 := pctagg.Open()
+	if meta(db2, "\\load "+snapPath) {
+		t.Fatal("load quit")
+	}
+	if len(db2.Tables()) != 3 { // sales, daily, imported
+		t.Errorf("restored tables = %v", db2.Tables())
+	}
+}

@@ -1,0 +1,102 @@
+// Command sqlgen is the code generator of the paper as a standalone tool:
+// it takes a percentage query and prints the multi-statement standard SQL
+// that evaluates it under a chosen strategy, exactly what the paper's Java
+// program emitted for Teradata.
+//
+// The generator needs F's schema and — for horizontal queries — its data
+// (the paper's feedback process reads the distinct BY combinations to lay
+// out the result columns). Provide them with -setup, or use the built-in
+// demo tables.
+//
+// Usage:
+//
+//	sqlgen -q "SELECT state, city, Vpct(salesAmt BY city) FROM sales GROUP BY state, city"
+//	sqlgen -setup schema.sql -q "…" -update -no-indexes
+//	sqlgen -q "…" -olap          # print the OLAP window-function baseline
+//	sqlgen -q "…" -hagg-spj      # SPJ strategy for BY-aggregates
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/pctagg"
+)
+
+func main() {
+	query := flag.String("q", "", "percentage query to translate (required)")
+	setup := flag.String("setup", "", "SQL file creating and loading the input table (default: built-in demo)")
+	olap := flag.Bool("olap", false, "print the ANSI OLAP window-function equivalent instead")
+	update := flag.Bool("update", false, "Vpct: produce FV by UPDATE of Fk instead of INSERT")
+	noIndexes := flag.Bool("no-indexes", false, "Vpct: skip the identical subkey indexes on Fj/Fk")
+	fjFromF := flag.Bool("fj-from-f", false, "Vpct: compute coarse totals from F instead of from Fk")
+	missing := flag.String("missing", "", "Vpct missing-row treatment: pre or post")
+	fromFV := flag.Bool("from-fv", false, "Hpct/Hagg: evaluate from the vertical pre-aggregate FV")
+	spj := flag.Bool("hagg-spj", false, "Hagg: use the SPJ strategy instead of CASE")
+	flag.Parse()
+
+	if *query == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	db := pctagg.Open()
+	if *setup != "" {
+		data, err := os.ReadFile(*setup)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := db.Exec(string(data)); err != nil {
+			fatal(fmt.Errorf("setup: %w", err))
+		}
+	} else {
+		if err := loadDemo(db); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *olap {
+		sql, err := db.OLAPEquivalent(*query)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(sql + ";")
+		return
+	}
+
+	s := pctagg.DefaultStrategies()
+	s.Vpct.UpdateInPlace = *update
+	s.Vpct.SubkeyIndexes = !*noIndexes
+	s.Vpct.CoarseTotalsFromF = *fjFromF
+	s.Vpct.MissingRows = *missing
+	s.Hpct.FromVertical = *fromFV
+	s.Hagg.FromVertical = *fromFV
+	s.Hagg.SPJ = *spj
+	db.SetStrategies(s)
+
+	sql, err := db.Explain(*query)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(sql)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sqlgen:", err)
+	os.Exit(1)
+}
+
+func loadDemo(db *pctagg.DB) error {
+	_, err := db.Exec(`
+		CREATE TABLE sales (RID INTEGER, state VARCHAR, city VARCHAR, salesAmt INTEGER);
+		INSERT INTO sales VALUES
+		(1,'CA','San Francisco',13),(2,'CA','San Francisco',3),(3,'CA','San Francisco',67),
+		(4,'CA','Los Angeles',23),(5,'TX','Houston',5),(6,'TX','Houston',35),
+		(7,'TX','Houston',10),(8,'TX','Houston',14),(9,'TX','Dallas',53),(10,'TX','Dallas',32);
+		CREATE TABLE daily (store INTEGER, dweek VARCHAR, salesAmt INTEGER);
+		INSERT INTO daily VALUES
+		(2,'Mo',7),(2,'Tu',6),(2,'We',8),(2,'Th',9),(2,'Fr',16),(2,'Sa',24),(2,'Su',30),
+		(4,'Tu',9),(4,'We',9),(4,'Th',9),(4,'Fr',18),(4,'Sa',20),(4,'Su',35)`)
+	return err
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/pctagg"
+)
+
+func TestDemoGeneratesPlans(t *testing.T) {
+	db := pctagg.Open()
+	if err := loadDemo(db); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := db.Explain("SELECT state, city, Vpct(salesAmt BY city) FROM sales GROUP BY state, city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"CREATE TABLE", "INSERT INTO", "GROUP BY", "CASE WHEN"} {
+		if !strings.Contains(plan, frag) {
+			t.Errorf("plan lacks %q:\n%s", frag, plan)
+		}
+	}
+	olap, err := db.OLAPEquivalent("SELECT state, city, Vpct(salesAmt BY city) FROM sales GROUP BY state, city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(olap, "OVER (PARTITION BY") {
+		t.Errorf("olap = %s", olap)
+	}
+	// The strategy flags map onto generated SQL shapes.
+	s := pctagg.DefaultStrategies()
+	s.Hagg.SPJ = true
+	db.SetStrategies(s)
+	plan, err = db.Explain("SELECT store, sum(salesAmt BY dweek) FROM daily GROUP BY store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "LEFT OUTER JOIN") {
+		t.Errorf("SPJ plan lacks outer joins:\n%s", plan)
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro reproduces "Vertical and Horizontal Percentage
+// Aggregations" (Carlos Ordonez, SIGMOD 2004) as a complete Go system: an
+// embedded SQL engine, the Vpct/Hpct percentage aggregate functions with
+// the paper's full evaluation-strategy matrix, the companion DMKD 2004
+// horizontal aggregations (SPJ and CASE strategies), the ANSI OLAP
+// window-function baseline, and the benchmark harness that regenerates
+// every table of both evaluations.
+//
+// The public API lives in the pctagg package; see README.md for the
+// architecture and EXPERIMENTS.md for the reproduction results. The
+// benchmarks in bench_test.go regenerate each paper table at a reduced
+// scale; cmd/pctbench runs them at configurable scales up to the papers'
+// original sizes.
+package repro

@@ -1,0 +1,86 @@
+// Etlpipeline: a realistic end-to-end flow — ingest CSV, let the advisor
+// pick evaluation strategies from live statistics, publish percentage
+// reports as CSV, and snapshot the database for the next run.
+//
+// Run with: go run ./examples/etlpipeline
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"repro/pctagg"
+)
+
+func main() {
+	db := pctagg.Open()
+
+	// 1. Ingest: a CSV export lands from the transactional system. Schema
+	// is inferred (INTEGER → REAL → VARCHAR per column).
+	var csvIn strings.Builder
+	csvIn.WriteString("region,store,category,month,amount\n")
+	regions := []string{"west", "east", "south"}
+	categories := []string{"grocery", "apparel", "garden", "toys"}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 30000; i++ {
+		fmt.Fprintf(&csvIn, "%s,%d,%s,%d,%d\n",
+			regions[rng.Intn(3)], rng.Intn(24), categories[rng.Intn(4)],
+			1+rng.Intn(6), 5+rng.Intn(500))
+	}
+	n, err := db.LoadCSV("tx", strings.NewReader(csvIn.String()), pctagg.CSVOptions{
+		Header: true, CreateTable: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d rows into tx (schema inferred)\n\n", n)
+
+	// 2. Analyze: the advisor inspects live statistics (distinct BY
+	// combinations, fine-grouping size) and picks each query's strategy
+	// per the paper's recommendations — no tuning knobs needed.
+	db.AutoStrategy(true)
+
+	fmt.Println("Category mix per region (Hpct, strategy chosen automatically):")
+	rows, err := db.Query(`SELECT region, Hpct(amount BY category), sum(amount)
+	                       FROM tx GROUP BY region`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rows)
+
+	fmt.Println("Store share of its region (Vpct):")
+	rows, err = db.Query(`SELECT region, store, Vpct(amount BY store)
+	                      FROM tx GROUP BY region, store ORDER BY region, store LIMIT 8`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rows)
+
+	// 3. Publish: percentage reports leave as CSV for the BI tool.
+	var report bytes.Buffer
+	if err := db.WriteCSV(&report, `SELECT region, Hpct(amount BY month)
+	                                FROM tx GROUP BY region`, "NULL"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published monthly-mix report: %d bytes of CSV, first line %q\n\n",
+		report.Len(), strings.SplitN(report.String(), "\n", 2)[0])
+
+	// 4. Snapshot: persist everything for the next run.
+	var snap bytes.Buffer
+	if err := db.Save(&snap); err != nil {
+		log.Fatal(err)
+	}
+	restored := pctagg.Open()
+	if err := restored.Load(&snap); err != nil {
+		log.Fatal(err)
+	}
+	check, err := restored.Query("SELECT count(*) FROM tx")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot round trip: %d bytes, restored tx has %v rows\n",
+		snap.Len(), check.Data[0][0])
+}

@@ -1,0 +1,244 @@
+// Package bench is the experiment harness: it regenerates every table of
+// both evaluations (the primary paper's Tables 4, 5 and 6, and the
+// companion paper's Table 3) on the synthetic workloads, timing each
+// strategy the way the paper does — the multi-statement plan execution,
+// excluding the final result cursor.
+//
+// Absolute times differ from the paper's Teradata-on-800MHz numbers by
+// construction; the harness reproduces the qualitative shape: which
+// strategy wins each cell and by roughly what factor. EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Config sizes the synthetic data sets. The paper's scale (employee n=1M,
+// sales n=10M, transactionLine n=1M/2M, census n=200k) is PaperConfig;
+// smaller presets keep default runs tractable while preserving the
+// |F| ≫ |Fk| ≫ |Fj| ratios that drive the findings.
+type Config struct {
+	EmployeeN int
+	SalesN    int
+	TransN1   int
+	TransN2   int
+	CensusN   int
+	Seed      int64
+	Cards     workload.Cardinalities
+	// Reps repeats each measurement and reports the mean (the paper used
+	// five repetitions).
+	Reps int
+	// LabelFilter, when nonempty, restricts experiment tables to rows
+	// whose label contains the substring — useful for re-running one
+	// query, or for paper-scale runs where the widest horizontal queries
+	// take hours.
+	LabelFilter string
+}
+
+// SmallConfig sizes data for unit tests and `go test -bench`. Dimension
+// cardinalities scale down with n so that the widest horizontal result
+// keeps roughly the paper's rows-per-result-column ratio (n=10M over
+// N=10,000 columns ≈ 1000); without this, the N-CASE evaluation cost would
+// dwarf everything at small n and distort every comparison.
+func SmallConfig() Config {
+	c := workload.PaperCardinalities()
+	c.Dept = 20
+	c.Store = 5 // widest Hpct: 20×5 = 100 columns at n=50k → n/N = 500
+	c.TLSubdept = 25
+	c.TLStore = 10
+	return Config{
+		EmployeeN: 20_000, SalesN: 50_000, TransN1: 30_000, TransN2: 60_000,
+		CensusN: 20_000, Seed: 7, Cards: c, Reps: 1,
+	}
+}
+
+// MediumConfig is the cmd/pctbench default: a laptop-minutes run.
+func MediumConfig() Config {
+	c := workload.PaperCardinalities()
+	c.Dept = 50
+	c.Store = 10 // widest Hpct: 50×10 = 500 columns at n=300k → n/N = 600
+	c.TLSubdept = 50
+	c.TLStore = 15
+	return Config{
+		EmployeeN: 100_000, SalesN: 300_000, TransN1: 100_000, TransN2: 200_000,
+		CensusN: 100_000, Seed: 7, Cards: c, Reps: 1,
+	}
+}
+
+// PaperConfig reproduces the papers' sizes and cardinalities. Expect a
+// long run and several GB of memory.
+func PaperConfig() Config {
+	return Config{
+		EmployeeN: 1_000_000, SalesN: 10_000_000, TransN1: 1_000_000, TransN2: 2_000_000,
+		CensusN: 200_000, Seed: 7, Cards: workload.PaperCardinalities(), Reps: 1,
+	}
+}
+
+// Suite owns the loaded data sets and runs experiments against them.
+type Suite struct {
+	Cfg     Config
+	Eng     *engine.Engine
+	Planner *core.Planner
+	Log     io.Writer // progress messages; nil silences them
+
+	loaded map[string]bool
+}
+
+// NewSuite creates an empty suite; data sets load lazily per experiment.
+func NewSuite(cfg Config, log io.Writer) *Suite {
+	eng := engine.New(storage.NewCatalog())
+	return &Suite{Cfg: cfg, Eng: eng, Planner: core.NewPlanner(eng), Log: log, loaded: map[string]bool{}}
+}
+
+func (s *Suite) logf(format string, args ...any) {
+	if s.Log != nil {
+		fmt.Fprintf(s.Log, format, args...)
+	}
+}
+
+// skipQuery applies Cfg.LabelFilter.
+func (s *Suite) skipQuery(label string) bool {
+	return s.Cfg.LabelFilter != "" && !strings.Contains(label, s.Cfg.LabelFilter)
+}
+
+// ensure loads a named data set once.
+func (s *Suite) Ensure(name string) error {
+	if s.loaded[name] {
+		return nil
+	}
+	start := time.Now()
+	var err error
+	switch name {
+	case "employee":
+		_, err = workload.LoadEmployee(s.Eng.Catalog(), "employee", s.Cfg.EmployeeN, s.Cfg.Seed)
+	case "sales":
+		_, err = workload.LoadSales(s.Eng.Catalog(), "sales", s.Cfg.SalesN, s.Cfg.Cards, s.Cfg.Seed+1)
+	case "trans1":
+		_, err = workload.LoadTransactionLine(s.Eng.Catalog(), "trans1", s.Cfg.TransN1, s.Cfg.Cards, s.Cfg.Seed+2)
+	case "trans2":
+		_, err = workload.LoadTransactionLine(s.Eng.Catalog(), "trans2", s.Cfg.TransN2, s.Cfg.Cards, s.Cfg.Seed+3)
+	case "census":
+		_, err = workload.LoadCensus(s.Eng.Catalog(), "census", s.Cfg.CensusN, s.Cfg.Seed+4)
+	default:
+		err = fmt.Errorf("bench: unknown data set %q", name)
+	}
+	if err != nil {
+		return err
+	}
+	s.loaded[name] = true
+	s.logf("loaded %s in %.1fs\n", name, time.Since(start).Seconds())
+	return nil
+}
+
+// TimeQuery plans and executes one percentage query under opts, returning
+// the mean wall time of Cfg.Reps runs. Planning (including the horizontal
+// feedback query) counts, as it does in the paper's code-generation
+// pipeline; the final result cursor does not.
+func (s *Suite) TimeQuery(sql string, opts core.Options) (time.Duration, error) {
+	var total time.Duration
+	reps := s.Cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	for r := 0; r < reps; r++ {
+		runtime.GC() // isolate cells from the previous measurement's heap
+		start := time.Now()
+		plan, err := s.Planner.PlanSQL(sql, opts)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", sql, err)
+		}
+		if _, err := s.Planner.ExecuteSteps(plan); err != nil {
+			s.Planner.CleanupPlan(plan)
+			return 0, fmt.Errorf("%s: %w", sql, err)
+		}
+		total += time.Since(start)
+		s.Planner.CleanupPlan(plan)
+	}
+	return total / time.Duration(reps), nil
+}
+
+// TimeSQL times a raw SQL statement (the OLAP baseline).
+func (s *Suite) TimeSQL(sql string) (time.Duration, error) {
+	var total time.Duration
+	reps := s.Cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	for r := 0; r < reps; r++ {
+		runtime.GC()
+		start := time.Now()
+		if _, err := s.Eng.ExecSQL(sql); err != nil {
+			return 0, fmt.Errorf("%s: %w", sql, err)
+		}
+		total += time.Since(start)
+	}
+	return total / time.Duration(reps), nil
+}
+
+// Row is one experiment row: a query label and one duration per strategy
+// column.
+type Row struct {
+	Label string
+	Times []time.Duration
+}
+
+// Table is one regenerated experiment table.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   []Row
+}
+
+// Format renders the table in the paper's layout (times in seconds).
+func (t *Table) Format() string {
+	var sb strings.Builder
+	sb.WriteString(t.Title)
+	sb.WriteString("\n")
+	if t.Note != "" {
+		sb.WriteString(t.Note)
+		sb.WriteString("\n")
+	}
+	labelW := len("query")
+	for _, r := range t.Rows {
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	colW := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		colW[i] = len(h)
+		if colW[i] < 8 {
+			colW[i] = 8
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s", labelW, "query")
+	for i, h := range t.Header {
+		fmt.Fprintf(&sb, "  %*s", colW[i], h)
+	}
+	sb.WriteString("\n")
+	sb.WriteString(strings.Repeat("-", labelW))
+	for i := range t.Header {
+		sb.WriteString("  ")
+		sb.WriteString(strings.Repeat("-", colW[i]))
+	}
+	sb.WriteString("\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-*s", labelW, r.Label)
+		for i, d := range r.Times {
+			fmt.Fprintf(&sb, "  %*.3f", colW[i], d.Seconds())
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

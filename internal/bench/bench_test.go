@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps harness tests fast while exercising every code path.
+func tinyConfig() Config {
+	c := SmallConfig()
+	c.EmployeeN = 3000
+	c.SalesN = 5000
+	c.TransN1 = 3000
+	c.TransN2 = 6000
+	c.CensusN = 3000
+	c.Cards.Store = 5
+	c.Cards.Dept = 10
+	c.Cards.TLSubdept = 20
+	c.Cards.TLStore = 5
+	return c
+}
+
+func TestRunTable4(t *testing.T) {
+	s := NewSuite(tinyConfig(), nil)
+	tab, err := s.RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r.Times) != 4 {
+			t.Fatalf("row %s times = %v", r.Label, r.Times)
+		}
+		for i, d := range r.Times {
+			if d <= 0 {
+				t.Errorf("row %s col %d: non-positive time", r.Label, i)
+			}
+		}
+	}
+	out := tab.Format()
+	if !strings.Contains(out, "Table 4") || !strings.Contains(out, "employee gender") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestRunTable5(t *testing.T) {
+	s := NewSuite(tinyConfig(), nil)
+	tab, err := s.RunTable5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 || len(tab.Rows[0].Times) != 2 {
+		t.Fatalf("table = %+v", tab)
+	}
+}
+
+func TestRunTable6(t *testing.T) {
+	s := NewSuite(tinyConfig(), nil)
+	tab, err := s.RunTable6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 || len(tab.Rows[0].Times) != 3 {
+		t.Fatalf("table = %+v", tab)
+	}
+}
+
+func TestRunTableH3(t *testing.T) {
+	s := NewSuite(tinyConfig(), nil)
+	tab, err := s.RunTableH3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 17 || len(tab.Rows[0].Times) != 4 {
+		t.Fatalf("table = %d rows × %d cols", len(tab.Rows), len(tab.Rows[0].Times))
+	}
+}
+
+func TestRunAblationPivot(t *testing.T) {
+	s := NewSuite(tinyConfig(), nil)
+	tab, err := s.RunAblationPivot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 || len(tab.Rows[0].Times) != 2 {
+		t.Fatalf("table = %+v", tab)
+	}
+}
+
+func TestSuiteLeavesNoTemporaries(t *testing.T) {
+	s := NewSuite(tinyConfig(), nil)
+	if _, err := s.RunTable4(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range s.Eng.Catalog().Names() {
+		if name != "employee" && name != "sales" {
+			t.Errorf("leftover temporary table %q", name)
+		}
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	for _, c := range []Config{SmallConfig(), MediumConfig(), PaperConfig()} {
+		if c.EmployeeN <= 0 || c.SalesN <= 0 || c.Cards.Dweek != 7 {
+			t.Errorf("bad config %+v", c)
+		}
+	}
+	if PaperConfig().SalesN != 10_000_000 {
+		t.Error("paper scale must match the paper")
+	}
+}
+
+func TestEnsureUnknownDataset(t *testing.T) {
+	s := NewSuite(tinyConfig(), nil)
+	if err := s.Ensure("bogus"); err == nil {
+		t.Error("unknown data set must fail")
+	}
+}
+
+func TestRunAblationUpdate(t *testing.T) {
+	s := NewSuite(tinyConfig(), nil)
+	tab, err := s.RunAblationUpdate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || len(tab.Rows[0].Times) != 2 {
+		t.Fatalf("table = %+v", tab)
+	}
+}
+
+func TestRunAblationShared(t *testing.T) {
+	s := NewSuite(tinyConfig(), nil)
+	tab, err := s.RunAblationShared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || len(tab.Rows[0].Times) != 2 {
+		t.Fatalf("table = %+v", tab)
+	}
+	// Sharing must not leave summaries behind.
+	for _, name := range s.Eng.Catalog().Names() {
+		if name != "sales" {
+			t.Errorf("leftover table %q", name)
+		}
+	}
+}
+
+func TestBestHpctHeuristic(t *testing.T) {
+	s := NewSuite(tinyConfig(), nil)
+	qs := s.PrimaryQueries()
+	// dweek-only: direct; dept,store: from FV.
+	if s.BestHpctOptions(qs[4]).Hpct.FromFV {
+		t.Error("dweek query should advise direct")
+	}
+	if !s.BestHpctOptions(qs[7]).Hpct.FromFV {
+		t.Error("dept,store query should advise from FV")
+	}
+}

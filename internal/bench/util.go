@@ -1,0 +1,20 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparse"
+)
+
+// parseSelect parses one SELECT statement.
+func parseSelect(sql string) (*sqlparse.Select, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("bench: not a SELECT: %T", stmt)
+	}
+	return sel, nil
+}

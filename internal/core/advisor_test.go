@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func TestAdviseVerticalDefaults(t *testing.T) {
+	p := newSalesPlanner(t)
+	sel, err := parseSelect(vpctSales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := p.Advise(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Vpct.UseUpdate || opts.Vpct.FjFromF || !opts.Vpct.SubkeyIndexes {
+		t.Errorf("vertical advice = %+v", opts.Vpct)
+	}
+}
+
+func TestAdviseHorizontalSelectivity(t *testing.T) {
+	// Low-cardinality BY over a large table → direct from F; wide BY →
+	// from FV.
+	cat := storage.NewCatalog()
+	tab, err := cat.Create("f", storage.Schema{
+		{Name: "g", Type: storage.TypeInt},
+		{Name: "narrow", Type: storage.TypeInt},
+		{Name: "wide", Type: storage.TypeInt},
+		{Name: "a", Type: storage.TypeInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 4000; i++ {
+		tab.AppendRow([]value.Value{
+			value.NewInt(int64(rng.Intn(500))),
+			value.NewInt(int64(rng.Intn(3))),
+			value.NewInt(int64(rng.Intn(120))),
+			value.NewInt(int64(rng.Intn(10))),
+		})
+	}
+	p := NewPlanner(engine.New(cat))
+
+	sel, _ := parseSelect("SELECT g, Hpct(a BY narrow) FROM f GROUP BY g")
+	opts, err := p.Advise(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g(500) × narrow(3) ≈ 1500 fine groups of 4000 rows → fine*4 > n and
+	// N=3 < 50 → direct.
+	if opts.Hpct.FromFV {
+		t.Errorf("narrow BY should advise direct from F: %+v", opts.Hpct)
+	}
+
+	sel, _ = parseSelect("SELECT g, Hpct(a BY wide) FROM f GROUP BY g")
+	opts, err = p.Advise(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.Hpct.FromFV {
+		t.Errorf("wide BY should advise from FV: %+v", opts.Hpct)
+	}
+
+	sel, _ = parseSelect("SELECT g, sum(a BY wide) FROM f GROUP BY g")
+	opts, err = p.Advise(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Hagg.Method != HaggCASE || !opts.Hagg.FromFV {
+		t.Errorf("hagg advice = %+v", opts.Hagg)
+	}
+}
+
+func TestAdviseSmallFineGroupingPrefersFV(t *testing.T) {
+	// Tiny fine grouping over many rows → pre-aggregation wins even for a
+	// narrow BY list.
+	cat := storage.NewCatalog()
+	tab, _ := cat.Create("f", storage.Schema{
+		{Name: "g", Type: storage.TypeInt},
+		{Name: "d", Type: storage.TypeInt},
+		{Name: "a", Type: storage.TypeInt},
+	})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		tab.AppendRow([]value.Value{
+			value.NewInt(int64(rng.Intn(2))),
+			value.NewInt(int64(rng.Intn(3))),
+			value.NewInt(int64(rng.Intn(10))),
+		})
+	}
+	p := NewPlanner(engine.New(cat))
+	sel, _ := parseSelect("SELECT g, Hpct(a BY d) FROM f GROUP BY g")
+	opts, err := p.Advise(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.Hpct.FromFV {
+		t.Errorf("6 fine groups over 5000 rows should advise from FV: %+v", opts.Hpct)
+	}
+}
+
+func TestAdviseStandardQuery(t *testing.T) {
+	p := newSalesPlanner(t)
+	sel, _ := parseSelect("SELECT state, sum(salesAmt) FROM sales GROUP BY state")
+	if _, err := p.Advise(sel); err != nil {
+		t.Fatal(err)
+	}
+}

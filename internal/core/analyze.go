@@ -1,0 +1,352 @@
+// Package core implements the paper's contribution: percentage queries.
+//
+// A percentage query is a SELECT statement using the Vpct() or Hpct()
+// aggregate functions (or, via the companion paper's generalization, any
+// standard aggregate with a BY subgrouping list). The Planner analyzes such
+// a query, validates it against the paper's usage rules, and generates a
+// multi-statement standard-SQL plan that the engine executes — exactly the
+// role of the paper's Java SQL code generator. Every optimization the
+// paper's evaluation studies is a strategy knob:
+//
+//   - Vpct: compute the coarse totals Fj from the fine aggregate Fk or from
+//     F; produce FV by INSERT into a third table or by UPDATE of Fk in
+//     place; create identical indexes on the common subkey of Fj and Fk.
+//   - Hpct: compute FH directly from F in one scan of sum(CASE…)/sum(A)
+//     terms, or from the vertical percentage table FV.
+//   - Hagg: SPJ (N filtered aggregates assembled with left outer joins) or
+//     CASE, each directly from F or from the vertical pre-aggregate FV.
+//
+// The planner also generates the ANSI OLAP window-function formulation the
+// paper benchmarks against, and implements the two correctness treatments
+// the paper identifies for vertical percentages: missing rows (pre- or
+// post-processing) and division by zero (NULL results).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+)
+
+// QueryClass classifies a SELECT for planning purposes.
+type QueryClass int
+
+// Query classes.
+const (
+	// ClassStandard has no BY-carrying aggregates; the engine runs it
+	// directly.
+	ClassStandard QueryClass = iota
+	// ClassVertical uses Vpct().
+	ClassVertical
+	// ClassHorizontalPct uses Hpct().
+	ClassHorizontalPct
+	// ClassHorizontalAgg uses a standard aggregate with a BY list (the
+	// companion paper's horizontal aggregations).
+	ClassHorizontalAgg
+)
+
+// String names the class.
+func (c QueryClass) String() string {
+	switch c {
+	case ClassStandard:
+		return "standard"
+	case ClassVertical:
+		return "vertical-percentage"
+	case ClassHorizontalPct:
+		return "horizontal-percentage"
+	case ClassHorizontalAgg:
+		return "horizontal-aggregation"
+	default:
+		return fmt.Sprintf("QueryClass(%d)", int(c))
+	}
+}
+
+// itemKind tags analyzed select items.
+type itemKind int
+
+const (
+	itemGroupCol itemKind = iota // a bare grouping column
+	itemVertAgg                  // a standard aggregate without BY
+	itemPct                      // Vpct or Hpct
+	itemHoriz                    // standard aggregate with BY (Hagg)
+)
+
+// item is one analyzed select-list term.
+type item struct {
+	kind  itemKind
+	alias string        // user alias, may be empty
+	col   string        // itemGroupCol: column name
+	agg   *expr.AggCall // aggregate items
+}
+
+// analysis is the normalized form of a percentage/horizontal query.
+type analysis struct {
+	class     QueryClass
+	table     string // F
+	where     expr.Expr
+	groupCols []string // GROUP BY column names, in declared order
+	items     []item   // in select-list order
+	orderBy   []sqlparse.OrderKey
+	limit     int
+	schema    storage.Schema // schema of F
+}
+
+// Classify inspects a parsed SELECT and reports its query class. It errors
+// on the combinations the paper rules out (e.g. mixing vertical and
+// horizontal percentage aggregations in one statement).
+func Classify(sel *sqlparse.Select) (QueryClass, error) {
+	var hasVpct, hasHpct, hasHagg bool
+	for _, it := range sel.Items {
+		if it.Star {
+			continue
+		}
+		err := expr.Walk(it.Expr, func(n expr.Expr) error {
+			a, ok := n.(*expr.AggCall)
+			if !ok {
+				return nil
+			}
+			switch {
+			case a.Fn == expr.AggVpct:
+				hasVpct = true
+			case a.Fn == expr.AggHpct:
+				hasHpct = true
+			case a.IsHorizontal():
+				hasHagg = true
+			}
+			return nil
+		})
+		if err != nil {
+			return ClassStandard, err
+		}
+	}
+	switch {
+	case hasVpct && (hasHpct || hasHagg):
+		return ClassStandard, fmt.Errorf("core: combining vertical and horizontal percentage aggregations in one query is not supported (listed as future work in the paper)")
+	case hasHpct && hasHagg:
+		return ClassStandard, fmt.Errorf("core: combining Hpct with other horizontal aggregations in one query is not supported")
+	case hasVpct:
+		return ClassVertical, nil
+	case hasHpct:
+		return ClassHorizontalPct, nil
+	case hasHagg:
+		return ClassHorizontalAgg, nil
+	default:
+		return ClassStandard, nil
+	}
+}
+
+// analyze validates the query against the paper's usage rules and produces
+// the normalized analysis the generators consume.
+func (p *Planner) analyze(sel *sqlparse.Select) (*analysis, error) {
+	class, err := Classify(sel)
+	if err != nil {
+		return nil, err
+	}
+	if class == ClassStandard {
+		return &analysis{class: ClassStandard}, nil
+	}
+	if len(sel.From) != 1 || sel.From[0].Join != sqlparse.JoinCross {
+		return nil, fmt.Errorf("core: percentage queries read from a single table or view F; pre-join into a temporary table first")
+	}
+	if sel.Having != nil {
+		return nil, fmt.Errorf("core: HAVING is not supported with percentage aggregations")
+	}
+	if sel.Distinct {
+		return nil, fmt.Errorf("core: DISTINCT is not supported with percentage aggregations")
+	}
+	tableName := sel.From[0].Table.Name
+	tab, err := p.Eng.Catalog().Get(tableName)
+	if err != nil {
+		return nil, err
+	}
+	schema := tab.Schema()
+
+	a := &analysis{
+		class:   class,
+		table:   tableName,
+		where:   sel.Where,
+		orderBy: sel.OrderBy,
+		limit:   sel.Limit,
+		schema:  schema,
+	}
+
+	// Resolve GROUP BY keys to column names (positions point at bare
+	// column items).
+	for _, g := range sel.GroupBy {
+		name := g.Column
+		if g.Position > 0 {
+			if g.Position > len(sel.Items) {
+				return nil, fmt.Errorf("core: GROUP BY position %d out of range", g.Position)
+			}
+			ref, ok := sel.Items[g.Position-1].Expr.(*expr.ColumnRef)
+			if !ok {
+				return nil, fmt.Errorf("core: GROUP BY position %d must reference a column item", g.Position)
+			}
+			name = ref.Name
+		}
+		if schema.ColumnIndex(name) < 0 {
+			return nil, fmt.Errorf("core: GROUP BY column %q is not a column of %s", name, tableName)
+		}
+		for _, prev := range a.groupCols {
+			if strings.EqualFold(prev, name) {
+				return nil, fmt.Errorf("core: duplicate GROUP BY column %q", name)
+			}
+		}
+		a.groupCols = append(a.groupCols, name)
+	}
+
+	for _, sit := range sel.Items {
+		if sit.Star {
+			return nil, fmt.Errorf("core: SELECT * cannot be combined with percentage aggregations")
+		}
+		switch e := sit.Expr.(type) {
+		case *expr.ColumnRef:
+			if !containsFold(a.groupCols, e.Name) {
+				return nil, fmt.Errorf("core: column %s must appear in GROUP BY", e)
+			}
+			a.items = append(a.items, item{kind: itemGroupCol, alias: sit.Alias, col: e.Name})
+		case *expr.AggCall:
+			if e.Over != nil {
+				return nil, fmt.Errorf("core: window aggregates cannot be combined with percentage aggregations")
+			}
+			it := item{alias: sit.Alias, agg: e}
+			switch {
+			case e.Fn == expr.AggVpct || e.Fn == expr.AggHpct:
+				it.kind = itemPct
+			case e.IsHorizontal():
+				it.kind = itemHoriz
+			default:
+				it.kind = itemVertAgg
+			}
+			a.items = append(a.items, it)
+		default:
+			if expr.HasAggregate(sit.Expr) {
+				return nil, fmt.Errorf("core: percentage aggregations must be top-level select items, not nested in %s", sit.Expr)
+			}
+			return nil, fmt.Errorf("core: select item %s must be a grouping column or an aggregate", sit.Expr)
+		}
+	}
+
+	if err := a.validateRules(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// validateRules enforces the per-function usage rules from Sections 3.1,
+// 3.2 and the companion paper's Section 3.1.
+func (a *analysis) validateRules() error {
+	switch a.class {
+	case ClassVertical:
+		// Rule V1: GROUP BY is required (two-level aggregation).
+		if len(a.groupCols) == 0 {
+			return fmt.Errorf("core: Vpct requires a GROUP BY clause")
+		}
+		for _, it := range a.items {
+			if it.kind != itemPct {
+				continue
+			}
+			call := it.agg
+			if call.Arg == nil {
+				return fmt.Errorf("core: Vpct requires an expression argument")
+			}
+			// Rule V2: BY columns must be a proper subset of GROUP BY
+			// ("the BY clause can have as many as k-1 columns"). An absent
+			// BY list means totals over all rows (j = 0).
+			if len(call.By) > 0 && len(call.By) >= len(a.groupCols) {
+				return fmt.Errorf("core: Vpct BY list must be a proper subset of the GROUP BY columns (at most %d of %d)", len(a.groupCols)-1, len(a.groupCols))
+			}
+			for _, b := range call.By {
+				if !containsFold(a.groupCols, b) {
+					return fmt.Errorf("core: Vpct BY column %q must be one of the GROUP BY columns", b)
+				}
+			}
+			if err := checkMeasure(call.Arg, a.schema); err != nil {
+				return err
+			}
+		}
+	case ClassHorizontalPct, ClassHorizontalAgg:
+		for _, it := range a.items {
+			if it.kind != itemPct && it.kind != itemHoriz {
+				continue
+			}
+			call := it.agg
+			// Rule H2: BY is required and disjoint from GROUP BY.
+			if len(call.By) == 0 {
+				return fmt.Errorf("core: %s requires a BY subgrouping list", call.Fn)
+			}
+			for _, b := range call.By {
+				if containsFold(a.groupCols, b) {
+					return fmt.Errorf("core: %s BY column %q must be disjoint from the GROUP BY columns", call.Fn, b)
+				}
+				if a.schema.ColumnIndex(b) < 0 {
+					return fmt.Errorf("core: %s BY column %q is not a column of %s", call.Fn, b, a.table)
+				}
+			}
+			seen := map[string]bool{}
+			for _, b := range call.By {
+				l := strings.ToLower(b)
+				if seen[l] {
+					return fmt.Errorf("core: duplicate BY column %q", b)
+				}
+				seen[l] = true
+			}
+			if call.Arg == nil && !call.Star {
+				return fmt.Errorf("core: %s requires an argument", call.Fn)
+			}
+			if call.Arg != nil {
+				if err := checkMeasure(call.Arg, a.schema); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Vertical aggregate terms may accompany either class; their arguments
+	// must also resolve against F.
+	for _, it := range a.items {
+		if it.kind == itemVertAgg && it.agg.Arg != nil {
+			if err := checkMeasure(it.agg.Arg, a.schema); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkMeasure verifies every column in a measure expression exists in F.
+func checkMeasure(e expr.Expr, schema storage.Schema) error {
+	for _, c := range expr.Columns(e) {
+		if schema.ColumnIndex(c) < 0 {
+			return fmt.Errorf("core: measure references unknown column %q", c)
+		}
+	}
+	return nil
+}
+
+// byColsOf returns the totals grouping D1..Dj for a vertical term: the
+// GROUP BY columns minus the BY columns, in GROUP BY order. An empty BY
+// list means totals over all rows (j = 0).
+func (a *analysis) totalsColsOf(call *expr.AggCall) []string {
+	if len(call.By) == 0 {
+		return nil
+	}
+	var out []string
+	for _, g := range a.groupCols {
+		if !containsFold(call.By, g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func containsFold(list []string, s string) bool {
+	for _, x := range list {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPercentageQueries exercises the paper's future-work
+// scenario: users concurrently submitting percentage queries against the
+// same fact table. Each worker plans and executes its own mix of vertical,
+// horizontal and Hagg queries; temp-table naming and catalog access must
+// not collide, and every worker must see correct results.
+func TestConcurrentPercentageQueries(t *testing.T) {
+	p := newSalesPlanner(t)
+	queries := []struct {
+		sql  string
+		opts Options
+		rows int
+	}{
+		{vpctSales, DefaultOptions(), 4},
+		{vpctSales, Options{Vpct: VpctOptions{UseUpdate: true}}, 4},
+		{hpctDaily, DefaultOptions(), 2},
+		{hpctDaily, Options{Hpct: HpctOptions{FromFV: true}}, 2},
+		{"SELECT store, sum(salesAmt BY dweek) FROM daily GROUP BY store",
+			Options{Hagg: HaggOptions{Method: HaggSPJ}}, 2},
+		{"SELECT store, sum(salesAmt BY dweek) FROM daily GROUP BY store",
+			Options{Hagg: HaggOptions{Method: HaggCASE}}, 2},
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				q := queries[(w+i)%len(queries)]
+				plan, err := p.PlanSQL(q.sql, q.opts)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+				res, err := p.Execute(plan)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+				if len(res.Rows) != q.rows {
+					errs <- fmt.Errorf("worker %d: %s: %d rows, want %d", w, q.sql, len(res.Rows), q.rows)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// No temporary tables left behind.
+	for _, name := range p.Eng.Catalog().Names() {
+		if name != "sales" && name != "daily" {
+			t.Errorf("leftover temporary %q", name)
+		}
+	}
+}

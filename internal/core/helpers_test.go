@@ -1,0 +1,20 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparse"
+)
+
+// parseSelect parses one SELECT statement for tests.
+func parseSelect(sql string) (*sqlparse.Select, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("not a SELECT: %T", stmt)
+	}
+	return sel, nil
+}

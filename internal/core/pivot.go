@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// The CASE strategies evaluate N boolean conjunctions per input row even
+// though the conjunctions are disjoint — one row falls in exactly one result
+// column. The paper observes the optimizer could map a row to its column in
+// O(1) with a hash table. These native steps implement that proposal: a
+// single scan of F hashing (D1..Dj) to a group and (Dj+1..Dk) to a column
+// index. They exist as an ablation of the CASE evaluation cost; results are
+// identical to the SQL plans.
+
+// planHpctHashPivot finishes a direct Hpct plan with a native pivot step.
+func (p *Planner) planHpctHashPivot(plan *Plan, a *analysis, call *expr.AggCall,
+	combos []combo, groupNames, valueNames []string, extras []int, extraNames []string) (*Plan, error) {
+
+	if len(extras) > 0 {
+		return nil, fmt.Errorf("core: HashPivot does not support extra aggregate terms")
+	}
+	fh, err := p.emitPivotTable(plan, a, groupNames, valueNames, storage.TypeFloat)
+	if err != nil {
+		return nil, err
+	}
+	groupCols := append([]string{}, a.groupCols...)
+	where := a.where
+	plan.Steps = append(plan.Steps, Step{
+		Purpose: "hash-pivot F into FH (one O(1) column lookup per row)",
+		native: func(eng *engine.Engine) error {
+			return runPivot(eng, a.table, fh, groupCols, call, combos, where, true, nil)
+		},
+	})
+	p.finishHorizontalPlan(plan, a, groupNames, valueNames, nil, singleHolder(fh, valueNames, nil))
+	return plan, nil
+}
+
+// planHaggHashPivot finishes a direct Hagg plan with a native pivot step.
+func (p *Planner) planHaggHashPivot(plan *Plan, a *analysis, call *expr.AggCall,
+	combos []combo, groupNames, valueNames []string) (*Plan, error) {
+
+	if call.Distinct {
+		return nil, fmt.Errorf("core: HashPivot does not support count(DISTINCT …)")
+	}
+	fh, err := p.emitPivotTable(plan, a, groupNames, valueNames, aggResultType(call, a.schema))
+	if err != nil {
+		return nil, err
+	}
+	groupCols := append([]string{}, a.groupCols...)
+	where := a.where
+	var deflt *value.Value
+	if call.Default != nil {
+		v := call.Default.Val
+		deflt = &v
+	}
+	plan.Steps = append(plan.Steps, Step{
+		Purpose: "hash-pivot F into FH (one O(1) column lookup per row)",
+		native: func(eng *engine.Engine) error {
+			return runPivot(eng, a.table, fh, groupCols, call, combos, where, false, deflt)
+		},
+	})
+	p.finishHorizontalPlan(plan, a, groupNames, valueNames, nil, singleHolder(fh, valueNames, nil))
+	return plan, nil
+}
+
+func singleHolder(table string, valueNames, extraNames []string) map[string]string {
+	m := make(map[string]string, len(valueNames)+len(extraNames))
+	for _, n := range valueNames {
+		m[n] = table
+	}
+	for _, n := range extraNames {
+		m[n] = table
+	}
+	return m
+}
+
+// emitPivotTable creates the FH table for a native pivot.
+func (p *Planner) emitPivotTable(plan *Plan, a *analysis, groupNames, valueNames []string,
+	valType storage.ColumnType) (string, error) {
+
+	fh := p.temp("fh")
+	plan.Cleanup = append(plan.Cleanup, Step{Purpose: "drop FH", SQL: "DROP TABLE IF EXISTS " + fh})
+	plan.ResultTable = fh
+	plan.ResultTables = []string{fh}
+	plan.N = len(valueNames)
+	var defs []string
+	for gi, g := range a.groupCols {
+		defs = append(defs, colDef(groupNames[gi], a.schema[a.schema.ColumnIndex(g)].Type))
+	}
+	for _, v := range valueNames {
+		defs = append(defs, colDef(v, valType))
+	}
+	pkey := ""
+	if len(groupNames) > 0 {
+		pkey = ", PRIMARY KEY(" + joinIdents(groupNames) + ")"
+	}
+	plan.Steps = append(plan.Steps, Step{Purpose: "create FH",
+		SQL: fmt.Sprintf("CREATE TABLE %s (%s%s)", fh, strings.Join(defs, ", "), pkey)})
+	return fh, nil
+}
+
+// pivotRowBox adapts a reusable row buffer to expr.Row without per-call
+// interface boxing.
+type pivotRowBox struct{ vals []value.Value }
+
+// ColumnValue returns the i-th value.
+func (b *pivotRowBox) ColumnValue(i int) value.Value { return b.vals[i] }
+
+// pivotAcc folds one (group, column) cell.
+type pivotAcc struct {
+	fn       expr.AggFn
+	seen     bool
+	sum      float64
+	sumInt   int64
+	isInt    bool
+	count    int64
+	best     value.Value
+	nonNullC int64 // rows whose CASE output is non-null (for pct zero fill)
+}
+
+func (acc *pivotAcc) add(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	acc.nonNullC++
+	switch acc.fn {
+	case expr.AggSum, expr.AggAvg, expr.AggVpct, expr.AggHpct:
+		f, _ := v.AsFloat()
+		if !acc.seen {
+			acc.isInt = v.Kind() == value.KindInt
+		} else if v.Kind() != value.KindInt {
+			acc.isInt = false
+		}
+		if i, ok := v.AsInt(); ok && v.Kind() == value.KindInt {
+			acc.sumInt += i
+		}
+		acc.sum += f
+		acc.count++
+	case expr.AggCount:
+		acc.count++
+	case expr.AggMin:
+		if !acc.seen || value.Compare(v, acc.best) < 0 {
+			acc.best = v
+		}
+	case expr.AggMax:
+		if !acc.seen || value.Compare(v, acc.best) > 0 {
+			acc.best = v
+		}
+	}
+	acc.seen = true
+}
+
+func (acc *pivotAcc) result() value.Value {
+	if !acc.seen {
+		return value.Null
+	}
+	switch acc.fn {
+	case expr.AggSum:
+		if acc.isInt {
+			return value.NewInt(acc.sumInt)
+		}
+		return value.NewFloat(acc.sum)
+	case expr.AggCount:
+		return value.NewInt(acc.count)
+	case expr.AggAvg:
+		return value.NewFloat(acc.sum / float64(acc.count))
+	case expr.AggMin, expr.AggMax:
+		return acc.best
+	default:
+		return value.NewFloat(acc.sum)
+	}
+}
+
+// runPivot scans F once, hashing each row to its group and result column.
+// For percentage mode it also folds the per-group total and divides at emit
+// time, NULLing zero or all-NULL totals like the SQL plans do.
+func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
+	call *expr.AggCall, combos []combo, where expr.Expr, pct bool, deflt *value.Value) error {
+
+	src, err := eng.Catalog().Get(table)
+	if err != nil {
+		return err
+	}
+	dst, err := eng.Catalog().Get(fh)
+	if err != nil {
+		return err
+	}
+	schema := src.Schema()
+	names := schema.Names()
+	resolver := expr.SchemaResolver(names)
+
+	groupIdx := make([]int, len(groupCols))
+	for i, g := range groupCols {
+		groupIdx[i] = schema.ColumnIndex(g)
+	}
+	byIdx := make([]int, len(call.By))
+	for i, b := range call.By {
+		byIdx[i] = schema.ColumnIndex(b)
+	}
+	var measure expr.Expr
+	if call.Arg != nil {
+		measure, err = expr.Bind(call.Arg, resolver)
+		if err != nil {
+			return err
+		}
+	}
+	var pred expr.Expr
+	if where != nil {
+		pred, err = expr.Bind(where, resolver)
+		if err != nil {
+			return err
+		}
+	}
+
+	colOf := make(map[string]int, len(combos))
+	for i, c := range combos {
+		colOf[value.EncodeKeyString(c.vals...)] = i
+	}
+
+	type group struct {
+		keyVals []value.Value
+		cells   []pivotAcc
+		total   pivotAcc
+	}
+	groups := make(map[string]*group)
+	var order []*group
+
+	fn := call.Fn
+	if pct {
+		fn = expr.AggSum
+	}
+	if call.Star {
+		fn = expr.AggCount
+	}
+
+	var rowBuf []value.Value
+	var box pivotRowBox
+	keyBuf := make([]byte, 0, 64)
+	byBuf := make([]byte, 0, 64)
+	for r := 0; r < src.NumRows(); r++ {
+		rowBuf = src.Row(r, rowBuf)
+		box.vals = rowBuf
+		rv := &box
+		if pred != nil {
+			v, err := pred.Eval(rv)
+			if err != nil {
+				return err
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		keyBuf = keyBuf[:0]
+		for _, gi := range groupIdx {
+			keyBuf = value.AppendKey(keyBuf, rowBuf[gi])
+		}
+		g, ok := groups[string(keyBuf)]
+		if !ok {
+			g = &group{cells: make([]pivotAcc, len(combos))}
+			for i := range g.cells {
+				g.cells[i].fn = fn
+			}
+			g.total.fn = expr.AggSum
+			for _, gi := range groupIdx {
+				g.keyVals = append(g.keyVals, rowBuf[gi])
+			}
+			groups[string(keyBuf)] = g
+			order = append(order, g)
+		}
+		byBuf = byBuf[:0]
+		for _, bi := range byIdx {
+			byBuf = value.AppendKey(byBuf, rowBuf[bi])
+		}
+		ci, ok := colOf[string(byBuf)]
+		if !ok {
+			// A combination outside the feedback snapshot (possible only if
+			// F changed between planning and execution).
+			return fmt.Errorf("core: row %d has a BY combination absent from the planned column layout", r)
+		}
+		var mv value.Value
+		switch {
+		case call.Star:
+			mv = value.NewInt(1)
+		case measure != nil:
+			mv, err = measure.Eval(rv)
+			if err != nil {
+				return err
+			}
+		}
+		if fn == expr.AggCount && !call.Star {
+			if !mv.IsNull() {
+				g.cells[ci].add(value.NewInt(1))
+			}
+		} else {
+			g.cells[ci].add(mv)
+		}
+		if pct {
+			g.total.add(mv)
+		}
+	}
+
+	out := make([]value.Value, 0, len(groupCols)+len(combos))
+	for _, g := range order {
+		out = out[:0]
+		out = append(out, g.keyVals...)
+		total := g.total.result()
+		for i := range g.cells {
+			cell := &g.cells[i]
+			var v value.Value
+			if pct {
+				switch {
+				case total.IsNull():
+					v = value.Null
+				default:
+					tf, _ := total.AsFloat()
+					if tf == 0 {
+						v = value.Null
+					} else {
+						// sum(CASE … ELSE 0) semantics: absent combinations
+						// contribute an explicit zero.
+						cf := 0.0
+						if cell.seen {
+							r := cell.result()
+							cf, _ = r.AsFloat()
+						}
+						v = value.NewFloat(cf / tf)
+					}
+				}
+			} else {
+				v = cell.result()
+				if v.IsNull() && deflt != nil {
+					v = *deflt
+				}
+			}
+			out = append(out, v)
+		}
+		if _, err := dst.AppendRow(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

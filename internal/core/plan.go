@@ -1,0 +1,496 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Step is one statement of a generated plan. Most steps are SQL text; a few
+// optional optimizations (the hash-pivot evaluation of CASE-style
+// transposition, which the paper describes as a query-optimizer change) run
+// as native steps because they cannot be expressed in standard SQL.
+type Step struct {
+	// Purpose says what the step does, for EXPLAIN-style display.
+	Purpose string
+	// SQL is the statement text; empty for native steps.
+	SQL string
+	// native, when set, runs instead of SQL.
+	native func(eng *engine.Engine) error
+}
+
+// Plan is a generated evaluation plan for a percentage/horizontal query.
+type Plan struct {
+	// Class is the query class the plan evaluates.
+	Class QueryClass
+	// Steps build the result table(s), in order.
+	Steps []Step
+	// FinalSelect projects the user-facing result from ResultTable
+	// (ordering, aliases). It is separate from Steps so benchmarks can time
+	// plan execution the way the paper does, without the final cursor.
+	FinalSelect string
+	// ResultTable holds the computed result (FV or FH).
+	ResultTable string
+	// ResultTables lists every partition when a horizontal result exceeded
+	// MaxColumns and was vertically partitioned; ResultTable is the first.
+	ResultTables []string
+	// Cleanup drops the plan's temporary tables, including the result
+	// table(s).
+	Cleanup []Step
+	// N is the number of horizontal result columns (0 for vertical plans).
+	N int
+}
+
+// SQL renders every build step as a script.
+func (p *Plan) SQL() string {
+	var sb strings.Builder
+	for _, s := range p.Steps {
+		sb.WriteString("-- ")
+		sb.WriteString(s.Purpose)
+		sb.WriteString("\n")
+		if s.SQL == "" {
+			sb.WriteString("-- (native step)\n")
+			continue
+		}
+		sb.WriteString(s.SQL)
+		sb.WriteString(";\n")
+	}
+	if p.FinalSelect != "" {
+		sb.WriteString("-- final result\n")
+		sb.WriteString(p.FinalSelect)
+		sb.WriteString(";\n")
+	}
+	return sb.String()
+}
+
+// Planner analyzes percentage queries and generates evaluation plans. It
+// needs an engine: horizontal plans require the feedback process the paper
+// describes (reading the distinct BY-column combinations to lay out result
+// columns), and Execute runs plans.
+type Planner struct {
+	// Eng is the engine plans are generated for and executed on.
+	Eng *engine.Engine
+	// MaxColumns is the DBMS column limit per table; horizontal results
+	// wider than this are vertically partitioned. Defaults to 2048.
+	MaxColumns int
+	// TempPrefix prefixes generated temporary table names. Defaults to
+	// "pct".
+	TempPrefix string
+
+	mu  sync.Mutex // guards seq and the summary cache
+	seq int
+
+	// Shared summaries (the paper's future-work item "a set of percentage
+	// queries on the same table may be efficiently evaluated using shared
+	// summaries"): when enabled, structurally identical Fk/Fj aggregates
+	// are computed once and reused across plans. Shared tables are dropped
+	// by FlushSummaries, not by per-plan cleanup.
+	shareSummaries bool
+	summaries      map[string]string // structural key → table name
+	summaryDrops   []string
+}
+
+// NewPlanner returns a planner over the engine with default limits.
+func NewPlanner(eng *engine.Engine) *Planner {
+	return &Planner{Eng: eng, MaxColumns: 2048, TempPrefix: "pct"}
+}
+
+// ShareSummaries toggles summary sharing across plans. While enabled,
+// plans reference cached Fk/Fj tables where a structurally identical one
+// was already built by an earlier executed plan; call FlushSummaries when
+// the query batch is done. Sharing assumes sequential plan execution: a
+// later plan's cache hit relies on the earlier plan having built the
+// table.
+func (p *Planner) ShareSummaries(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.shareSummaries = on
+	if on && p.summaries == nil {
+		p.summaries = make(map[string]string)
+	}
+}
+
+// FlushSummaries drops every cached shared summary table.
+func (p *Planner) FlushSummaries() {
+	p.mu.Lock()
+	drops := p.summaryDrops
+	p.summaryDrops = nil
+	p.summaries = map[string]string{}
+	p.mu.Unlock()
+	for _, t := range drops {
+		_, _ = p.Eng.ExecSQL("DROP TABLE IF EXISTS " + t)
+	}
+}
+
+// sharedSummary consults the summary cache: if a table for key exists, its
+// name is returned with hit=true and the caller skips generating build
+// steps; otherwise the caller's proposed name is registered and the plan's
+// cleanup responsibility transfers to FlushSummaries.
+func (p *Planner) sharedSummary(key, name string) (table string, hit bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.shareSummaries {
+		return name, false
+	}
+	if t, ok := p.summaries[key]; ok {
+		return t, true
+	}
+	p.summaries[key] = name
+	p.summaryDrops = append(p.summaryDrops, name)
+	return name, false
+}
+
+// temp returns a fresh temporary table name. Safe for concurrent planning
+// (the paper's intensive-database future-work scenario: users concurrently
+// submitting percentage queries).
+func (p *Planner) temp(kind string) string {
+	p.mu.Lock()
+	p.seq++
+	n := p.seq
+	p.mu.Unlock()
+	return fmt.Sprintf("%s_%s_%d", p.TempPrefix, kind, n)
+}
+
+// Options selects evaluation strategies per query class.
+type Options struct {
+	Vpct VpctOptions
+	Hpct HpctOptions
+	Hagg HaggOptions
+}
+
+// DefaultOptions returns the strategies the paper's evaluation found best
+// overall: Fj from Fk, INSERT-based FV, subkey indexes on Fj/Fk, FH direct
+// from F, CASE-based horizontal aggregation direct from F.
+func DefaultOptions() Options {
+	return Options{
+		Vpct: VpctOptions{SubkeyIndexes: true},
+		Hpct: HpctOptions{},
+		Hagg: HaggOptions{},
+	}
+}
+
+// VpctOptions are the vertical-percentage strategy knobs of Table 4.
+type VpctOptions struct {
+	// FjFromF computes the coarse totals Fj from F instead of from the
+	// partial aggregate Fk (Table 4 column 4 turns the partial-aggregate
+	// optimization off by setting this).
+	FjFromF bool
+	// UseUpdate produces FV by updating Fk in place instead of inserting
+	// into a third table (Table 4 column 3). Saves the third temporary
+	// table when disk is tight, at a large time cost when |FV| ≈ |F|.
+	UseUpdate bool
+	// SubkeyIndexes creates identical indexes on the common subkey of Fj
+	// and Fk before the division join (Table 4 column 2 drops them).
+	SubkeyIndexes bool
+	// MissingRows selects the optional missing-row treatment.
+	MissingRows MissingRowsMode
+}
+
+// MissingRowsMode selects the paper's optional missing-row treatments for
+// vertical percentages.
+type MissingRowsMode int
+
+// Missing-row treatments.
+const (
+	// MissingNone leaves missing (Dj+1..Dk) combinations absent, the
+	// default.
+	MissingNone MissingRowsMode = iota
+	// MissingPost inserts zero-percentage rows into the result table for
+	// absent combinations (post-processing).
+	MissingPost
+	// MissingPre inserts zero-measure rows into F before aggregating
+	// (pre-processing). It mutates F and, as the paper warns, skews
+	// Vpct(1) row-count percentages.
+	MissingPre
+)
+
+// HpctOptions are the horizontal-percentage strategy knobs of Table 5.
+type HpctOptions struct {
+	// FromFV computes FH from the vertical percentage table FV instead of
+	// directly from F.
+	FromFV bool
+	// Vpct configures the embedded vertical plan when FromFV is set.
+	Vpct VpctOptions
+	// HashPivot replaces the N-CASE-per-row evaluation with the O(1)
+	// hash-based search the paper proposes as a query-optimizer
+	// improvement. Runs as a native step.
+	HashPivot bool
+}
+
+// HaggMethod selects the companion paper's evaluation strategy.
+type HaggMethod int
+
+// Horizontal-aggregation methods.
+const (
+	// HaggCASE evaluates with N CASE terms in one aggregation (the
+	// efficient strategy).
+	HaggCASE HaggMethod = iota
+	// HaggSPJ evaluates with N filtered aggregate tables assembled by left
+	// outer joins (the relational-only strategy).
+	HaggSPJ
+)
+
+// HaggOptions are the companion paper's strategy knobs (its Table 3).
+type HaggOptions struct {
+	Method HaggMethod
+	// FromFV aggregates from the vertical pre-aggregate FV instead of F
+	// (the indirect sub-strategy).
+	FromFV bool
+	// HashPivot applies the hash-based CASE shortcut (CASE method only).
+	HashPivot bool
+}
+
+// Plan analyzes the query and generates a plan using the given options.
+// Standard queries yield a single-step plan that runs the query as is.
+func (p *Planner) Plan(sel *sqlparse.Select, opts Options) (*Plan, error) {
+	a, err := p.analyze(sel)
+	if err != nil {
+		return nil, err
+	}
+	switch a.class {
+	case ClassStandard:
+		return &Plan{Class: ClassStandard, FinalSelect: sel.String()}, nil
+	case ClassVertical:
+		return p.planVertical(a, opts.Vpct)
+	case ClassHorizontalPct:
+		return p.planHorizontalPct(a, opts.Hpct)
+	case ClassHorizontalAgg:
+		return p.planHorizontalAgg(a, opts.Hagg)
+	default:
+		return nil, fmt.Errorf("core: unplannable class %v", a.class)
+	}
+}
+
+// PlanSQL parses one SELECT and plans it.
+func (p *Planner) PlanSQL(sql string, opts Options) (*Plan, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("core: expected a SELECT, got %T", stmt)
+	}
+	return p.Plan(sel, opts)
+}
+
+// Execute runs the plan's build steps and final select, then drops the
+// plan's temporary tables. The returned result is the user-facing relation.
+func (p *Planner) Execute(plan *Plan) (*engine.Result, error) {
+	res, err := p.ExecuteSteps(plan)
+	if err != nil {
+		p.CleanupPlan(plan)
+		return nil, err
+	}
+	if plan.FinalSelect != "" {
+		res, err = p.Eng.ExecSQL(plan.FinalSelect)
+		if err != nil {
+			p.CleanupPlan(plan)
+			return nil, err
+		}
+	}
+	p.CleanupPlan(plan)
+	return res, nil
+}
+
+// ExecuteSteps runs only the build steps (what the paper times) and leaves
+// the temporary tables in place. Callers must CleanupPlan afterwards.
+func (p *Planner) ExecuteSteps(plan *Plan) (*engine.Result, error) {
+	var last *engine.Result
+	for _, s := range plan.Steps {
+		if s.native != nil {
+			if err := s.native(p.Eng); err != nil {
+				return nil, fmt.Errorf("core: step %q: %w", s.Purpose, err)
+			}
+			last = &engine.Result{}
+			continue
+		}
+		res, err := p.Eng.ExecSQL(s.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("core: step %q: %w", s.Purpose, err)
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// CleanupPlan drops the plan's temporary tables. Errors are ignored: a
+// failed plan may not have created all of them.
+func (p *Planner) CleanupPlan(plan *Plan) {
+	for _, s := range plan.Cleanup {
+		if s.SQL != "" {
+			_, _ = p.Eng.ExecSQL(s.SQL)
+		}
+	}
+}
+
+// ----- shared generation helpers -----
+
+// exprType infers the storage type of a scalar expression over F.
+func exprType(e expr.Expr, schema storage.Schema) storage.ColumnType {
+	switch n := e.(type) {
+	case *expr.ColumnRef:
+		if i := schema.ColumnIndex(n.Name); i >= 0 {
+			return schema[i].Type
+		}
+		return storage.TypeFloat
+	case *expr.Literal:
+		switch n.Val.Kind() {
+		case value.KindInt:
+			return storage.TypeInt
+		case value.KindString:
+			return storage.TypeString
+		case value.KindBool:
+			return storage.TypeBool
+		default:
+			return storage.TypeFloat
+		}
+	case *expr.BinaryOp:
+		if n.Op == "/" {
+			return storage.TypeFloat
+		}
+		lt, rt := exprType(n.Left, schema), exprType(n.Right, schema)
+		if lt == storage.TypeInt && rt == storage.TypeInt {
+			return storage.TypeInt
+		}
+		return storage.TypeFloat
+	case *expr.UnaryOp:
+		return exprType(n.Operand, schema)
+	case *expr.Case:
+		for _, w := range n.Whens {
+			return exprType(w.Result, schema)
+		}
+		return storage.TypeFloat
+	default:
+		return storage.TypeFloat
+	}
+}
+
+// aggResultType infers the storage type of a standard aggregate over F.
+func aggResultType(call *expr.AggCall, schema storage.Schema) storage.ColumnType {
+	switch call.Fn {
+	case expr.AggCount:
+		return storage.TypeInt
+	case expr.AggAvg, expr.AggVpct, expr.AggHpct:
+		return storage.TypeFloat
+	default: // sum, min, max follow the argument
+		if call.Arg == nil {
+			return storage.TypeFloat
+		}
+		return exprType(call.Arg, schema)
+	}
+}
+
+// colDef renders one CREATE TABLE column.
+func colDef(name string, t storage.ColumnType) string {
+	return quoteIdent(name) + " " + t.String()
+}
+
+// quoteIdent quotes an identifier when needed: generated horizontal column
+// names may contain arbitrary characters (a NULL dimension value labels its
+// column "NULL") or collide with SQL keywords.
+func quoteIdent(s string) string {
+	simple := s != ""
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || i > 0 && c >= '0' && c <= '9') {
+			simple = false
+			break
+		}
+	}
+	if simple && !sqlparse.IsKeyword(s) {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// equalityChainNullSafe renders the NULL-safe join condition
+// "(a.c = b.c OR (a.c IS NULL AND b.c IS NULL)) AND …". Plain SQL equality
+// never matches NULL keys, so the paper's literal join statements silently
+// drop groups whose dimension value is NULL; GROUP BY, however, treats NULL
+// as one group, and Vpct/Hpct inherit GROUP BY semantics. The engine
+// recognizes this disjunction and evaluates it as a null-safe hash-join
+// key.
+func equalityChainNullSafe(a, b string, cols []string) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		ac := a + "." + quoteIdent(c)
+		bc := b + "." + quoteIdent(c)
+		parts[i] = fmt.Sprintf("(%s = %s OR (%s IS NULL AND %s IS NULL))", ac, bc, ac, bc)
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// literalSQL renders a value as a SQL literal.
+func literalSQL(v value.Value) string {
+	if v.Kind() == value.KindString {
+		return "'" + strings.ReplaceAll(v.Str(), "'", "''") + "'"
+	}
+	return v.String()
+}
+
+// whereSuffix renders " WHERE <cond>" or "".
+func whereSuffix(w expr.Expr) string {
+	if w == nil {
+		return ""
+	}
+	return " WHERE " + w.String()
+}
+
+// joinIdents renders a comma list of identifiers.
+func joinIdents(cols []string) string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = quoteIdent(c)
+	}
+	return strings.Join(out, ", ")
+}
+
+// qualified renders t.c identifiers as a comma list.
+func qualifiedList(table string, cols []string) string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = table + "." + quoteIdent(c)
+	}
+	return strings.Join(out, ", ")
+}
+
+// equalityChain renders "a.c1 = b.c1 AND a.c2 = b.c2 …".
+func equalityChain(a, b string, cols []string) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = a + "." + quoteIdent(c) + " = " + b + "." + quoteIdent(c)
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// uniqueNames disambiguates proposed column names, preserving order.
+func uniqueNames(names []string) []string {
+	seen := make(map[string]int, len(names))
+	out := make([]string, len(names))
+	for i, n := range names {
+		key := strings.ToLower(n)
+		if c, dup := seen[key]; dup {
+			for {
+				c++
+				cand := fmt.Sprintf("%s_%d", n, c)
+				if _, taken := seen[strings.ToLower(cand)]; !taken {
+					seen[key] = c
+					seen[strings.ToLower(cand)] = 0
+					out[i] = cand
+					break
+				}
+			}
+			continue
+		}
+		seen[key] = 0
+		out[i] = n
+	}
+	return out
+}

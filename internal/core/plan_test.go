@@ -1,0 +1,160 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+func TestUniqueNames(t *testing.T) {
+	cases := []struct {
+		in, want []string
+	}{
+		{[]string{"a", "b"}, []string{"a", "b"}},
+		{[]string{"a", "a"}, []string{"a", "a_1"}},
+		{[]string{"a", "A"}, []string{"a", "A_1"}}, // case-insensitive collision
+		{[]string{"a", "a", "a_1"}, []string{"a", "a_1", "a_1_1"}},
+		{[]string{"a", "a", "a"}, []string{"a", "a_1", "a_2"}},
+	}
+	for _, c := range cases {
+		got := uniqueNames(append([]string{}, c.in...))
+		if strings.Join(got, ",") != strings.Join(c.want, ",") {
+			t.Errorf("uniqueNames(%v) = %v, want %v", c.in, got, c.want)
+		}
+		// Output must be collision-free.
+		seen := map[string]bool{}
+		for _, n := range got {
+			l := strings.ToLower(n)
+			if seen[l] {
+				t.Errorf("uniqueNames(%v) still collides: %v", c.in, got)
+			}
+			seen[l] = true
+		}
+	}
+}
+
+func TestQuoteIdentCore(t *testing.T) {
+	cases := map[string]string{
+		"simple":   "simple",
+		"With_0":   "With_0",
+		"Mo":       "Mo",
+		"NULL":     `"NULL"`,   // keyword
+		"select":   `"select"`, // keyword, any case
+		"0leading": `"0leading"`,
+		"a b":      `"a b"`,
+		`qu"ote`:   `"qu""ote"`,
+		"d=1,m=2":  `"d=1,m=2"`,
+	}
+	for in, want := range cases {
+		if got := quoteIdent(in); got != want {
+			t.Errorf("quoteIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEqualityChains(t *testing.T) {
+	plain := equalityChain("a", "b", []string{"x", "y"})
+	if plain != "a.x = b.x AND a.y = b.y" {
+		t.Errorf("equalityChain = %q", plain)
+	}
+	safe := equalityChainNullSafe("a", "b", []string{"x"})
+	if safe != "(a.x = b.x OR (a.x IS NULL AND b.x IS NULL))" {
+		t.Errorf("null-safe chain = %q", safe)
+	}
+}
+
+func TestComboLabelAndCond(t *testing.T) {
+	one := combo{vals: []value.Value{value.NewString("Mo")}}
+	if got := comboLabel([]string{"dweek"}, one.vals); got != "Mo" {
+		t.Errorf("single label = %q", got)
+	}
+	two := []value.Value{value.NewInt(1), value.NewString("x")}
+	if got := comboLabel([]string{"d", "m"}, two); got != "d=1,m=x" {
+		t.Errorf("multi label = %q", got)
+	}
+	if got := comboLabel([]string{"d"}, []value.Value{value.Null}); got != "NULL" {
+		t.Errorf("null label = %q", got)
+	}
+	cond := comboCond("", []string{"d", "m"}, []value.Value{value.NewInt(1), value.Null})
+	if cond != "d = 1 AND m IS NULL" {
+		t.Errorf("cond = %q", cond)
+	}
+	cond = comboCond("t", []string{"d"}, []value.Value{value.NewString("o'x")})
+	if cond != "t.d = 'o''x'" {
+		t.Errorf("qualified cond = %q", cond)
+	}
+}
+
+func TestExprTypeInference(t *testing.T) {
+	schema := storage.Schema{
+		{Name: "i", Type: storage.TypeInt},
+		{Name: "f", Type: storage.TypeFloat},
+		{Name: "s", Type: storage.TypeString},
+	}
+	cases := []struct {
+		e    expr.Expr
+		want storage.ColumnType
+	}{
+		{expr.Col("i"), storage.TypeInt},
+		{expr.Col("f"), storage.TypeFloat},
+		{expr.Col("s"), storage.TypeString},
+		{expr.Col("unknown"), storage.TypeFloat},
+		{expr.NewLiteral(value.NewInt(1)), storage.TypeInt},
+		{expr.NewLiteral(value.NewString("x")), storage.TypeString},
+		{expr.NewLiteral(value.NewBool(true)), storage.TypeBool},
+		{&expr.BinaryOp{Op: "+", Left: expr.Col("i"), Right: expr.Col("i")}, storage.TypeInt},
+		{&expr.BinaryOp{Op: "+", Left: expr.Col("i"), Right: expr.Col("f")}, storage.TypeFloat},
+		{&expr.BinaryOp{Op: "/", Left: expr.Col("i"), Right: expr.Col("i")}, storage.TypeFloat},
+		{&expr.UnaryOp{Op: "-", Operand: expr.Col("i")}, storage.TypeInt},
+		{&expr.Case{Whens: []expr.When{{Cond: expr.Col("i"), Result: expr.Col("f")}}}, storage.TypeFloat},
+	}
+	for _, c := range cases {
+		if got := exprType(c.e, schema); got != c.want {
+			t.Errorf("exprType(%s) = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestAggResultTypeInference(t *testing.T) {
+	schema := storage.Schema{{Name: "i", Type: storage.TypeInt}}
+	cases := []struct {
+		call *expr.AggCall
+		want storage.ColumnType
+	}{
+		{&expr.AggCall{Fn: expr.AggCount, Star: true}, storage.TypeInt},
+		{&expr.AggCall{Fn: expr.AggAvg, Arg: expr.Col("i")}, storage.TypeFloat},
+		{&expr.AggCall{Fn: expr.AggSum, Arg: expr.Col("i")}, storage.TypeInt},
+		{&expr.AggCall{Fn: expr.AggMin, Arg: expr.Col("i")}, storage.TypeInt},
+		{&expr.AggCall{Fn: expr.AggVpct, Arg: expr.Col("i")}, storage.TypeFloat},
+	}
+	for _, c := range cases {
+		if got := aggResultType(c.call, schema); got != c.want {
+			t.Errorf("aggResultType(%s) = %v, want %v", c.call, got, c.want)
+		}
+	}
+}
+
+func TestLiteralSQL(t *testing.T) {
+	if got := literalSQL(value.NewString("o'x")); got != "'o''x'" {
+		t.Errorf("literalSQL string = %q", got)
+	}
+	if got := literalSQL(value.NewInt(5)); got != "5" {
+		t.Errorf("literalSQL int = %q", got)
+	}
+	if got := literalSQL(value.Null); got != "NULL" {
+		t.Errorf("literalSQL null = %q", got)
+	}
+}
+
+func TestPlanSQLOnNonSelect(t *testing.T) {
+	p := newSalesPlanner(t)
+	if _, err := p.PlanSQL("UPDATE sales SET salesAmt = 0", DefaultOptions()); err == nil {
+		t.Error("PlanSQL on UPDATE must fail")
+	}
+	if _, err := p.PlanSQL("not sql", DefaultOptions()); err == nil {
+		t.Error("PlanSQL on garbage must fail")
+	}
+}

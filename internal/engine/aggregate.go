@@ -1,0 +1,282 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// accumulator folds one aggregate function over the rows of a group.
+type accumulator interface {
+	add(v value.Value) error
+	result() value.Value
+}
+
+// newAccumulator builds the accumulator for an aggregate call. BY-carrying
+// calls never reach here (the rewriter eliminates them).
+func newAccumulator(call *expr.AggCall) (accumulator, error) {
+	if call.Distinct {
+		if call.Fn != expr.AggCount {
+			return nil, fmt.Errorf("engine: DISTINCT is only supported with count()")
+		}
+		return &countDistinctAcc{seen: make(map[string]struct{})}, nil
+	}
+	switch call.Fn {
+	case expr.AggSum:
+		return &sumAcc{}, nil
+	case expr.AggCount:
+		return &countAcc{star: call.Star}, nil
+	case expr.AggAvg:
+		return &avgAcc{}, nil
+	case expr.AggMin:
+		return &minMaxAcc{min: true}, nil
+	case expr.AggMax:
+		return &minMaxAcc{}, nil
+	default:
+		return nil, fmt.Errorf("engine: aggregate %s must be rewritten before execution", call.Fn)
+	}
+}
+
+// sumAcc sums skipping NULLs; an all-NULL (or empty) group yields NULL,
+// matching SQL sum() — the semantics Vpct inherits.
+type sumAcc struct {
+	seen  bool
+	isInt bool
+	isum  int64
+	fsum  float64
+}
+
+func (a *sumAcc) add(v value.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	switch v.Kind() {
+	case value.KindInt:
+		if !a.seen {
+			a.seen, a.isInt = true, true
+			a.isum = v.Int()
+			return nil
+		}
+		if a.isInt {
+			a.isum += v.Int()
+		} else {
+			a.fsum += float64(v.Int())
+		}
+	case value.KindFloat:
+		if !a.seen {
+			a.seen, a.isInt = true, false
+			a.fsum = v.Float()
+			return nil
+		}
+		if a.isInt {
+			a.fsum = float64(a.isum) + v.Float()
+			a.isInt = false
+		} else {
+			a.fsum += v.Float()
+		}
+	default:
+		return fmt.Errorf("engine: sum() on %s", v.Kind())
+	}
+	return nil
+}
+
+func (a *sumAcc) result() value.Value {
+	if !a.seen {
+		return value.Null
+	}
+	if a.isInt {
+		return value.NewInt(a.isum)
+	}
+	return value.NewFloat(a.fsum)
+}
+
+// countAcc counts rows (star) or non-NULL values.
+type countAcc struct {
+	star bool
+	n    int64
+}
+
+func (a *countAcc) add(v value.Value) error {
+	if a.star || !v.IsNull() {
+		a.n++
+	}
+	return nil
+}
+
+func (a *countAcc) result() value.Value { return value.NewInt(a.n) }
+
+// countDistinctAcc counts distinct non-NULL values.
+type countDistinctAcc struct {
+	seen map[string]struct{}
+	buf  []byte
+}
+
+func (a *countDistinctAcc) add(v value.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	a.buf = value.AppendKey(a.buf[:0], v)
+	if _, ok := a.seen[string(a.buf)]; !ok {
+		a.seen[string(a.buf)] = struct{}{}
+	}
+	return nil
+}
+
+func (a *countDistinctAcc) result() value.Value { return value.NewInt(int64(len(a.seen))) }
+
+// avgAcc averages non-NULL values; empty → NULL.
+type avgAcc struct {
+	sum sumAcc
+	n   int64
+}
+
+func (a *avgAcc) add(v value.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	a.n++
+	return a.sum.add(v)
+}
+
+func (a *avgAcc) result() value.Value {
+	if a.n == 0 {
+		return value.Null
+	}
+	s := a.sum.result()
+	f, _ := s.AsFloat()
+	return value.NewFloat(f / float64(a.n))
+}
+
+// minMaxAcc tracks the extreme non-NULL value; empty → NULL.
+type minMaxAcc struct {
+	min  bool
+	seen bool
+	best value.Value
+}
+
+func (a *minMaxAcc) add(v value.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	if !a.seen {
+		a.seen, a.best = true, v
+		return nil
+	}
+	c := value.Compare(v, a.best)
+	if (a.min && c < 0) || (!a.min && c > 0) {
+		a.best = v
+	}
+	return nil
+}
+
+func (a *minMaxAcc) result() value.Value {
+	if !a.seen {
+		return value.Null
+	}
+	return a.best
+}
+
+// aggSpec pairs an aggregate call with its bound argument expression.
+type aggSpec struct {
+	call *expr.AggCall
+	arg  expr.Expr // bound; nil for count(*)
+}
+
+// groupState accumulates one group.
+type groupState struct {
+	keyVals []value.Value
+	accs    []accumulator
+}
+
+// hashAggregate consumes the input and produces one output row per group:
+// the group-key values followed by one aggregate result per spec. keyExprs
+// are bound against the input schema. With no keys, a single global group is
+// produced even for empty input (SQL semantics for aggregates without GROUP
+// BY).
+func hashAggregate(in iterator, keyExprs []expr.Expr, specs []aggSpec) ([][]value.Value, error) {
+	groups := make(map[string]*groupState)
+	var order []string // first-appearance order, deterministic output
+	keyBuf := make([]byte, 0, 64)
+	keyVals := make([]value.Value, len(keyExprs))
+
+	newGroup := func() (*groupState, error) {
+		gs := &groupState{
+			keyVals: append([]value.Value(nil), keyVals...),
+			accs:    make([]accumulator, len(specs)),
+		}
+		for i, s := range specs {
+			acc, err := newAccumulator(s.call)
+			if err != nil {
+				return nil, err
+			}
+			gs.accs[i] = acc
+		}
+		return gs, nil
+	}
+
+	var box rowBox
+	for {
+		row, ok, err := in.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		box.vals = row
+		rv := &box
+		keyBuf = keyBuf[:0]
+		for i, ke := range keyExprs {
+			v, err := ke.Eval(rv)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+			keyBuf = value.AppendKey(keyBuf, v)
+		}
+		gs, ok := groups[string(keyBuf)]
+		if !ok {
+			gs, err = newGroup()
+			if err != nil {
+				return nil, err
+			}
+			k := string(keyBuf)
+			groups[k] = gs
+			order = append(order, k)
+		}
+		for i, s := range specs {
+			var v value.Value
+			if s.arg != nil {
+				v, err = s.arg.Eval(rv)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := gs.accs[i].add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if len(keyExprs) == 0 && len(groups) == 0 {
+		gs, err := newGroup()
+		if err != nil {
+			return nil, err
+		}
+		groups[""] = gs
+		order = append(order, "")
+	}
+
+	out := make([][]value.Value, 0, len(groups))
+	for _, k := range order {
+		gs := groups[k]
+		row := make([]value.Value, 0, len(gs.keyVals)+len(specs))
+		row = append(row, gs.keyVals...)
+		for _, acc := range gs.accs {
+			row = append(row, acc.result())
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

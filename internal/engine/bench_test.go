@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Micro-benchmarks for the engine's hot operators, at a size small enough
+// for quick iteration. The repository-level bench_test.go holds the
+// paper-table benchmarks.
+
+func benchEngine(b *testing.B, rows int) *Engine {
+	b.Helper()
+	e := New(storage.NewCatalog())
+	if _, err := e.ExecSQL("CREATE TABLE f (g1 INTEGER, g2 INTEGER, d INTEGER, a INTEGER)"); err != nil {
+		b.Fatal(err)
+	}
+	tab, _ := e.Catalog().Get("f")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < rows; i++ {
+		tab.AppendRow([]value.Value{
+			value.NewInt(int64(rng.Intn(100))),
+			value.NewInt(int64(rng.Intn(10))),
+			value.NewInt(int64(rng.Intn(7))),
+			value.NewInt(int64(rng.Intn(1000))),
+		})
+	}
+	return e
+}
+
+func benchQuery(b *testing.B, e *Engine, sql string) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ExecSQL(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanFilter(b *testing.B) {
+	e := benchEngine(b, 100_000)
+	benchQuery(b, e, "SELECT count(*) FROM f WHERE a BETWEEN 100 AND 200 AND d IN (1, 2)")
+}
+
+func BenchmarkHashAggregate(b *testing.B) {
+	e := benchEngine(b, 100_000)
+	benchQuery(b, e, "SELECT g1, g2, sum(a), count(*) FROM f GROUP BY g1, g2")
+}
+
+func BenchmarkHashAggregateWithCASEFanout(b *testing.B) {
+	e := benchEngine(b, 100_000)
+	// Seven CASE columns, the Hpct-direct shape.
+	sql := "SELECT g1"
+	for d := 0; d < 7; d++ {
+		sql += fmt.Sprintf(", sum(CASE WHEN d = %d THEN a ELSE 0 END)", d)
+	}
+	sql += " FROM f GROUP BY g1"
+	benchQuery(b, e, sql)
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	e := benchEngine(b, 100_000)
+	if _, err := e.ExecSQL("CREATE TABLE dim (g1 INTEGER, v INTEGER)"); err != nil {
+		b.Fatal(err)
+	}
+	dim, _ := e.Catalog().Get("dim")
+	for i := 0; i < 100; i++ {
+		dim.AppendRow([]value.Value{value.NewInt(int64(i)), value.NewInt(int64(i * 10))})
+	}
+	benchQuery(b, e, "SELECT sum(dim.v) FROM f, dim WHERE f.g1 = dim.g1")
+}
+
+func BenchmarkWindowAggregate(b *testing.B) {
+	e := benchEngine(b, 50_000)
+	benchQuery(b, e, "SELECT DISTINCT g1, sum(a) OVER (PARTITION BY g1) FROM f")
+}
+
+func BenchmarkBulkUpdateJoined(b *testing.B) {
+	e := benchEngine(b, 20_000)
+	if _, err := e.ExecSQL(`CREATE TABLE tot (g1 INTEGER, s REAL);
+		INSERT INTO tot SELECT g1, sum(a) FROM f GROUP BY g1;
+		CREATE TABLE fk (g1 INTEGER, g2 INTEGER, s REAL);
+		INSERT INTO fk SELECT g1, g2, sum(a) FROM f GROUP BY g1, g2`); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.ExecSQL("UPDATE fk FROM tot SET s = fk.s / tot.s WHERE fk.g1 = tot.g1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertSelect(b *testing.B) {
+	e := benchEngine(b, 50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sql := fmt.Sprintf(`CREATE TABLE out%d (g1 INTEGER, s INTEGER);
+			INSERT INTO out%d SELECT g1, sum(a) FROM f GROUP BY g1;
+			DROP TABLE out%d`, i, i, i)
+		if _, err := e.ExecSQL(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Engine executes SQL statements against a catalog.
+type Engine struct {
+	cat *storage.Catalog
+}
+
+// New returns an engine over the catalog.
+func New(cat *storage.Catalog) *Engine { return &Engine{cat: cat} }
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() *storage.Catalog { return e.cat }
+
+// Result is the outcome of a statement: rows and column names for SELECT,
+// the affected-row count for DML.
+type Result struct {
+	Columns  []string
+	Rows     [][]value.Value
+	Affected int
+}
+
+// Execute runs one parsed statement.
+func (e *Engine) Execute(stmt sqlparse.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sqlparse.Select:
+		return e.execSelect(s)
+	case *sqlparse.Insert:
+		return e.execInsert(s)
+	case *sqlparse.Update:
+		return e.execUpdate(s)
+	case *sqlparse.CreateTable:
+		return e.execCreateTable(s)
+	case *sqlparse.CreateIndex:
+		return e.execCreateIndex(s)
+	case *sqlparse.DropTable:
+		return e.execDropTable(s)
+	case *sqlparse.Delete:
+		return e.execDelete(s)
+	case *sqlparse.Explain:
+		return e.execExplain(s)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// ExecSQL parses and runs a script (one or more statements separated by
+// semicolons) and returns the last statement's result.
+func (e *Engine) ExecSQL(src string) (*Result, error) {
+	stmts, err := sqlparse.ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, s := range stmts {
+		last, err = e.Execute(s)
+		if err != nil {
+			return nil, fmt.Errorf("%w\n  in: %s", err, s)
+		}
+	}
+	return last, nil
+}
+
+// Format renders the result as an aligned text table for CLI output.
+func (r *Result) Format() string {
+	if len(r.Columns) == 0 {
+		return fmt.Sprintf("(%d rows affected)\n", r.Affected)
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(vals []string) {
+		for i, s := range vals {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(s)
+			for p := len(s); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	sep := make([]string, len(r.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	sb.WriteString(fmt.Sprintf("(%d rows)\n", len(r.Rows)))
+	return sb.String()
+}

@@ -1,0 +1,358 @@
+package engine
+
+import (
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// bindExpr resolves column references in e against a relation schema, then
+// specializes hot sub-patterns (see specialize.go).
+func bindExpr(e expr.Expr, sch relSchema) (expr.Expr, error) {
+	b, err := expr.Bind(e, func(qualifier, name string) (int, error) {
+		return sch.resolve(qualifier, name)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return specialize(b), nil
+}
+
+// splitConjuncts flattens an AND tree into its conjuncts.
+func splitConjuncts(e expr.Expr) []expr.Expr {
+	if b, ok := e.(*expr.BinaryOp); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.Left), splitConjuncts(b.Right)...)
+	}
+	return []expr.Expr{e}
+}
+
+// andAll rebuilds a conjunction; nil for an empty list.
+func andAll(conjuncts []expr.Expr) expr.Expr {
+	var out expr.Expr
+	for _, c := range conjuncts {
+		if out == nil {
+			out = c
+		} else {
+			out = &expr.BinaryOp{Op: "AND", Left: out, Right: c}
+		}
+	}
+	return out
+}
+
+// joinPair is one extracted equijoin condition: leftIdx in the left (probe)
+// schema equals rightIdx in the right (build) schema. nullSafe pairs treat
+// two NULLs as equal (extracted from the null-safe disjunction the
+// percentage-query generator emits, "a = b OR (a IS NULL AND b IS NULL)").
+type joinPair struct {
+	leftIdx  int
+	rightIdx int
+	nullSafe bool
+}
+
+// extractEquiPairs partitions conjuncts into equijoin pairs connecting the
+// two schemas and residual predicates over the combined schema. It accepts
+// plain equalities and the null-safe disjunction form.
+func extractEquiPairs(conjuncts []expr.Expr, left, right relSchema) (pairs []joinPair, residual []expr.Expr) {
+	for _, c := range conjuncts {
+		lc, rc, nullSafe := matchJoinCondition(c)
+		if lc != nil {
+			if li, err := left.resolve(lc.Qualifier, lc.Name); err == nil {
+				if ri, err := right.resolve(rc.Qualifier, rc.Name); err == nil {
+					pairs = append(pairs, joinPair{leftIdx: li, rightIdx: ri, nullSafe: nullSafe})
+					continue
+				}
+			}
+			if li, err := left.resolve(rc.Qualifier, rc.Name); err == nil {
+				if ri, err := right.resolve(lc.Qualifier, lc.Name); err == nil {
+					pairs = append(pairs, joinPair{leftIdx: li, rightIdx: ri, nullSafe: nullSafe})
+					continue
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+	return pairs, residual
+}
+
+// matchJoinCondition recognizes "colA = colB" and the null-safe form
+// "colA = colB OR (colA IS NULL AND colB IS NULL)", returning the two
+// column references.
+func matchJoinCondition(c expr.Expr) (l, r *expr.ColumnRef, nullSafe bool) {
+	b, ok := c.(*expr.BinaryOp)
+	if !ok {
+		return nil, nil, false
+	}
+	if b.Op == "=" {
+		lc, lok := b.Left.(*expr.ColumnRef)
+		rc, rok := b.Right.(*expr.ColumnRef)
+		if lok && rok {
+			return lc, rc, false
+		}
+		return nil, nil, false
+	}
+	if b.Op != "OR" {
+		return nil, nil, false
+	}
+	eq, ok := b.Left.(*expr.BinaryOp)
+	if !ok || eq.Op != "=" {
+		return nil, nil, false
+	}
+	lc, lok := eq.Left.(*expr.ColumnRef)
+	rc, rok := eq.Right.(*expr.ColumnRef)
+	if !lok || !rok {
+		return nil, nil, false
+	}
+	and, ok := b.Right.(*expr.BinaryOp)
+	if !ok || and.Op != "AND" {
+		return nil, nil, false
+	}
+	n1, ok1 := and.Left.(*expr.IsNull)
+	n2, ok2 := and.Right.(*expr.IsNull)
+	if !ok1 || !ok2 || n1.Negate || n2.Negate {
+		return nil, nil, false
+	}
+	c1, ok1 := n1.Operand.(*expr.ColumnRef)
+	c2, ok2 := n2.Operand.(*expr.ColumnRef)
+	if !ok1 || !ok2 {
+		return nil, nil, false
+	}
+	if sameColRef(lc, c1) && sameColRef(rc, c2) || sameColRef(lc, c2) && sameColRef(rc, c1) {
+		return lc, rc, true
+	}
+	return nil, nil, false
+}
+
+func sameColRef(a, b *expr.ColumnRef) bool {
+	return strings.EqualFold(a.Qualifier, b.Qualifier) && strings.EqualFold(a.Name, b.Name)
+}
+
+// buildSide is the materialized right side of a hash join: either an ad-hoc
+// hash table or a pre-existing storage index (the paper's subkey-index
+// optimization skips the build phase by reusing the index).
+type buildSide struct {
+	tab      *storage.Table // set when rows come straight from a table
+	rows     [][]value.Value
+	buckets  map[string][]int // key → positions in rows (or table row ids)
+	useIndex bool
+	lookupFn func(key string) []int
+}
+
+// hashJoin streams the left (probe) side against a materialized right
+// (build) side. outer selects LEFT OUTER semantics: probe rows without a
+// match emit once with NULL-extended build columns.
+type hashJoin struct {
+	left    iterator
+	build   *buildSide
+	pairs   []joinPair
+	outer   bool
+	sch     relSchema
+	rightW  int
+	keyBuf  []byte
+	pending []int         // remaining matches for the current probe row
+	current []value.Value // current probe row (copy not needed within step)
+	outBuf  []value.Value
+}
+
+// newHashJoinFromTable builds the join against a base table right side. If
+// useIndex is true and the table has an index exactly on the join columns,
+// the index serves as the hash table; otherwise an ad-hoc table is built.
+func newHashJoinFromTable(left iterator, right *storage.Table, rightAlias string,
+	pairs []joinPair, outer bool, useIndex bool) (*hashJoin, error) {
+
+	rightSch := schemaOf(right, rightAlias)
+	b := &buildSide{tab: right}
+	if useIndex {
+		cols := make([]string, len(pairs))
+		for i, p := range pairs {
+			cols[i] = rightSch[p.rightIdx].Name
+		}
+		if ix := right.IndexOn(cols); ix != nil {
+			b.useIndex = true
+			b.lookupFn = ix.LookupKey
+		}
+	}
+	if !b.useIndex {
+		b.buckets = make(map[string][]int, right.NumRows())
+		key := make([]byte, 0, 32)
+		for r := 0; r < right.NumRows(); r++ {
+			key = key[:0]
+			for _, p := range pairs {
+				key = value.AppendKey(key, right.Get(r, p.rightIdx))
+			}
+			b.buckets[string(key)] = append(b.buckets[string(key)], r)
+		}
+		b.lookupFn = func(k string) []int { return b.buckets[k] }
+	}
+	return &hashJoin{
+		left:   left,
+		build:  b,
+		pairs:  pairs,
+		outer:  outer,
+		sch:    append(append(relSchema{}, left.schema()...), rightSch...),
+		rightW: len(rightSch),
+	}, nil
+}
+
+// newHashJoinFromRows builds the join against a materialized relation.
+func newHashJoinFromRows(left iterator, right *memRelation, pairs []joinPair, outer bool) *hashJoin {
+	b := &buildSide{rows: right.rows, buckets: make(map[string][]int, len(right.rows))}
+	key := make([]byte, 0, 32)
+	for r, row := range right.rows {
+		key = key[:0]
+		for _, p := range pairs {
+			key = value.AppendKey(key, row[p.rightIdx])
+		}
+		b.buckets[string(key)] = append(b.buckets[string(key)], r)
+	}
+	b.lookupFn = func(k string) []int { return b.buckets[k] }
+	return &hashJoin{
+		left:   left,
+		build:  b,
+		pairs:  pairs,
+		outer:  outer,
+		sch:    append(append(relSchema{}, left.schema()...), right.sch...),
+		rightW: len(right.sch),
+	}
+}
+
+func (j *hashJoin) schema() relSchema { return j.sch }
+
+func (j *hashJoin) next() ([]value.Value, bool, error) {
+	for {
+		if len(j.pending) > 0 {
+			r := j.pending[0]
+			j.pending = j.pending[1:]
+			return j.emit(r), true, nil
+		}
+		row, ok, err := j.left.next()
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		j.keyBuf = j.keyBuf[:0]
+		nullKey := false
+		for _, p := range j.pairs {
+			v := row[p.leftIdx]
+			if v.IsNull() && !p.nullSafe {
+				nullKey = true
+			}
+			j.keyBuf = value.AppendKey(j.keyBuf, v)
+		}
+		j.current = row
+		var matches []int
+		if !nullKey { // plain SQL equality never matches on NULL keys
+			matches = j.build.lookupFn(string(j.keyBuf))
+		}
+		if len(matches) == 0 {
+			if j.outer {
+				return j.emitNull(), true, nil
+			}
+			continue
+		}
+		j.pending = matches
+	}
+}
+
+// emit concatenates the probe row with build row r into the reusable output
+// buffer.
+func (j *hashJoin) emit(r int) []value.Value {
+	j.outBuf = j.outBuf[:0]
+	j.outBuf = append(j.outBuf, j.current...)
+	if j.build.tab != nil {
+		for c := 0; c < j.rightW; c++ {
+			j.outBuf = append(j.outBuf, j.build.tab.Get(r, c))
+		}
+	} else {
+		j.outBuf = append(j.outBuf, j.build.rows[r]...)
+	}
+	return j.outBuf
+}
+
+// emitNull extends the probe row with NULLs for a non-matching outer row.
+func (j *hashJoin) emitNull() []value.Value {
+	j.outBuf = j.outBuf[:0]
+	j.outBuf = append(j.outBuf, j.current...)
+	for c := 0; c < j.rightW; c++ {
+		j.outBuf = append(j.outBuf, value.Null)
+	}
+	return j.outBuf
+}
+
+// nestedLoopJoin is the reference fallback for joins whose ON clause is not
+// a conjunction of column equalities. The right side is materialized; the
+// predicate is evaluated over each row pair.
+type nestedLoopJoin struct {
+	left   iterator
+	right  *memRelation
+	pred   expr.Expr // bound over the combined schema; nil means cross product
+	box    rowBox
+	outer  bool
+	sch    relSchema
+	cur    []value.Value
+	curSet bool
+	rpos   int
+	seen   bool
+	outBuf []value.Value
+}
+
+func newNestedLoopJoin(left iterator, right *memRelation, pred expr.Expr, outer bool) *nestedLoopJoin {
+	return &nestedLoopJoin{
+		left:  left,
+		right: right,
+		pred:  pred,
+		outer: outer,
+		sch:   append(append(relSchema{}, left.schema()...), right.sch...),
+	}
+}
+
+func (j *nestedLoopJoin) schema() relSchema { return j.sch }
+
+func (j *nestedLoopJoin) next() ([]value.Value, bool, error) {
+	for {
+		if !j.curSet {
+			row, ok, err := j.left.next()
+			if !ok || err != nil {
+				return nil, false, err
+			}
+			j.cur = append(j.cur[:0], row...)
+			j.curSet = true
+			j.rpos = 0
+			j.seen = false
+		}
+		for j.rpos < len(j.right.rows) {
+			r := j.right.rows[j.rpos]
+			j.rpos++
+			j.outBuf = append(append(j.outBuf[:0], j.cur...), r...)
+			if j.pred != nil {
+				j.box.vals = j.outBuf
+				v, err := j.pred.Eval(&j.box)
+				if err != nil {
+					return nil, false, err
+				}
+				if !v.Truthy() {
+					continue
+				}
+			}
+			j.seen = true
+			return j.outBuf, true, nil
+		}
+		j.curSet = false
+		if j.outer && !j.seen {
+			j.outBuf = append(j.outBuf[:0], j.cur...)
+			for range j.right.sch {
+				j.outBuf = append(j.outBuf, value.Null)
+			}
+			return j.outBuf, true, nil
+		}
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ iterator = (*hashJoin)(nil)
+	_ iterator = (*nestedLoopJoin)(nil)
+	_ iterator = (*tableScan)(nil)
+	_ iterator = (*filterIter)(nil)
+	_ iterator = (*memRelation)(nil)
+)

@@ -1,0 +1,178 @@
+// Package engine executes parsed SQL statements against the storage
+// catalog. It provides the relational machinery the paper's strategies
+// compile to: streaming table scans, filters, hash equijoins (inner and
+// left-outer, index-aware), hash group-by aggregation, DISTINCT, ORDER BY,
+// ANSI OLAP window aggregates (the paper's comparison baseline), INSERT …
+// SELECT into temporary tables, and the cross-table UPDATE the paper's
+// update-based Vpct strategy uses.
+//
+// Horizontal aggregate calls (any aggregate with a BY list, including Vpct
+// and Hpct) are NOT executable here: the core package rewrites them into the
+// standard SQL this engine runs, exactly as the paper's code generator does.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// relCol is one column of an intermediate relation: its source qualifier
+// (table alias), bare name, and declared type.
+type relCol struct {
+	Qualifier string
+	Name      string
+	Type      storage.ColumnType
+}
+
+// relSchema is the ordered column list of an intermediate relation.
+type relSchema []relCol
+
+// resolve maps a (qualifier, name) reference to a column position,
+// reporting unknown and ambiguous references.
+func (s relSchema) resolve(qualifier, name string) (int, error) {
+	found := -1
+	for i, c := range s {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if qualifier != "" && !strings.EqualFold(c.Qualifier, qualifier) {
+			continue
+		}
+		if found >= 0 {
+			if qualifier == "" {
+				return 0, fmt.Errorf("engine: ambiguous column %q", name)
+			}
+			return 0, fmt.Errorf("engine: ambiguous column %s.%s", qualifier, name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if qualifier != "" {
+			return 0, fmt.Errorf("engine: unknown column %s.%s", qualifier, name)
+		}
+		return 0, fmt.Errorf("engine: unknown column %q", name)
+	}
+	return found, nil
+}
+
+// schemaOf builds the relation schema of a base table under an alias.
+func schemaOf(t *storage.Table, alias string) relSchema {
+	if alias == "" {
+		alias = t.Name()
+	}
+	out := make(relSchema, 0, t.NumCols())
+	for _, c := range t.Schema() {
+		out = append(out, relCol{Qualifier: alias, Name: c.Name, Type: c.Type})
+	}
+	return out
+}
+
+// iterator is a streaming row source. Next returns a row valid only until
+// the following Next call; sinks that retain rows must copy them.
+type iterator interface {
+	schema() relSchema
+	next() ([]value.Value, bool, error)
+}
+
+// tableScan streams a base table, reusing one row buffer.
+type tableScan struct {
+	tab *storage.Table
+	sch relSchema
+	pos int
+	buf []value.Value
+}
+
+func newTableScan(t *storage.Table, alias string) *tableScan {
+	return &tableScan{tab: t, sch: schemaOf(t, alias)}
+}
+
+func (s *tableScan) schema() relSchema { return s.sch }
+
+func (s *tableScan) next() ([]value.Value, bool, error) {
+	if s.pos >= s.tab.NumRows() {
+		return nil, false, nil
+	}
+	s.buf = s.tab.Row(s.pos, s.buf)
+	s.pos++
+	return s.buf, true, nil
+}
+
+// filterIter drops rows whose predicate is not truthy (false or NULL).
+type filterIter struct {
+	child iterator
+	pred  expr.Expr // bound against the child schema
+	box   rowBox
+}
+
+// rowView adapts a value slice to expr.Row.
+type rowView []value.Value
+
+// ColumnValue returns the i-th value.
+func (r rowView) ColumnValue(i int) value.Value { return r[i] }
+
+// rowBox adapts a reusable value slice to expr.Row. Unlike converting a
+// rowView per call — which boxes a slice header on the heap every time —
+// a *rowBox converts to the interface without allocating, so hot loops
+// (aggregation, filters, window sweeps) retarget one box per batch.
+type rowBox struct{ vals []value.Value }
+
+// ColumnValue returns the i-th value.
+func (b *rowBox) ColumnValue(i int) value.Value { return b.vals[i] }
+
+func (f *filterIter) schema() relSchema { return f.child.schema() }
+
+func (f *filterIter) next() ([]value.Value, bool, error) {
+	for {
+		row, ok, err := f.child.next()
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		f.box.vals = row
+		v, err := f.pred.Eval(&f.box)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.Truthy() {
+			return row, true, nil
+		}
+	}
+}
+
+// memRelation is a materialized relation, used where streaming is not
+// possible (window-function input, join build sides, reference operators in
+// tests).
+type memRelation struct {
+	sch  relSchema
+	rows [][]value.Value
+	pos  int
+}
+
+func (m *memRelation) schema() relSchema { return m.sch }
+
+func (m *memRelation) next() ([]value.Value, bool, error) {
+	if m.pos >= len(m.rows) {
+		return nil, false, nil
+	}
+	r := m.rows[m.pos]
+	m.pos++
+	return r, true, nil
+}
+
+// materialize drains an iterator into a memRelation, copying rows.
+func materialize(it iterator) (*memRelation, error) {
+	out := &memRelation{sch: it.schema()}
+	for {
+		row, ok, err := it.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.rows = append(out.rows, append([]value.Value(nil), row...))
+	}
+}

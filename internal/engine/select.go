@@ -1,0 +1,679 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/sqlparse"
+	"repro/internal/value"
+)
+
+// execSelect plans and runs a SELECT statement.
+func (e *Engine) execSelect(sel *sqlparse.Select) (*Result, error) {
+	in, residualWhere, err := e.buildFrom(sel)
+	if err != nil {
+		return nil, err
+	}
+	if residualWhere != nil {
+		pred, err := bindExpr(residualWhere, in.schema())
+		if err != nil {
+			return nil, err
+		}
+		if expr.HasAggregate(pred) {
+			return nil, fmt.Errorf("engine: aggregates are not allowed in WHERE")
+		}
+		in = &filterIter{child: in, pred: pred}
+	}
+
+	items, err := expandStars(sel.Items, in.schema())
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range items {
+		bad := false
+		_ = expr.Walk(it.Expr, func(n expr.Expr) error {
+			if a, ok := n.(*expr.AggCall); ok && a.IsHorizontal() {
+				bad = true
+			}
+			return nil
+		})
+		if bad {
+			return nil, fmt.Errorf("engine: %s carries a BY list; percentage/horizontal aggregations must be rewritten first (see the core package)", it.Expr)
+		}
+	}
+
+	names := outputNames(items)
+
+	// ORDER BY may reference input columns outside the select list. For
+	// plain, non-DISTINCT selects, carry them as hidden trailing columns
+	// and strip them after sorting.
+	hidden := 0
+	isPlain := !hasWindow(items) && len(sel.GroupBy) == 0 && sel.Having == nil && !anyAggregate(items)
+	if isPlain && !sel.Distinct {
+		for _, k := range sel.OrderBy {
+			if k.Position > 0 || orderColumnIndex(names, k.Column) >= 0 {
+				continue
+			}
+			items = append(items, sqlparse.SelectItem{
+				Expr:  expr.QCol(k.Qualifier, k.Column),
+				Alias: k.Column,
+			})
+			names = append(names, k.Column)
+			hidden++
+		}
+	}
+
+	var rows [][]value.Value
+	switch {
+	case hasWindow(items):
+		rows, err = e.execWindowSelect(sel, items, in)
+	case len(sel.GroupBy) > 0 || sel.Having != nil || anyAggregate(items):
+		rows, err = e.execGroupSelect(sel, items, in)
+	default:
+		rows, err = e.execPlainSelect(sel, items, in)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if sel.Distinct {
+		rows = distinctRows(rows)
+	}
+	if len(sel.OrderBy) > 0 {
+		if err := orderRows(rows, sel.OrderBy, names); err != nil {
+			return nil, err
+		}
+	}
+	if hidden > 0 {
+		names = names[:len(names)-hidden]
+		for i := range rows {
+			rows[i] = rows[i][:len(names)]
+		}
+	}
+	if sel.Limit > 0 && len(rows) > sel.Limit {
+		rows = rows[:sel.Limit]
+	}
+	return &Result{Columns: names, Rows: rows}, nil
+}
+
+// orderColumnIndex finds a named column in the output list, or -1.
+func orderColumnIndex(names []string, col string) int {
+	for j, n := range names {
+		if strings.EqualFold(n, col) {
+			return j
+		}
+	}
+	return -1
+}
+
+// buildFrom assembles the FROM pipeline and returns the input iterator plus
+// the WHERE conjuncts not consumed as join conditions.
+func (e *Engine) buildFrom(sel *sqlparse.Select) (iterator, expr.Expr, error) {
+	if len(sel.From) == 0 {
+		// SELECT without FROM: one empty row.
+		return &memRelation{rows: [][]value.Value{{}}}, sel.Where, nil
+	}
+	first := sel.From[0]
+	t, err := e.cat.Get(first.Table.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cur iterator = newTableScan(t, first.Table.RefName())
+
+	var whereConjuncts []expr.Expr
+	if sel.Where != nil {
+		whereConjuncts = splitConjuncts(sel.Where)
+	}
+
+	for _, fe := range sel.From[1:] {
+		rt, err := e.cat.Get(fe.Table.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		alias := fe.Table.RefName()
+		rightSch := schemaOf(rt, alias)
+
+		switch fe.Join {
+		case sqlparse.JoinCross:
+			// Pull equijoin conditions out of WHERE.
+			pairs, residual := extractEquiPairs(whereConjuncts, cur.schema(), rightSch)
+			whereConjuncts = residual
+			if len(pairs) == 0 {
+				right, err := materialize(newTableScan(rt, alias))
+				if err != nil {
+					return nil, nil, err
+				}
+				cur = newNestedLoopJoin(cur, right, nil, false)
+				continue
+			}
+			j, err := newHashJoinFromTable(cur, rt, alias, pairs, false, true)
+			if err != nil {
+				return nil, nil, err
+			}
+			cur = j
+
+		case sqlparse.JoinInner, sqlparse.JoinLeftOuter:
+			outer := fe.Join == sqlparse.JoinLeftOuter
+			onConjuncts := splitConjuncts(fe.On)
+			pairs, residual := extractEquiPairs(onConjuncts, cur.schema(), rightSch)
+			if len(pairs) == 0 || (outer && len(residual) > 0) {
+				// Fallback: evaluate the full ON predicate row by row.
+				right, err := materialize(newTableScan(rt, alias))
+				if err != nil {
+					return nil, nil, err
+				}
+				combined := append(append(relSchema{}, cur.schema()...), rightSch...)
+				pred, err := bindExpr(fe.On, combined)
+				if err != nil {
+					return nil, nil, err
+				}
+				cur = newNestedLoopJoin(cur, right, pred, outer)
+				continue
+			}
+			j, err := newHashJoinFromTable(cur, rt, alias, pairs, outer, true)
+			if err != nil {
+				return nil, nil, err
+			}
+			cur = j
+			if len(residual) > 0 {
+				pred, err := bindExpr(andAll(residual), cur.schema())
+				if err != nil {
+					return nil, nil, err
+				}
+				cur = &filterIter{child: cur, pred: pred}
+			}
+		}
+	}
+	return cur, andAll(whereConjuncts), nil
+}
+
+// expandStars replaces * items with one reference per input column.
+func expandStars(items []sqlparse.SelectItem, sch relSchema) ([]sqlparse.SelectItem, error) {
+	var out []sqlparse.SelectItem
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		for _, c := range sch {
+			out = append(out, sqlparse.SelectItem{
+				Expr:  expr.QCol(c.Qualifier, c.Name),
+				Alias: c.Name,
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("engine: empty select list")
+	}
+	return out, nil
+}
+
+// outputNames derives result column names: alias, bare column name, or the
+// expression text.
+func outputNames(items []sqlparse.SelectItem) []string {
+	names := make([]string, len(items))
+	for i, it := range items {
+		switch {
+		case it.Alias != "":
+			names[i] = it.Alias
+		default:
+			if c, ok := it.Expr.(*expr.ColumnRef); ok {
+				names[i] = c.Name
+			} else {
+				names[i] = it.Expr.String()
+			}
+		}
+	}
+	return names
+}
+
+func anyAggregate(items []sqlparse.SelectItem) bool {
+	for _, it := range items {
+		if expr.HasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasWindow(items []sqlparse.SelectItem) bool {
+	found := false
+	for _, it := range items {
+		_ = expr.Walk(it.Expr, func(n expr.Expr) error {
+			if a, ok := n.(*expr.AggCall); ok && a.Over != nil {
+				found = true
+			}
+			return nil
+		})
+	}
+	return found
+}
+
+// execPlainSelect projects items per input row.
+func (e *Engine) execPlainSelect(sel *sqlparse.Select, items []sqlparse.SelectItem, in iterator) ([][]value.Value, error) {
+	bound := make([]expr.Expr, len(items))
+	for i, it := range items {
+		b, err := bindExpr(it.Expr, in.schema())
+		if err != nil {
+			return nil, err
+		}
+		bound[i] = b
+	}
+	var rows [][]value.Value
+	var box rowBox
+	for {
+		row, ok, err := in.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rows, nil
+		}
+		out := make([]value.Value, len(bound))
+		box.vals = row
+		rv := &box
+		for i, b := range bound {
+			v, err := b.Eval(rv)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		rows = append(rows, out)
+	}
+}
+
+// execGroupSelect runs hash aggregation and projects items over group rows.
+func (e *Engine) execGroupSelect(sel *sqlparse.Select, items []sqlparse.SelectItem, in iterator) ([][]value.Value, error) {
+	inSch := in.schema()
+
+	// Resolve group keys to bound expressions over the input schema.
+	keyExprs := make([]expr.Expr, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		var raw expr.Expr
+		if g.Position > 0 {
+			if g.Position > len(items) {
+				return nil, fmt.Errorf("engine: GROUP BY position %d out of range", g.Position)
+			}
+			raw = items[g.Position-1].Expr
+			if expr.HasAggregate(raw) {
+				return nil, fmt.Errorf("engine: GROUP BY position %d refers to an aggregate", g.Position)
+			}
+		} else {
+			raw = expr.QCol(g.Qualifier, g.Column)
+		}
+		b, err := bindExpr(raw, inSch)
+		if err != nil {
+			return nil, err
+		}
+		keyExprs[i] = b
+	}
+
+	// Collect aggregate calls from items and HAVING, bind their arguments.
+	// Textually identical calls share one accumulator slot — percentage
+	// plans repeat sum(A) in every CASE column and would otherwise fold it
+	// N times per row.
+	var specs []aggSpec
+	slotOf := make(map[*expr.AggCall]int)
+	slotByText := make(map[string]int)
+	collect := func(root expr.Expr) error {
+		return expr.Walk(root, func(n expr.Expr) error {
+			call, ok := n.(*expr.AggCall)
+			if !ok {
+				return nil
+			}
+			if _, dup := slotOf[call]; dup {
+				return nil
+			}
+			text := call.String()
+			if slot, dup := slotByText[text]; dup {
+				slotOf[call] = slot
+				return nil
+			}
+			spec := aggSpec{call: call}
+			if call.Arg != nil {
+				b, err := bindExpr(call.Arg, inSch)
+				if err != nil {
+					return err
+				}
+				if expr.HasAggregate(b) {
+					return fmt.Errorf("engine: nested aggregate in %s", call)
+				}
+				spec.arg = b
+			}
+			slotOf[call] = len(specs)
+			slotByText[text] = len(specs)
+			specs = append(specs, spec)
+			return nil
+		})
+	}
+	for _, it := range items {
+		if err := collect(it.Expr); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Having != nil {
+		if err := collect(sel.Having); err != nil {
+			return nil, err
+		}
+	}
+
+	groupRows, err := hashAggregate(in, keyExprs, specs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Rebind item expressions over the group-row layout:
+	// [key0..keyK-1, agg0..aggM-1].
+	rebind := func(root expr.Expr) (expr.Expr, error) {
+		return expr.Transform(root, func(n expr.Expr) (expr.Expr, error) {
+			if call, ok := n.(*expr.AggCall); ok {
+				return &expr.SlotRef{Index: len(keyExprs) + slotOf[call], Label: call.String()}, nil
+			}
+			cr, ok := n.(*expr.ColumnRef)
+			if !ok {
+				return n, nil
+			}
+			idx, err := inSch.resolve(cr.Qualifier, cr.Name)
+			if err != nil {
+				return nil, err
+			}
+			for k, ke := range keyExprs {
+				if kc, ok := ke.(*expr.ColumnRef); ok && kc.Index == idx {
+					return &expr.SlotRef{Index: k, Label: cr.Name}, nil
+				}
+			}
+			// Expression keys: match by rendered text.
+			bc, err := bindExpr(cr, inSch)
+			if err != nil {
+				return nil, err
+			}
+			for k, ke := range keyExprs {
+				if ke.String() == bc.String() {
+					return &expr.SlotRef{Index: k, Label: cr.Name}, nil
+				}
+			}
+			return nil, fmt.Errorf("engine: column %s must appear in GROUP BY or inside an aggregate", cr)
+		})
+	}
+
+	projected := make([]expr.Expr, len(items))
+	for i, it := range items {
+		p, err := rebind(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		projected[i] = p
+	}
+	var having expr.Expr
+	if sel.Having != nil {
+		having, err = rebind(sel.Having)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var rows [][]value.Value
+	var box rowBox
+	for _, g := range groupRows {
+		box.vals = g
+		rv := &box
+		if having != nil {
+			hv, err := having.Eval(rv)
+			if err != nil {
+				return nil, err
+			}
+			if !hv.Truthy() {
+				continue
+			}
+		}
+		out := make([]value.Value, len(projected))
+		for i, p := range projected {
+			v, err := p.Eval(rv)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		rows = append(rows, out)
+	}
+	return rows, nil
+}
+
+// execWindowSelect evaluates ANSI OLAP window aggregates: each windowed call
+// is computed per partition over the whole input, then every input row is
+// emitted extended with its partition's results. This mirrors how the
+// paper's OLAP-extension baseline evaluates percentage queries — and why it
+// is expensive: the full detail relation flows through, and DISTINCT
+// collapses it afterwards.
+func (e *Engine) execWindowSelect(sel *sqlparse.Select, items []sqlparse.SelectItem, in iterator) ([][]value.Value, error) {
+	if len(sel.GroupBy) > 0 || sel.Having != nil {
+		return nil, fmt.Errorf("engine: window aggregates cannot be combined with GROUP BY")
+	}
+	inSch := in.schema()
+
+	type winSpec struct {
+		call    *expr.AggCall
+		arg     expr.Expr
+		partIdx []int
+		results []value.Value // per input row, filled by the sort pass
+	}
+	var specs []*winSpec
+	slotOf := make(map[*expr.AggCall]int)
+	slotByText := make(map[string]int)
+	for _, it := range items {
+		err := expr.Walk(it.Expr, func(n expr.Expr) error {
+			call, ok := n.(*expr.AggCall)
+			if !ok {
+				return nil
+			}
+			if call.Over == nil {
+				return fmt.Errorf("engine: plain aggregate %s mixed with window aggregates", call)
+			}
+			if _, dup := slotOf[call]; dup {
+				return nil
+			}
+			if slot, dup := slotByText[call.String()]; dup {
+				slotOf[call] = slot
+				return nil
+			}
+			ws := &winSpec{call: call}
+			if call.Arg != nil {
+				b, err := bindExpr(call.Arg, inSch)
+				if err != nil {
+					return err
+				}
+				ws.arg = b
+			}
+			for _, c := range call.Over.PartitionBy {
+				idx, err := inSch.resolve("", c)
+				if err != nil {
+					return err
+				}
+				ws.partIdx = append(ws.partIdx, idx)
+			}
+			slotOf[call] = len(specs)
+			slotByText[call.String()] = len(specs)
+			specs = append(specs, ws)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	input, err := materialize(in)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: evaluate each window spec the way SQL engines of the
+	// paper's era did — spool the detail rows, sort them by the partition
+	// columns, and sweep each partition run folding the aggregate. This is
+	// the cost profile the paper's OLAP-extension baseline pays: one sort
+	// of the full input per distinct window.
+	for _, ws := range specs {
+		if err := evalWindowSorted(ws.call, ws.arg, ws.partIdx, input.rows, &ws.results); err != nil {
+			return nil, err
+		}
+	}
+
+	// Rebind items over [input row .. window slots].
+	w := len(inSch)
+	projected := make([]expr.Expr, len(items))
+	for i, it := range items {
+		p, err := expr.Transform(it.Expr, func(n expr.Expr) (expr.Expr, error) {
+			if call, ok := n.(*expr.AggCall); ok {
+				return &expr.SlotRef{Index: w + slotOf[call], Label: call.String()}, nil
+			}
+			return n, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		b, err := expr.Bind(p, func(q, name string) (int, error) { return inSch.resolve(q, name) })
+		if err != nil {
+			return nil, err
+		}
+		projected[i] = b
+	}
+
+	// Pass 2: emit each row extended with its windows' results.
+	rows := make([][]value.Value, 0, len(input.rows))
+	ext := make([]value.Value, 0, w+len(specs))
+	var box rowBox
+	for ri, row := range input.rows {
+		ext = ext[:0]
+		ext = append(ext, row...)
+		for _, ws := range specs {
+			ext = append(ext, ws.results[ri])
+		}
+		box.vals = ext
+		rv := &box
+		out := make([]value.Value, len(projected))
+		for i, p := range projected {
+			v, err := p.Eval(rv)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		rows = append(rows, out)
+	}
+	return rows, nil
+}
+
+// evalWindowSorted computes one window aggregate over all rows: it sorts
+// row indexes by the encoded partition key, folds each equal-key run with
+// a fresh accumulator, and writes the run's result to every row in it.
+func evalWindowSorted(call *expr.AggCall, arg expr.Expr, partIdx []int,
+	rows [][]value.Value, out *[]value.Value) error {
+
+	n := len(rows)
+	keys := make([]string, n)
+	buf := make([]byte, 0, 64)
+	for i, row := range rows {
+		buf = buf[:0]
+		for _, pi := range partIdx {
+			buf = value.AppendKey(buf, row[pi])
+		}
+		keys[i] = string(buf)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+	results := make([]value.Value, n)
+	var box rowBox
+	for lo := 0; lo < n; {
+		hi := lo
+		for hi < n && keys[order[hi]] == keys[order[lo]] {
+			hi++
+		}
+		acc, err := newAccumulator(call)
+		if err != nil {
+			return err
+		}
+		for p := lo; p < hi; p++ {
+			var v value.Value
+			if arg != nil {
+				box.vals = rows[order[p]]
+				v, err = arg.Eval(&box)
+				if err != nil {
+					return err
+				}
+			}
+			if err := acc.add(v); err != nil {
+				return err
+			}
+		}
+		res := acc.result()
+		for p := lo; p < hi; p++ {
+			results[order[p]] = res
+		}
+		lo = hi
+	}
+	*out = results
+	return nil
+}
+
+// distinctRows deduplicates rows preserving first-appearance order.
+func distinctRows(rows [][]value.Value) [][]value.Value {
+	seen := make(map[string]struct{}, len(rows))
+	out := rows[:0]
+	buf := make([]byte, 0, 64)
+	for _, r := range rows {
+		buf = buf[:0]
+		for _, v := range r {
+			buf = value.AppendKey(buf, v)
+		}
+		if _, dup := seen[string(buf)]; dup {
+			continue
+		}
+		seen[string(buf)] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+// orderRows sorts rows by the ORDER BY keys, resolving names against the
+// output column list.
+func orderRows(rows [][]value.Value, keys []sqlparse.OrderKey, names []string) error {
+	type sk struct {
+		idx  int
+		desc bool
+	}
+	sks := make([]sk, len(keys))
+	for i, k := range keys {
+		if k.Position > 0 {
+			if k.Position > len(names) {
+				return fmt.Errorf("engine: ORDER BY position %d out of range", k.Position)
+			}
+			sks[i] = sk{idx: k.Position - 1, desc: k.Desc}
+			continue
+		}
+		found := orderColumnIndex(names, k.Column)
+		if found < 0 {
+			return fmt.Errorf("engine: ORDER BY column %q not in select list", k.Column)
+		}
+		sks[i] = sk{idx: found, desc: k.Desc}
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for _, k := range sks {
+			c := value.Compare(rows[a][k.idx], rows[b][k.idx])
+			if c == 0 {
+				continue
+			}
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}

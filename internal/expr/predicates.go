@@ -1,0 +1,178 @@
+package expr
+
+import (
+	"strings"
+
+	"repro/internal/value"
+)
+
+// InList is x [NOT] IN (e1, …, eN), with SQL three-valued semantics: TRUE
+// if any element equals x; otherwise NULL if x or any element is NULL;
+// otherwise FALSE. NOT IN negates under 3VL.
+type InList struct {
+	Operand Expr
+	List    []Expr
+	Negate  bool
+}
+
+// Eval applies the predicate.
+func (n *InList) Eval(row Row) (value.Value, error) {
+	x, err := n.Operand.Eval(row)
+	if err != nil {
+		return value.Null, err
+	}
+	sawNull := x.IsNull()
+	found := false
+	for _, e := range n.List {
+		v, err := e.Eval(row)
+		if err != nil {
+			return value.Null, err
+		}
+		eq := value.SQLEqual(x, v)
+		switch {
+		case eq.IsNull():
+			sawNull = true
+		case eq.Bool():
+			found = true
+		}
+	}
+	var out value.Value
+	switch {
+	case found:
+		out = value.NewBool(true)
+	case sawNull:
+		out = value.Null
+	default:
+		out = value.NewBool(false)
+	}
+	if n.Negate {
+		out = value.Not(out)
+	}
+	return out, nil
+}
+
+// String renders the predicate.
+func (n *InList) String() string {
+	parts := make([]string, len(n.List))
+	for i, e := range n.List {
+		parts[i] = e.String()
+	}
+	op := " IN ("
+	if n.Negate {
+		op = " NOT IN ("
+	}
+	return "(" + n.Operand.String() + op + strings.Join(parts, ", ") + "))"
+}
+
+// Between is x [NOT] BETWEEN lo AND hi, equivalent to x >= lo AND x <= hi
+// under three-valued logic.
+type Between struct {
+	Operand Expr
+	Lo, Hi  Expr
+	Negate  bool
+}
+
+// Eval applies the predicate.
+func (n *Between) Eval(row Row) (value.Value, error) {
+	x, err := n.Operand.Eval(row)
+	if err != nil {
+		return value.Null, err
+	}
+	lo, err := n.Lo.Eval(row)
+	if err != nil {
+		return value.Null, err
+	}
+	hi, err := n.Hi.Eval(row)
+	if err != nil {
+		return value.Null, err
+	}
+	ge, err := value.SQLCompare(">=", x, lo)
+	if err != nil {
+		return value.Null, err
+	}
+	le, err := value.SQLCompare("<=", x, hi)
+	if err != nil {
+		return value.Null, err
+	}
+	out := value.And(ge, le)
+	if n.Negate {
+		out = value.Not(out)
+	}
+	return out, nil
+}
+
+// String renders the predicate.
+func (n *Between) String() string {
+	op := " BETWEEN "
+	if n.Negate {
+		op = " NOT BETWEEN "
+	}
+	return "(" + n.Operand.String() + op + n.Lo.String() + " AND " + n.Hi.String() + ")"
+}
+
+// Like is x [NOT] LIKE pattern, with % matching any run and _ matching one
+// character. NULL operand or pattern yields NULL.
+type Like struct {
+	Operand Expr
+	Pattern Expr
+	Negate  bool
+}
+
+// Eval applies the predicate.
+func (n *Like) Eval(row Row) (value.Value, error) {
+	x, err := n.Operand.Eval(row)
+	if err != nil {
+		return value.Null, err
+	}
+	p, err := n.Pattern.Eval(row)
+	if err != nil {
+		return value.Null, err
+	}
+	if x.IsNull() || p.IsNull() {
+		return value.Null, nil
+	}
+	if x.Kind() != value.KindString || p.Kind() != value.KindString {
+		return value.Null, nil
+	}
+	out := value.NewBool(likeMatch(x.Str(), p.Str()))
+	if n.Negate {
+		out = value.Not(out)
+	}
+	return out, nil
+}
+
+// String renders the predicate.
+func (n *Like) String() string {
+	op := " LIKE "
+	if n.Negate {
+		op = " NOT LIKE "
+	}
+	return "(" + n.Operand.String() + op + n.Pattern.String() + ")"
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards via two-pointer
+// backtracking (linear in practice, no regexp compilation per row).
+func likeMatch(s, pat string) bool {
+	si, pi := 0, 0
+	star, ss := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star, ss = pi, si
+			pi++
+		case star >= 0:
+			ss++
+			si = ss
+			pi = star + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}

@@ -1,0 +1,173 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func lit(v value.Value) Expr { return NewLiteral(v) }
+
+func evalPred(t *testing.T, e Expr) value.Value {
+	t.Helper()
+	v, err := e.Eval(nil)
+	if err != nil {
+		t.Fatalf("%s: %v", e, err)
+	}
+	return v
+}
+
+func TestInList(t *testing.T) {
+	i := func(n int64) Expr { return lit(value.NewInt(n)) }
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&InList{Operand: i(2), List: []Expr{i(1), i(2), i(3)}}, "true"},
+		{&InList{Operand: i(5), List: []Expr{i(1), i(2)}}, "false"},
+		{&InList{Operand: i(5), List: []Expr{i(1), lit(value.Null)}}, "NULL"},
+		{&InList{Operand: i(1), List: []Expr{lit(value.Null), i(1)}}, "true"}, // found beats NULL
+		{&InList{Operand: lit(value.Null), List: []Expr{i(1)}}, "NULL"},
+		{&InList{Operand: i(5), List: []Expr{i(1), i(2)}, Negate: true}, "true"},
+		{&InList{Operand: i(5), List: []Expr{i(1), lit(value.Null)}, Negate: true}, "NULL"},
+		{&InList{Operand: i(1), List: []Expr{i(1)}, Negate: true}, "false"},
+	}
+	for _, c := range cases {
+		if got := evalPred(t, c.e).String(); got != c.want {
+			t.Errorf("%s = %s, want %s", c.e, got, c.want)
+		}
+	}
+	s := (&InList{Operand: Col("x"), List: []Expr{i(1), i(2)}, Negate: true}).String()
+	if s != "(x NOT IN (1, 2))" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	i := func(n int64) Expr { return lit(value.NewInt(n)) }
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&Between{Operand: i(5), Lo: i(1), Hi: i(10)}, "true"},
+		{&Between{Operand: i(1), Lo: i(1), Hi: i(10)}, "true"}, // inclusive
+		{&Between{Operand: i(10), Lo: i(1), Hi: i(10)}, "true"},
+		{&Between{Operand: i(0), Lo: i(1), Hi: i(10)}, "false"},
+		{&Between{Operand: lit(value.Null), Lo: i(1), Hi: i(10)}, "NULL"},
+		{&Between{Operand: i(0), Lo: lit(value.Null), Hi: i(10)}, "false"}, // 0 <= 10 true, 0 >= NULL null → AND = ... false? no: null AND true = null; 0>=null null, 0<=10 true → null
+	}
+	// The last case: NULL >= comparison makes the conjunction NULL, not
+	// false — correct the expectation.
+	cases[5].want = "NULL"
+	for _, c := range cases {
+		if got := evalPred(t, c.e).String(); got != c.want {
+			t.Errorf("%s = %s, want %s", c.e, got, c.want)
+		}
+	}
+	if got := evalPred(t, &Between{Operand: i(0), Lo: i(1), Hi: i(10), Negate: true}); !got.Bool() {
+		t.Error("NOT BETWEEN outside range must be true")
+	}
+	s := (&Between{Operand: Col("x"), Lo: i(1), Hi: i(2)}).String()
+	if s != "(x BETWEEN 1 AND 2)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestLike(t *testing.T) {
+	str := func(s string) Expr { return lit(value.NewString(s)) }
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_lo", false}, // length mismatch without %
+		{"hello", "h__lo", true},
+		{"hello", "", false},
+		{"", "%", true},
+		{"", "", true},
+		{"abc", "a%b%c", true},
+		{"abc", "%%%", true},
+		{"San Francisco", "San%", true},
+		{"San Francisco", "%cisco", true},
+		{"aaa", "a%a", true},
+		{"ab", "b%", false},
+	}
+	for _, c := range cases {
+		got := evalPred(t, &Like{Operand: str(c.s), Pattern: str(c.pat)})
+		if got.Bool() != c.want {
+			t.Errorf("%q LIKE %q = %v, want %v", c.s, c.pat, got, c.want)
+		}
+	}
+	if got := evalPred(t, &Like{Operand: lit(value.Null), Pattern: str("%")}); !got.IsNull() {
+		t.Error("NULL LIKE must be NULL")
+	}
+	if got := evalPred(t, &Like{Operand: str("x"), Pattern: str("y"), Negate: true}); !got.Bool() {
+		t.Error("NOT LIKE must negate")
+	}
+	if got := evalPred(t, &Like{Operand: lit(value.NewInt(1)), Pattern: str("%")}); !got.IsNull() {
+		t.Error("LIKE on non-string must be NULL")
+	}
+	s := (&Like{Operand: Col("c"), Pattern: str("a%"), Negate: true}).String()
+	if s != "(c NOT LIKE 'a%')" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestLikeMatchesPrefixSuffixProperty(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 40 {
+			s = s[:40]
+		}
+		// Strings without wildcard characters always match themselves with
+		// %s%, s%, %s.
+		for _, c := range s {
+			if c == '%' || c == '_' {
+				return true
+			}
+		}
+		return likeMatch(s, s) && likeMatch(s, s+"%") && likeMatch(s, "%"+s) && likeMatch(s, "%"+s+"%")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredicateTransformWalk(t *testing.T) {
+	e := &InList{
+		Operand: &Between{Operand: Col("a"), Lo: Col("b"), Hi: Col("c")},
+		List:    []Expr{&Like{Operand: Col("d"), Pattern: Col("e")}},
+	}
+	count := 0
+	if err := Walk(e, func(n Expr) error {
+		if _, ok := n.(*ColumnRef); ok {
+			count++
+		}
+		return nil
+	}); err != nil || count != 5 {
+		t.Errorf("Walk visited %d refs (err %v), want 5", count, err)
+	}
+	out, err := Transform(e, func(n Expr) (Expr, error) {
+		if c, ok := n.(*ColumnRef); ok {
+			return BoundCol(c.Name, 0), nil
+		}
+		return n, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 0
+	_ = Walk(out, func(n Expr) error {
+		if c, ok := n.(*ColumnRef); ok && c.Bound() {
+			bound++
+		}
+		return nil
+	})
+	if bound != 5 {
+		t.Errorf("Transform bound %d refs, want 5", bound)
+	}
+}

@@ -1,0 +1,86 @@
+// Package index implements secondary hash indexes over encoded value keys.
+// The paper's Vpct evaluation joins the fine aggregate Fk with the coarse
+// totals Fj on their common subkey D1..Dj; building identical hash indexes
+// on that subkey on both tables is one of the optimizations Table 4 studies.
+// Indexes map an encoded key (see value.EncodeKey) to the row ids holding it.
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/value"
+)
+
+// Index is a hash index over one or more columns of a table. The index does
+// not know about tables; the owner feeds it (key-tuple, row id) pairs and
+// keeps it in sync on updates. Row ids are dense ints as assigned by the
+// storage layer.
+type Index struct {
+	name    string
+	columns []string // indexed column names, for catalog display
+	buckets map[string][]int
+	entries int
+}
+
+// New creates an empty index named name over the given columns.
+func New(name string, columns []string) *Index {
+	return &Index{
+		name:    name,
+		columns: append([]string(nil), columns...),
+		buckets: make(map[string][]int),
+	}
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// Columns returns the indexed column names in index order.
+func (ix *Index) Columns() []string { return append([]string(nil), ix.columns...) }
+
+// Len reports the number of (key,row) entries in the index.
+func (ix *Index) Len() int { return ix.entries }
+
+// Buckets reports the number of distinct keys.
+func (ix *Index) Buckets() int { return len(ix.buckets) }
+
+// Add records that row rid holds the key tuple vals.
+func (ix *Index) Add(vals []value.Value, rid int) {
+	k := value.EncodeKeyString(vals...)
+	ix.buckets[k] = append(ix.buckets[k], rid)
+	ix.entries++
+}
+
+// Remove forgets the (vals, rid) entry. It is a no-op if the entry is not
+// present; it returns whether an entry was removed.
+func (ix *Index) Remove(vals []value.Value, rid int) bool {
+	k := value.EncodeKeyString(vals...)
+	rows := ix.buckets[k]
+	for i, r := range rows {
+		if r == rid {
+			rows[i] = rows[len(rows)-1]
+			rows = rows[:len(rows)-1]
+			if len(rows) == 0 {
+				delete(ix.buckets, k)
+			} else {
+				ix.buckets[k] = rows
+			}
+			ix.entries--
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the row ids holding the key tuple vals. The returned slice
+// is owned by the index and must not be mutated.
+func (ix *Index) Lookup(vals []value.Value) []int {
+	return ix.buckets[value.EncodeKeyString(vals...)]
+}
+
+// LookupKey returns the row ids for an already-encoded key.
+func (ix *Index) LookupKey(key string) []int { return ix.buckets[key] }
+
+// String summarizes the index for catalog listings.
+func (ix *Index) String() string {
+	return fmt.Sprintf("INDEX %s (%d keys, %d entries)", ix.name, len(ix.buckets), ix.entries)
+}

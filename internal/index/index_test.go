@@ -1,0 +1,110 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/value"
+)
+
+func key(parts ...any) []value.Value {
+	out := make([]value.Value, len(parts))
+	for i, p := range parts {
+		switch v := p.(type) {
+		case int:
+			out[i] = value.NewInt(int64(v))
+		case string:
+			out[i] = value.NewString(v)
+		case nil:
+			out[i] = value.Null
+		}
+	}
+	return out
+}
+
+func TestAddLookup(t *testing.T) {
+	ix := New("i", []string{"state", "city"})
+	ix.Add(key("CA", "SF"), 0)
+	ix.Add(key("CA", "SF"), 1)
+	ix.Add(key("TX", "Dallas"), 2)
+	if got := ix.Lookup(key("CA", "SF")); len(got) != 2 {
+		t.Errorf("CA/SF rows = %v", got)
+	}
+	if got := ix.Lookup(key("CA", "LA")); len(got) != 0 {
+		t.Errorf("CA/LA rows = %v", got)
+	}
+	if ix.Len() != 3 || ix.Buckets() != 2 {
+		t.Errorf("Len=%d Buckets=%d", ix.Len(), ix.Buckets())
+	}
+	if ix.Name() != "i" {
+		t.Error("Name wrong")
+	}
+	if cols := ix.Columns(); len(cols) != 2 || cols[0] != "state" {
+		t.Errorf("Columns = %v", cols)
+	}
+	if ix.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestNullKeysIndexed(t *testing.T) {
+	ix := New("i", []string{"d"})
+	ix.Add(key(nil), 0)
+	ix.Add(key(nil), 1)
+	if got := ix.Lookup(key(nil)); len(got) != 2 {
+		t.Errorf("NULL bucket = %v", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ix := New("i", []string{"d"})
+	ix.Add(key(1), 10)
+	ix.Add(key(1), 11)
+	if !ix.Remove(key(1), 10) {
+		t.Error("Remove existing entry must succeed")
+	}
+	if ix.Remove(key(1), 10) {
+		t.Error("Remove twice must fail")
+	}
+	if got := ix.Lookup(key(1)); len(got) != 1 || got[0] != 11 {
+		t.Errorf("after remove: %v", got)
+	}
+	if !ix.Remove(key(1), 11) {
+		t.Error("Remove last entry must succeed")
+	}
+	if ix.Buckets() != 0 || ix.Len() != 0 {
+		t.Errorf("index not empty: buckets=%d len=%d", ix.Buckets(), ix.Len())
+	}
+	if ix.Remove(key(2), 5) {
+		t.Error("Remove from missing bucket must fail")
+	}
+}
+
+func TestLookupKeyMatchesLookup(t *testing.T) {
+	ix := New("i", []string{"a", "b"})
+	k := key("x", 3)
+	ix.Add(k, 7)
+	enc := value.EncodeKeyString(k...)
+	if got := ix.LookupKey(enc); len(got) != 1 || got[0] != 7 {
+		t.Errorf("LookupKey = %v", got)
+	}
+}
+
+func TestAddRemoveBalanceProperty(t *testing.T) {
+	// After adding entries and removing all of them, the index is empty.
+	f := func(keys []int8) bool {
+		ix := New("p", []string{"k"})
+		for i, k := range keys {
+			ix.Add(key(int(k)), i)
+		}
+		for i, k := range keys {
+			if !ix.Remove(key(int(k)), i) {
+				return false
+			}
+		}
+		return ix.Len() == 0 && ix.Buckets() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

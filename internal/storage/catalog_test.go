@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCatalogCreateGetDrop(t *testing.T) {
+	c := NewCatalog()
+	tb, err := c.Create("F", Schema{{Name: "a", Type: TypeInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("f") // case-insensitive
+	if err != nil || got != tb {
+		t.Fatalf("Get(f) = %v, %v", got, err)
+	}
+	if !c.Has("F") || c.Has("G") {
+		t.Error("Has wrong")
+	}
+	if _, err := c.Create("f", Schema{{Name: "a", Type: TypeInt}}); err == nil {
+		t.Error("duplicate create must fail")
+	}
+	if err := c.Drop("F"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("F"); err == nil {
+		t.Error("double drop must fail")
+	}
+	c.DropIfExists("F") // no-op, no panic
+	if _, err := c.Get("F"); err == nil {
+		t.Error("Get after drop must fail")
+	}
+}
+
+func TestCatalogPutReplaces(t *testing.T) {
+	c := NewCatalog()
+	t1, _ := NewTable("t", Schema{{Name: "a", Type: TypeInt}})
+	t2, _ := NewTable("T", Schema{{Name: "b", Type: TypeFloat}})
+	c.Put(t1)
+	c.Put(t2)
+	got, err := c.Get("t")
+	if err != nil || got != t2 {
+		t.Error("Put must replace same-name table")
+	}
+}
+
+func TestCatalogNamesSorted(t *testing.T) {
+	c := NewCatalog()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := c.Create(n, Schema{{Name: "a", Type: TypeInt}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := c.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestCatalogConcurrentAccess(t *testing.T) {
+	c := NewCatalog()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("t%d", i)
+			if _, err := c.Create(name, Schema{{Name: "a", Type: TypeInt}}); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := c.Get(name); err != nil {
+				t.Error(err)
+			}
+			c.Names()
+			c.DropIfExists(name)
+		}(i)
+	}
+	wg.Wait()
+	if len(c.Names()) != 0 {
+		t.Errorf("leftover tables: %v", c.Names())
+	}
+}

@@ -1,0 +1,298 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/index"
+	"repro/internal/value"
+)
+
+// ColumnDef declares one column of a table schema.
+type ColumnDef struct {
+	Name string
+	Type ColumnType
+}
+
+// Schema is an ordered list of column definitions.
+type Schema []ColumnDef
+
+// ColumnIndex returns the position of the named column (case-insensitive),
+// or -1 if absent.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// String renders the schema as a CREATE TABLE column list.
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.Name + " " + c.Type.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Table is an in-memory columnar table. Tables are not safe for concurrent
+// mutation; the engine serializes writes per statement. Reads may proceed
+// concurrently with each other.
+type Table struct {
+	name    string
+	schema  Schema
+	cols    []*column
+	nrows   int
+	indexes []*index.Index
+	// primaryKey holds the positions of primary-key columns, if declared.
+	primaryKey []int
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema Schema) (*Table, error) {
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("storage: table %q needs at least one column", name)
+	}
+	seen := make(map[string]bool, len(schema))
+	cols := make([]*column, len(schema))
+	for i, def := range schema {
+		lower := strings.ToLower(def.Name)
+		if seen[lower] {
+			return nil, fmt.Errorf("storage: table %q: duplicate column %q", name, def.Name)
+		}
+		seen[lower] = true
+		cols[i] = newColumn(def.Type)
+	}
+	return &Table{
+		name:   name,
+		schema: append(Schema(nil), schema...),
+		cols:   cols,
+	}, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema. The caller must not mutate it.
+func (t *Table) Schema() Schema { return t.schema }
+
+// NumRows reports the number of rows.
+func (t *Table) NumRows() int { return t.nrows }
+
+// NumCols reports the number of columns.
+func (t *Table) NumCols() int { return len(t.schema) }
+
+// SetPrimaryKey records the primary-key columns (by name) and builds a
+// backing index for them. It must be called before rows are appended if
+// uniqueness is to be enforced from the start.
+func (t *Table) SetPrimaryKey(columns []string) error {
+	pos := make([]int, len(columns))
+	for i, c := range columns {
+		j := t.schema.ColumnIndex(c)
+		if j < 0 {
+			return fmt.Errorf("storage: table %q: no column %q for primary key", t.name, c)
+		}
+		pos[i] = j
+	}
+	t.primaryKey = pos
+	_, err := t.CreateIndex("pk_"+t.name, columns)
+	return err
+}
+
+// PrimaryKey returns the primary key column positions, or nil.
+func (t *Table) PrimaryKey() []int { return t.primaryKey }
+
+// AppendRow appends vals as a new row and returns its row id. The number
+// and types of values must match the schema (NULL fits any column).
+func (t *Table) AppendRow(vals []value.Value) (int, error) {
+	if len(vals) != len(t.cols) {
+		return 0, fmt.Errorf("storage: table %q has %d columns, row has %d values",
+			t.name, len(t.cols), len(vals))
+	}
+	for i, v := range vals {
+		if err := t.cols[i].append(v); err != nil {
+			// Roll back the columns already appended to keep them aligned.
+			for j := 0; j < i; j++ {
+				t.truncColumn(j, t.nrows)
+			}
+			return 0, fmt.Errorf("storage: table %q column %q: %w", t.name, t.schema[i].Name, err)
+		}
+	}
+	rid := t.nrows
+	t.nrows++
+	for _, ix := range t.indexes {
+		ix.Add(t.indexKey(ix, rid), rid)
+	}
+	return rid, nil
+}
+
+func (t *Table) truncColumn(i, n int) {
+	c := t.cols[i]
+	switch c.typ {
+	case TypeInt:
+		c.ints = c.ints[:n]
+	case TypeFloat:
+		c.flts = c.flts[:n]
+	case TypeString:
+		c.strs = c.strs[:n]
+	case TypeBool:
+		c.bools = c.bools[:n]
+	}
+}
+
+// Get returns the value at (row, col).
+func (t *Table) Get(row, col int) value.Value {
+	return t.cols[col].get(row)
+}
+
+// Row copies row r into dst (allocating if dst is too small) and returns it.
+func (t *Table) Row(r int, dst []value.Value) []value.Value {
+	if cap(dst) < len(t.cols) {
+		dst = make([]value.Value, len(t.cols))
+	}
+	dst = dst[:len(t.cols)]
+	for i, c := range t.cols {
+		dst[i] = c.get(r)
+	}
+	return dst
+}
+
+// Set overwrites the value at (row, col), keeping indexes in sync.
+func (t *Table) Set(row, col int, v value.Value) error {
+	if row < 0 || row >= t.nrows {
+		return fmt.Errorf("storage: table %q: row %d out of range", t.name, row)
+	}
+	var touched []*index.Index
+	for _, ix := range t.indexes {
+		for _, c := range ix.Columns() {
+			if t.schema.ColumnIndex(c) == col {
+				touched = append(touched, ix)
+				break
+			}
+		}
+	}
+	for _, ix := range touched {
+		ix.Remove(t.indexKey(ix, row), row)
+	}
+	if err := t.cols[col].set(row, v); err != nil {
+		for _, ix := range touched {
+			ix.Add(t.indexKey(ix, row), row)
+		}
+		return fmt.Errorf("storage: table %q column %q: %w", t.name, t.schema[col].Name, err)
+	}
+	for _, ix := range touched {
+		ix.Add(t.indexKey(ix, row), row)
+	}
+	return nil
+}
+
+// CreateIndex builds a hash index over the named columns, populated from the
+// current rows, and registers it for maintenance on future writes.
+func (t *Table) CreateIndex(name string, columns []string) (*index.Index, error) {
+	pos := make([]int, len(columns))
+	for i, c := range columns {
+		j := t.schema.ColumnIndex(c)
+		if j < 0 {
+			return nil, fmt.Errorf("storage: table %q: no column %q to index", t.name, c)
+		}
+		pos[i] = j
+	}
+	for _, ix := range t.indexes {
+		if strings.EqualFold(ix.Name(), name) {
+			return nil, fmt.Errorf("storage: table %q: index %q already exists", t.name, name)
+		}
+	}
+	ix := index.New(name, columns)
+	key := make([]value.Value, len(pos))
+	for r := 0; r < t.nrows; r++ {
+		for i, p := range pos {
+			key[i] = t.cols[p].get(r)
+		}
+		ix.Add(key, r)
+	}
+	t.indexes = append(t.indexes, ix)
+	return ix, nil
+}
+
+// Indexes returns the table's indexes.
+func (t *Table) Indexes() []*index.Index { return t.indexes }
+
+// IndexOn returns an index whose column list equals columns (order-
+// sensitive, case-insensitive), or nil.
+func (t *Table) IndexOn(columns []string) *index.Index {
+	for _, ix := range t.indexes {
+		ic := ix.Columns()
+		if len(ic) != len(columns) {
+			continue
+		}
+		match := true
+		for i := range ic {
+			if !strings.EqualFold(ic[i], columns[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ix
+		}
+	}
+	return nil
+}
+
+// indexKey extracts the key tuple for ix from row rid.
+func (t *Table) indexKey(ix *index.Index, rid int) []value.Value {
+	cols := ix.Columns()
+	key := make([]value.Value, len(cols))
+	for i, c := range cols {
+		key[i] = t.cols[t.schema.ColumnIndex(c)].get(rid)
+	}
+	return key
+}
+
+// Truncate removes all rows, keeping schema and (now empty) indexes.
+func (t *Table) Truncate() {
+	for i := range t.cols {
+		t.cols[i] = newColumn(t.schema[i].Type)
+	}
+	t.nrows = 0
+	names := make([][2]any, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		names = append(names, [2]any{ix.Name(), ix.Columns()})
+	}
+	t.indexes = nil
+	for _, n := range names {
+		// Re-create empty indexes; errors are impossible for existing columns.
+		_, _ = t.CreateIndex(n[0].(string), n[1].([]string))
+	}
+}
+
+// IntColumn exposes the raw int64 vector and null bitmap checker of an
+// INTEGER column for tight benchmark loops. The returned slice must not be
+// mutated. ok is false if the column is not INTEGER.
+func (t *Table) IntColumn(col int) (vals []int64, isNull func(int) bool, ok bool) {
+	c := t.cols[col]
+	if c.typ != TypeInt {
+		return nil, nil, false
+	}
+	return c.ints, c.nulls.get, true
+}
+
+// FloatColumn exposes the raw float64 vector of a REAL column, as IntColumn.
+func (t *Table) FloatColumn(col int) (vals []float64, isNull func(int) bool, ok bool) {
+	c := t.cols[col]
+	if c.typ != TypeFloat {
+		return nil, nil, false
+	}
+	return c.flts, c.nulls.get, true
+}

@@ -1,0 +1,80 @@
+package value
+
+import "fmt"
+
+// Add returns a+b with SQL semantics: NULL if either operand is NULL,
+// integer addition when both operands are integers, float otherwise.
+func Add(a, b Value) (Value, error) { return arith("+", a, b) }
+
+// Sub returns a-b with SQL semantics.
+func Sub(a, b Value) (Value, error) { return arith("-", a, b) }
+
+// Mul returns a*b with SQL semantics.
+func Mul(a, b Value) (Value, error) { return arith("*", a, b) }
+
+// Div returns a/b. Division always produces a REAL result (percentage
+// queries divide integer sums and must not truncate). Division by zero
+// yields NULL, matching the paper's rule that Vpct/Hpct return NULL rather
+// than raising an error when a group total is zero.
+func Div(a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	af, aok := a.AsFloat()
+	bf, bok := b.AsFloat()
+	if !aok || !bok {
+		return Null, fmt.Errorf("value: cannot divide %s by %s", a.kind, b.kind)
+	}
+	if bf == 0 {
+		return Null, nil
+	}
+	return NewFloat(af / bf), nil
+}
+
+// Neg returns -a with SQL semantics.
+func Neg(a Value) (Value, error) {
+	switch a.kind {
+	case KindNull:
+		return Null, nil
+	case KindInt:
+		return NewInt(-a.i), nil
+	case KindFloat:
+		return NewFloat(-a.f), nil
+	default:
+		return Null, fmt.Errorf("value: cannot negate %s", a.kind)
+	}
+}
+
+func arith(op string, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		switch op {
+		case "+":
+			return NewInt(a.i + b.i), nil
+		case "-":
+			return NewInt(a.i - b.i), nil
+		case "*":
+			return NewInt(a.i * b.i), nil
+		}
+	}
+	af, aok := a.AsFloat()
+	bf, bok := b.AsFloat()
+	if !aok || !bok {
+		if op == "+" && a.kind == KindString && b.kind == KindString {
+			return NewString(a.s + b.s), nil
+		}
+		return Null, fmt.Errorf("value: cannot apply %q to %s and %s", op, a.kind, b.kind)
+	}
+	switch op {
+	case "+":
+		return NewFloat(af + bf), nil
+	case "-":
+		return NewFloat(af - bf), nil
+	case "*":
+		return NewFloat(af * bf), nil
+	default:
+		return Null, fmt.Errorf("value: unknown arithmetic operator %q", op)
+	}
+}

@@ -1,0 +1,129 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustArith(t *testing.T, f func(a, b Value) (Value, error), a, b Value) Value {
+	t.Helper()
+	v, err := f(a, b)
+	if err != nil {
+		t.Fatalf("arith error: %v", err)
+	}
+	return v
+}
+
+func TestAddSubMul(t *testing.T) {
+	if v := mustArith(t, Add, NewInt(2), NewInt(3)); v.Kind() != KindInt || v.Int() != 5 {
+		t.Errorf("2+3 = %v", v)
+	}
+	if v := mustArith(t, Sub, NewInt(2), NewInt(3)); v.Int() != -1 {
+		t.Errorf("2-3 = %v", v)
+	}
+	if v := mustArith(t, Mul, NewInt(4), NewInt(3)); v.Int() != 12 {
+		t.Errorf("4*3 = %v", v)
+	}
+	if v := mustArith(t, Add, NewInt(2), NewFloat(0.5)); v.Kind() != KindFloat || v.Float() != 2.5 {
+		t.Errorf("2+0.5 = %v", v)
+	}
+	if v := mustArith(t, Add, NewString("ab"), NewString("cd")); v.Str() != "abcd" {
+		t.Errorf("string concat = %v", v)
+	}
+}
+
+func TestNullPropagation(t *testing.T) {
+	fns := []func(a, b Value) (Value, error){Add, Sub, Mul, Div}
+	for i, f := range fns {
+		if v := mustArith(t, f, Null, NewInt(1)); !v.IsNull() {
+			t.Errorf("fn %d: NULL op 1 must be NULL", i)
+		}
+		if v := mustArith(t, f, NewInt(1), Null); !v.IsNull() {
+			t.Errorf("fn %d: 1 op NULL must be NULL", i)
+		}
+	}
+	if v, err := Neg(Null); err != nil || !v.IsNull() {
+		t.Error("-NULL must be NULL")
+	}
+}
+
+func TestDivSemantics(t *testing.T) {
+	// Division always yields REAL: 1/2 = 0.5, not 0.
+	if v := mustArith(t, Div, NewInt(1), NewInt(2)); v.Kind() != KindFloat || v.Float() != 0.5 {
+		t.Errorf("1/2 = %v, want 0.5 REAL", v)
+	}
+	// Division by zero yields NULL (the paper's Vpct rule), not an error.
+	if v := mustArith(t, Div, NewInt(1), NewInt(0)); !v.IsNull() {
+		t.Errorf("1/0 = %v, want NULL", v)
+	}
+	if v := mustArith(t, Div, NewFloat(1), NewFloat(0)); !v.IsNull() {
+		t.Errorf("1.0/0.0 = %v, want NULL", v)
+	}
+	if _, err := Div(NewString("a"), NewInt(1)); err == nil {
+		t.Error("dividing a string must error")
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if v, _ := Neg(NewInt(5)); v.Int() != -5 {
+		t.Errorf("-5 = %v", v)
+	}
+	if v, _ := Neg(NewFloat(2.5)); v.Float() != -2.5 {
+		t.Errorf("-2.5 = %v", v)
+	}
+	if _, err := Neg(NewString("x")); err == nil {
+		t.Error("negating a string must error")
+	}
+}
+
+func TestArithTypeErrors(t *testing.T) {
+	if _, err := Add(NewInt(1), NewString("x")); err == nil {
+		t.Error("int + string must error")
+	}
+	if _, err := Mul(NewBool(true), NewInt(2)); err == nil {
+		t.Error("bool * int must error")
+	}
+}
+
+func TestIntAdditionCommutativeProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		x := mustQuick(Add(NewInt(a), NewInt(b)))
+		y := mustQuick(Add(NewInt(b), NewInt(a)))
+		return x.Int() == y.Int()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivMulRoundTripProperty(t *testing.T) {
+	f := func(a int64, b int64) bool {
+		if b == 0 {
+			return true
+		}
+		q := mustQuick(Div(NewInt(a), NewInt(b)))
+		back := mustQuick(Mul(q, NewInt(b)))
+		diff := back.Float() - float64(a)
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := float64(a)
+		if scale < 0 {
+			scale = -scale
+		}
+		if scale < 1 {
+			scale = 1
+		}
+		return diff/scale < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustQuick(v Value, err error) Value {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,45 @@
+package value
+
+import "testing"
+
+func BenchmarkAppendKey(b *testing.B) {
+	vals := []Value{NewInt(42), NewString("San Francisco"), NewFloat(3.25), Null}
+	buf := make([]byte, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		for _, v := range vals {
+			buf = AppendKey(buf, v)
+		}
+	}
+}
+
+func BenchmarkCompareInts(b *testing.B) {
+	a, c := NewInt(41), NewInt(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if Compare(a, c) >= 0 {
+			b.Fatal("order")
+		}
+	}
+}
+
+func BenchmarkSQLEqualStrings(b *testing.B) {
+	a, c := NewString("Houston"), NewString("Houston")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !SQLEqual(a, c).Bool() {
+			b.Fatal("eq")
+		}
+	}
+}
+
+func BenchmarkAddMixed(b *testing.B) {
+	a, c := NewInt(7), NewFloat(2.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Add(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

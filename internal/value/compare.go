@@ -1,0 +1,149 @@
+package value
+
+import "fmt"
+
+// Compare defines a total order over values, used by ORDER BY and by the
+// reference (sort-based) operators in tests. NULL sorts before every non-null
+// value. Numeric kinds compare numerically across int/float. Distinct
+// non-comparable kinds order by kind number so that sorting never panics.
+func Compare(a, b Value) int {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1
+			case a.i > b.i:
+				return 1
+			default:
+				return 0
+			}
+		}
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.kind != b.kind {
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindString:
+		switch {
+		case a.s < b.s:
+			return -1
+		case a.s > b.s:
+			return 1
+		default:
+			return 0
+		}
+	case KindBool:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return 0
+}
+
+// SQLEqual implements the SQL `=` operator under three-valued logic: if
+// either operand is NULL the result is NULL, otherwise a boolean.
+func SQLEqual(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	return NewBool(Compare(a, b) == 0)
+}
+
+// SQLCompare implements the SQL ordering operators. op is one of
+// "<", "<=", ">", ">=", "=", "<>". NULL operands yield NULL.
+func SQLCompare(op string, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	c := Compare(a, b)
+	switch op {
+	case "=":
+		return NewBool(c == 0), nil
+	case "<>", "!=":
+		return NewBool(c != 0), nil
+	case "<":
+		return NewBool(c < 0), nil
+	case "<=":
+		return NewBool(c <= 0), nil
+	case ">":
+		return NewBool(c > 0), nil
+	case ">=":
+		return NewBool(c >= 0), nil
+	default:
+		return Null, fmt.Errorf("value: unknown comparison operator %q", op)
+	}
+}
+
+// And implements SQL three-valued AND.
+func And(a, b Value) Value {
+	af, at := boolState(a)
+	bf, bt := boolState(b)
+	switch {
+	case af || bf:
+		return NewBool(false)
+	case at && bt:
+		return NewBool(true)
+	default:
+		return Null
+	}
+}
+
+// Or implements SQL three-valued OR.
+func Or(a, b Value) Value {
+	af, at := boolState(a)
+	bf, bt := boolState(b)
+	switch {
+	case at || bt:
+		return NewBool(true)
+	case af && bf:
+		return NewBool(false)
+	default:
+		return Null
+	}
+}
+
+// Not implements SQL three-valued NOT.
+func Not(a Value) Value {
+	if a.IsNull() {
+		return Null
+	}
+	return NewBool(!a.Truthy())
+}
+
+// boolState classifies a value for three-valued logic: definitelyFalse,
+// definitelyTrue. NULL is neither.
+func boolState(v Value) (definitelyFalse, definitelyTrue bool) {
+	if v.IsNull() {
+		return false, false
+	}
+	if v.Truthy() {
+		return false, true
+	}
+	return true, false
+}

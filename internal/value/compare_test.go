@@ -1,0 +1,155 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareBasics(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{Null, Null, 0},
+		{Null, NewInt(-1000), -1},
+		{NewString(""), Null, 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareCrossKind(t *testing.T) {
+	// Non-numeric cross-kind comparisons order by kind, deterministically.
+	a, b := NewInt(5), NewString("5")
+	if Compare(a, b) == 0 {
+		t.Error("int 5 must not equal string 5")
+	}
+	if Compare(a, b) != -Compare(b, a) {
+		t.Error("Compare must be antisymmetric across kinds")
+	}
+}
+
+func TestCompareAntisymmetricProperty(t *testing.T) {
+	f := func(ai, bi int64, af, bf float64, as, bs string, pick uint8) bool {
+		mk := func(sel uint8, i int64, fl float64, s string) Value {
+			switch sel % 5 {
+			case 0:
+				return Null
+			case 1:
+				return NewInt(i)
+			case 2:
+				return NewFloat(fl)
+			case 3:
+				return NewString(s)
+			default:
+				return NewBool(i%2 == 0)
+			}
+		}
+		a := mk(pick, ai, af, as)
+		b := mk(pick/5, bi, bf, bs)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSQLEqual(t *testing.T) {
+	if v := SQLEqual(NewInt(1), NewInt(1)); !v.Bool() {
+		t.Error("1 = 1 must be true")
+	}
+	if v := SQLEqual(NewInt(1), NewInt(2)); v.Bool() {
+		t.Error("1 = 2 must be false")
+	}
+	if v := SQLEqual(Null, NewInt(1)); !v.IsNull() {
+		t.Error("NULL = 1 must be NULL")
+	}
+	if v := SQLEqual(Null, Null); !v.IsNull() {
+		t.Error("NULL = NULL must be NULL")
+	}
+}
+
+func TestSQLCompareOperators(t *testing.T) {
+	ops := map[string][3]bool{ // results for (1 op 2), (2 op 2), (3 op 2)
+		"=":  {false, true, false},
+		"<>": {true, false, true},
+		"!=": {true, false, true},
+		"<":  {true, false, false},
+		"<=": {true, true, false},
+		">":  {false, false, true},
+		">=": {false, true, true},
+	}
+	args := []Value{NewInt(1), NewInt(2), NewInt(3)}
+	for op, want := range ops {
+		for i, a := range args {
+			got, err := SQLCompare(op, a, NewInt(2))
+			if err != nil {
+				t.Fatalf("SQLCompare(%q): %v", op, err)
+			}
+			if got.Bool() != want[i] {
+				t.Errorf("%v %s 2 = %v, want %v", a, op, got, want[i])
+			}
+		}
+		if v, err := SQLCompare(op, Null, NewInt(2)); err != nil || !v.IsNull() {
+			t.Errorf("NULL %s 2 must be NULL", op)
+		}
+	}
+	if _, err := SQLCompare("~", NewInt(1), NewInt(2)); err == nil {
+		t.Error("unknown operator must error")
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	T, F, N := NewBool(true), NewBool(false), Null
+	andTable := []struct{ a, b, want Value }{
+		{T, T, T}, {T, F, F}, {F, T, F}, {F, F, F},
+		{T, N, N}, {N, T, N}, {F, N, F}, {N, F, F}, {N, N, N},
+	}
+	for _, c := range andTable {
+		if got := And(c.a, c.b); got.String() != c.want.String() {
+			t.Errorf("And(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	orTable := []struct{ a, b, want Value }{
+		{T, T, T}, {T, F, T}, {F, T, T}, {F, F, F},
+		{T, N, T}, {N, T, T}, {F, N, N}, {N, F, N}, {N, N, N},
+	}
+	for _, c := range orTable {
+		if got := Or(c.a, c.b); got.String() != c.want.String() {
+			t.Errorf("Or(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if got := Not(T); got.Bool() {
+		t.Error("NOT true = false")
+	}
+	if got := Not(F); !got.Bool() {
+		t.Error("NOT false = true")
+	}
+	if got := Not(N); !got.IsNull() {
+		t.Error("NOT NULL = NULL")
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	vals := []Value{NewBool(true), NewBool(false), Null}
+	for _, a := range vals {
+		for _, b := range vals {
+			left := Not(And(a, b))
+			right := Or(Not(a), Not(b))
+			if left.String() != right.String() {
+				t.Errorf("De Morgan violated for (%v,%v): %v vs %v", a, b, left, right)
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package value
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Key encoding: values are serialized to a byte string so that tuples can be
+// used directly as Go map keys by hash aggregation, hash joins and indexes.
+// The encoding is injective (two distinct tuples never encode to the same
+// bytes): every value is prefixed with a kind tag, variable-length payloads
+// carry their length, and integers and floats are encoded distinctly even
+// when numerically equal. Callers that want ints and floats to group
+// together normalize values first (the engine's group-by does not: SQL GROUP
+// BY distinguishes columns by declared type, and a column never mixes kinds).
+
+// encTag mirrors Kind but is independent so that the encoding stays stable
+// if kinds are renumbered.
+const (
+	encNull   byte = 0
+	encInt    byte = 1
+	encFloat  byte = 2
+	encString byte = 3
+	encBool   byte = 4
+)
+
+// AppendKey appends the key encoding of v to dst and returns the extended
+// slice.
+func AppendKey(dst []byte, v Value) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, encNull)
+	case KindInt:
+		dst = append(dst, encInt)
+		return binary.BigEndian.AppendUint64(dst, uint64(v.i))
+	case KindFloat:
+		dst = append(dst, encFloat)
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(v.f))
+	case KindString:
+		dst = append(dst, encString)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.s)))
+		return append(dst, v.s...)
+	case KindBool:
+		dst = append(dst, encBool, byte(v.i))
+		return dst
+	default:
+		panic("value: AppendKey on unknown kind")
+	}
+}
+
+// EncodeKey encodes a tuple of values into a fresh byte slice. The result is
+// suitable for use as a map key after conversion to string.
+func EncodeKey(vals ...Value) []byte {
+	dst := make([]byte, 0, 16*len(vals))
+	for _, v := range vals {
+		dst = AppendKey(dst, v)
+	}
+	return dst
+}
+
+// EncodeKeyString is EncodeKey returning a string, the form used as a Go map
+// key.
+func EncodeKeyString(vals ...Value) string { return string(EncodeKey(vals...)) }
+
+// DecodeKey decodes a key encoding produced by EncodeKey back into values.
+// It is used by operators that need to recover group keys from map keys
+// without retaining per-group value slices.
+func DecodeKey(key []byte) ([]Value, error) {
+	var out []Value
+	for len(key) > 0 {
+		tag := key[0]
+		key = key[1:]
+		switch tag {
+		case encNull:
+			out = append(out, Null)
+		case encInt:
+			if len(key) < 8 {
+				return nil, errTruncatedKey
+			}
+			out = append(out, NewInt(int64(binary.BigEndian.Uint64(key))))
+			key = key[8:]
+		case encFloat:
+			if len(key) < 8 {
+				return nil, errTruncatedKey
+			}
+			out = append(out, NewFloat(math.Float64frombits(binary.BigEndian.Uint64(key))))
+			key = key[8:]
+		case encString:
+			if len(key) < 4 {
+				return nil, errTruncatedKey
+			}
+			n := int(binary.BigEndian.Uint32(key))
+			key = key[4:]
+			if len(key) < n {
+				return nil, errTruncatedKey
+			}
+			out = append(out, NewString(string(key[:n])))
+			key = key[n:]
+		case encBool:
+			if len(key) < 1 {
+				return nil, errTruncatedKey
+			}
+			out = append(out, NewBool(key[0] != 0))
+			key = key[1:]
+		default:
+			return nil, errTruncatedKey
+		}
+	}
+	return out, nil
+}
+
+type keyError string
+
+func (e keyError) Error() string { return string(e) }
+
+const errTruncatedKey = keyError("value: truncated or corrupt key encoding")

@@ -1,0 +1,109 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tuples := [][]Value{
+		{},
+		{Null},
+		{NewInt(0)},
+		{NewInt(-1), NewInt(1)},
+		{NewFloat(3.25), NewString("abc"), NewBool(true)},
+		{NewString(""), NewString("x"), Null, NewBool(false)},
+		{NewString("a\x00b"), NewInt(42)},
+	}
+	for _, tu := range tuples {
+		enc := EncodeKey(tu...)
+		dec, err := DecodeKey(enc)
+		if err != nil {
+			t.Fatalf("DecodeKey(%v): %v", tu, err)
+		}
+		if len(dec) != len(tu) {
+			t.Fatalf("round trip length %d != %d", len(dec), len(tu))
+		}
+		for i := range tu {
+			if Compare(dec[i], tu[i]) != 0 || dec[i].Kind() != tu[i].Kind() {
+				t.Errorf("round trip [%d]: %v != %v", i, dec[i], tu[i])
+			}
+		}
+	}
+}
+
+func TestEncodeInjective(t *testing.T) {
+	// Pairs of distinct tuples that must encode differently, including
+	// classic ambiguity traps.
+	pairs := [][2][]Value{
+		{{NewString("ab"), NewString("c")}, {NewString("a"), NewString("bc")}},
+		{{NewInt(1)}, {NewFloat(1)}},
+		{{Null}, {NewString("")}},
+		{{NewBool(false)}, {NewInt(0)}},
+		{{NewString("")}, {}},
+		{{Null, Null}, {Null}},
+	}
+	for _, p := range pairs {
+		a, b := EncodeKeyString(p[0]...), EncodeKeyString(p[1]...)
+		if a == b {
+			t.Errorf("tuples %v and %v encode identically", p[0], p[1])
+		}
+	}
+}
+
+func TestEncodeInjectiveProperty(t *testing.T) {
+	mk := func(sel uint8, i int64, f float64, s string) Value {
+		switch sel % 5 {
+		case 0:
+			return Null
+		case 1:
+			return NewInt(i)
+		case 2:
+			return NewFloat(f)
+		case 3:
+			return NewString(s)
+		default:
+			return NewBool(i%2 == 0)
+		}
+	}
+	f := func(s1, s2 uint8, i1, i2 int64, f1, f2 float64, str1, str2 string) bool {
+		a := mk(s1, i1, f1, str1)
+		b := mk(s2, i2, f2, str2)
+		sameEnc := EncodeKeyString(a) == EncodeKeyString(b)
+		sameVal := a.Kind() == b.Kind() && Compare(a, b) == 0
+		return sameEnc == sameVal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeCorruptKeys(t *testing.T) {
+	bad := [][]byte{
+		{encInt},                     // truncated int payload
+		{encFloat, 0, 0},             // truncated float payload
+		{encString, 0, 0, 0, 5, 'a'}, // length 5 but 1 byte
+		{encString, 0, 0},            // truncated length
+		{encBool},                    // missing bool byte
+		{99},                         // unknown tag
+	}
+	for _, b := range bad {
+		if _, err := DecodeKey(b); err == nil {
+			t.Errorf("DecodeKey(%v) should fail", b)
+		}
+	}
+}
+
+func TestAppendKeyReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	buf = AppendKey(buf, NewInt(1))
+	n := len(buf)
+	buf = AppendKey(buf, NewString("xy"))
+	if len(buf) <= n {
+		t.Fatal("AppendKey must extend the buffer")
+	}
+	dec, err := DecodeKey(buf)
+	if err != nil || len(dec) != 2 {
+		t.Fatalf("decode appended buffer: %v %v", dec, err)
+	}
+}

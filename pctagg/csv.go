@@ -1,0 +1,194 @@
+package pctagg
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// CSVOptions configures LoadCSV.
+type CSVOptions struct {
+	// Header treats the first record as column names. Required when
+	// CreateTable is set.
+	Header bool
+	// CreateTable infers a schema (INTEGER → REAL → VARCHAR, per column)
+	// and creates the table before loading. Without it the target table
+	// must exist and values are coerced to its declared types.
+	CreateTable bool
+	// NullToken marks SQL NULL in the file, in addition to the empty
+	// string.
+	NullToken string
+	// Comma overrides the field delimiter (default ',').
+	Comma rune
+}
+
+// LoadCSV reads delimited text into a table and returns the number of rows
+// loaded.
+func (db *DB) LoadCSV(table string, r io.Reader, opts CSVOptions) (int, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = false
+	records, err := cr.ReadAll()
+	if err != nil {
+		return 0, fmt.Errorf("pctagg: reading CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return 0, fmt.Errorf("pctagg: empty CSV input")
+	}
+
+	var header []string
+	if opts.Header {
+		header = records[0]
+		records = records[1:]
+	}
+
+	isNull := func(s string) bool {
+		return s == "" || (opts.NullToken != "" && s == opts.NullToken)
+	}
+
+	if opts.CreateTable {
+		if header == nil {
+			return 0, fmt.Errorf("pctagg: CreateTable requires Header")
+		}
+		kinds := make([]int, len(header)) // 0 int, 1 float, 2 string
+		seen := make([]bool, len(header))
+		for _, rec := range records {
+			for i, cell := range rec {
+				if i >= len(header) || isNull(cell) {
+					continue
+				}
+				seen[i] = true
+				if kinds[i] == 0 {
+					if _, err := strconv.ParseInt(cell, 10, 64); err == nil {
+						continue
+					}
+					kinds[i] = 1
+				}
+				if kinds[i] == 1 {
+					if _, err := strconv.ParseFloat(cell, 64); err == nil {
+						continue
+					}
+					kinds[i] = 2
+				}
+			}
+		}
+		defs := make([]string, len(header))
+		for i, h := range header {
+			typ := "VARCHAR"
+			if seen[i] {
+				typ = []string{"INTEGER", "REAL", "VARCHAR"}[kinds[i]]
+			}
+			defs[i] = quoteCSVIdent(h) + " " + typ
+		}
+		if _, err := db.Exec(fmt.Sprintf("CREATE TABLE %s (%s)", table, strings.Join(defs, ", "))); err != nil {
+			return 0, err
+		}
+	}
+
+	// Coerce cells to the table's declared types.
+	t, err := db.eng.Catalog().Get(table)
+	if err != nil {
+		return 0, err
+	}
+	schema := t.Schema()
+	rows := make([][]any, 0, len(records))
+	for ri, rec := range records {
+		if len(rec) != len(schema) {
+			return 0, fmt.Errorf("pctagg: CSV row %d has %d fields, table %s has %d columns", ri+1, len(rec), table, len(schema))
+		}
+		row := make([]any, len(rec))
+		for i, cell := range rec {
+			if isNull(cell) {
+				row[i] = nil
+				continue
+			}
+			switch schema[i].Type {
+			case storage.TypeInt:
+				n, err := strconv.ParseInt(cell, 10, 64)
+				if err != nil {
+					return 0, fmt.Errorf("pctagg: CSV row %d column %s: %q is not an integer", ri+1, schema[i].Name, cell)
+				}
+				row[i] = n
+			case storage.TypeFloat:
+				f, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return 0, fmt.Errorf("pctagg: CSV row %d column %s: %q is not a number", ri+1, schema[i].Name, cell)
+				}
+				row[i] = f
+			case storage.TypeBool:
+				switch strings.ToLower(cell) {
+				case "true", "t", "1":
+					row[i] = true
+				case "false", "f", "0":
+					row[i] = false
+				default:
+					return 0, fmt.Errorf("pctagg: CSV row %d column %s: %q is not a boolean", ri+1, schema[i].Name, cell)
+				}
+			default:
+				row[i] = cell
+			}
+		}
+		rows = append(rows, row)
+	}
+	if err := db.InsertRows(table, rows); err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// WriteCSV runs a query and writes its result as CSV with a header row.
+// NULL renders as the empty string (or nullToken if nonempty).
+func (db *DB) WriteCSV(w io.Writer, query string, nullToken string) error {
+	rows, err := db.Query(query)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rows.Columns); err != nil {
+		return err
+	}
+	rec := make([]string, len(rows.Columns))
+	for _, row := range rows.Data {
+		for i, v := range row {
+			switch x := v.(type) {
+			case nil:
+				rec[i] = nullToken
+			case float64:
+				rec[i] = strconv.FormatFloat(x, 'g', -1, 64)
+			case int64:
+				rec[i] = strconv.FormatInt(x, 10)
+			case bool:
+				rec[i] = strconv.FormatBool(x)
+			default:
+				rec[i] = fmt.Sprint(x)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// quoteCSVIdent quotes a header cell for use as a column name.
+func quoteCSVIdent(s string) string {
+	simple := s != ""
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || i > 0 && c >= '0' && c <= '9') {
+			simple = false
+			break
+		}
+	}
+	if simple {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

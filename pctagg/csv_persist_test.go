@@ -1,0 +1,166 @@
+package pctagg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadCSVWithInference(t *testing.T) {
+	db := Open()
+	csvText := "state,city,amount,rate\nCA,San Francisco,83,0.78\nCA,Los Angeles,23,0.22\nTX,,64,\n"
+	n, err := db.LoadCSV("sales", strings.NewReader(csvText), CSVOptions{Header: true, CreateTable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d rows", n)
+	}
+	rows, err := db.Query("SELECT state, city, amount, rate FROM sales ORDER BY amount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][2].(int64) != 23 {
+		t.Errorf("amount inferred wrong: %v", rows.Data[0])
+	}
+	if rows.Data[0][3].(float64) != 0.22 {
+		t.Errorf("rate inferred wrong: %v", rows.Data[0])
+	}
+	// Empty cells are NULL (the TX row, amount 64, sorts second).
+	if rows.Data[1][1] != nil || rows.Data[1][3] != nil {
+		t.Errorf("empty cells must be NULL: %v", rows.Data[1])
+	}
+	// And the loaded table answers percentage queries.
+	res, err := db.Query("SELECT state, Vpct(amount) FROM sales GROUP BY state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Data) != 2 {
+		t.Errorf("pct rows = %v", res.Data)
+	}
+}
+
+func TestLoadCSVIntoExistingTable(t *testing.T) {
+	db := Open()
+	db.Exec("CREATE TABLE t (a INTEGER, b VARCHAR, ok BOOLEAN)")
+	n, err := db.LoadCSV("t", strings.NewReader("1,x,true\n2,NA,false\n"), CSVOptions{NullToken: "NA"})
+	if err != nil || n != 2 {
+		t.Fatal(n, err)
+	}
+	rows, _ := db.Query("SELECT a, b, ok FROM t ORDER BY a")
+	if rows.Data[1][1] != nil {
+		t.Errorf("NA must load as NULL: %v", rows.Data[1])
+	}
+	if rows.Data[0][2].(bool) != true {
+		t.Errorf("bool parse: %v", rows.Data[0])
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	db := Open()
+	if _, err := db.LoadCSV("t", strings.NewReader(""), CSVOptions{}); err == nil {
+		t.Error("empty input must fail")
+	}
+	if _, err := db.LoadCSV("t", strings.NewReader("a,b\n1,2\n"), CSVOptions{CreateTable: true}); err == nil {
+		t.Error("CreateTable without Header must fail")
+	}
+	if _, err := db.LoadCSV("nosuch", strings.NewReader("1,2\n"), CSVOptions{}); err == nil {
+		t.Error("missing table must fail")
+	}
+	db.Exec("CREATE TABLE t (a INTEGER)")
+	if _, err := db.LoadCSV("t", strings.NewReader("xyz\n"), CSVOptions{}); err == nil {
+		t.Error("non-integer into INTEGER must fail")
+	}
+	if _, err := db.LoadCSV("t", strings.NewReader("1,2\n"), CSVOptions{}); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	db := demoDB(t)
+	var buf bytes.Buffer
+	err := db.WriteCSV(&buf, "SELECT state, city, Vpct(salesAmt BY city) FROM sales GROUP BY state, city", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "state,city,salesAmt\n") {
+		t.Errorf("header = %q", out[:40])
+	}
+	// Load it back into a second database.
+	db2 := Open()
+	n, err := db2.LoadCSV("pcts", strings.NewReader(out), CSVOptions{Header: true, CreateTable: true})
+	if err != nil || n != 4 {
+		t.Fatal(n, err)
+	}
+	rows, _ := db2.Query("SELECT count(*), sum(salesAmt) FROM pcts")
+	if rows.Data[0][0].(int64) != 4 {
+		t.Errorf("round trip rows = %v", rows.Data)
+	}
+	// Two states × shares summing to 1 each → total 2.
+	if s := rows.Data[0][1].(float64); s < 1.999 || s > 2.001 {
+		t.Errorf("round trip share sum = %v", s)
+	}
+}
+
+func TestSaveLoadSnapshot(t *testing.T) {
+	db := demoDB(t)
+	db.Exec("CREATE TABLE wide (i INTEGER, f REAL, s VARCHAR, b BOOLEAN, PRIMARY KEY(i))")
+	db.InsertRows("wide", [][]any{
+		{1, 1.5, "x", true},
+		{2, nil, nil, nil},
+	})
+	db.Exec("CREATE INDEX wide_s ON wide (s)")
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := Open()
+	if err := db2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(db2.Tables()) != 2 {
+		t.Fatalf("tables = %v", db2.Tables())
+	}
+	rows, err := db2.Query("SELECT i, f, s, b FROM wide ORDER BY i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][1].(float64) != 1.5 || rows.Data[0][3].(bool) != true {
+		t.Errorf("row 0 = %v", rows.Data[0])
+	}
+	if rows.Data[1][1] != nil || rows.Data[1][2] != nil {
+		t.Errorf("NULLs lost: %v", rows.Data[1])
+	}
+	// Percentage queries work on the restored data.
+	res, err := db2.Query("SELECT state, city, Vpct(salesAmt BY city) FROM sales GROUP BY state, city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Data) != 4 {
+		t.Errorf("restored pct rows = %v", res.Data)
+	}
+	// The restored table kept its secondary index (used by joins).
+	if _, err := db2.Exec("CREATE INDEX wide_s ON wide (s)"); err == nil {
+		t.Error("index wide_s should already exist after restore")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	db := Open()
+	if err := db.Load(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage must fail")
+	}
+	// A snapshot with a clashing table name fails cleanly.
+	db1 := demoDB(t)
+	var buf bytes.Buffer
+	if err := db1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := demoDB(t)
+	if err := db2.Load(&buf); err == nil {
+		t.Error("loading over an existing table must fail")
+	}
+}

@@ -1,0 +1,259 @@
+// Package pctagg is the public API of the percentage-aggregation library:
+// an embedded SQL engine extended with the two aggregate functions of
+// "Vertical and Horizontal Percentage Aggregations" (SIGMOD 2004) and the
+// generalized horizontal aggregations of its companion paper.
+//
+// Open a database, create tables, load rows, and query with standard SQL
+// plus the extensions:
+//
+//	db := pctagg.Open()
+//	db.Exec(`CREATE TABLE sales (state VARCHAR, city VARCHAR, salesAmt INTEGER)`)
+//	db.Exec(`INSERT INTO sales VALUES ('CA', 'San Francisco', 13), …`)
+//
+//	// Vertical percentages: one row per percentage.
+//	rows, _ := db.Query(`SELECT state, city, Vpct(salesAmt BY city)
+//	                     FROM sales GROUP BY state, city`)
+//
+//	// Horizontal percentages: each 100% group on one row, one column per
+//	// BY combination.
+//	rows, _ = db.Query(`SELECT state, Hpct(salesAmt BY city) FROM sales GROUP BY state`)
+//
+//	// Horizontal aggregations (companion paper): any standard aggregate
+//	// with a BY list, e.g. building a tabular data set for mining.
+//	rows, _ = db.Query(`SELECT store, sum(amt BY dweek), sum(amt) FROM f GROUP BY store`)
+//
+// Percentage and horizontal queries are rewritten into multi-statement
+// standard SQL by the planner — the role the paper's Java code generator
+// plays — and executed against the embedded engine. Explain returns that
+// generated SQL. Strategies replicates the paper's evaluation knobs.
+package pctagg
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// DB is an embedded database with percentage-aggregation support. A DB is
+// not safe for concurrent writes; guard it externally if needed.
+type DB struct {
+	eng     *engine.Engine
+	planner *core.Planner
+	strat   Strategies
+	auto    bool
+}
+
+// Open creates an empty database with the paper's recommended default
+// strategies.
+func Open() *DB {
+	eng := engine.New(storage.NewCatalog())
+	return &DB{
+		eng:     eng,
+		planner: core.NewPlanner(eng),
+		strat:   DefaultStrategies(),
+	}
+}
+
+// Rows is a query result: column names and row data. Values are plain Go
+// types: nil (SQL NULL), int64, float64, string, bool.
+type Rows struct {
+	Columns []string
+	Data    [][]any
+}
+
+// String renders the rows as an aligned text table.
+func (r *Rows) String() string {
+	res := &engine.Result{Columns: r.Columns}
+	for _, row := range r.Data {
+		vals := make([]value.Value, len(row))
+		for i, c := range row {
+			vals[i] = toValue(c)
+		}
+		res.Rows = append(res.Rows, vals)
+	}
+	return res.Format()
+}
+
+// Exec runs one or more semicolon-separated statements (DDL, INSERT,
+// UPDATE, or queries whose results are discarded) and returns the affected
+// row count of the last statement.
+func (db *DB) Exec(sql string) (int64, error) {
+	res, err := db.eng.ExecSQL(sql)
+	if err != nil {
+		return 0, err
+	}
+	return int64(res.Affected), nil
+}
+
+// Query runs one SELECT. Standard SQL executes directly; queries using
+// Vpct, Hpct, BY-aggregates, or OVER(PARTITION BY …) are planned and
+// evaluated with the configured strategies.
+func (db *DB) Query(sql string) (*Rows, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if ex, ok := stmt.(*sqlparse.Explain); ok {
+		res, err := db.eng.Execute(ex)
+		if err != nil {
+			return nil, err
+		}
+		out := &Rows{Columns: res.Columns}
+		for _, row := range res.Rows {
+			out.Data = append(out.Data, []any{fromValue(row[0])})
+		}
+		return out, nil
+	}
+	sel, ok := stmt.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("pctagg: Query needs a SELECT; use Exec for %T", stmt)
+	}
+	class, err := core.Classify(sel)
+	if err != nil {
+		return nil, err
+	}
+	var res *engine.Result
+	if class == core.ClassStandard {
+		res, err = db.eng.Execute(sel)
+	} else {
+		opts := db.strat.coreOptions()
+		if db.auto {
+			opts, err = db.planner.Advise(sel)
+			if err != nil {
+				return nil, err
+			}
+		}
+		var plan *core.Plan
+		plan, err = db.planner.Plan(sel, opts)
+		if err != nil {
+			return nil, err
+		}
+		res, err = db.planner.Execute(plan)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &Rows{Columns: res.Columns}
+	for _, row := range res.Rows {
+		conv := make([]any, len(row))
+		for i, v := range row {
+			conv[i] = fromValue(v)
+		}
+		out.Data = append(out.Data, conv)
+	}
+	return out, nil
+}
+
+// Explain returns the standard-SQL plan the query rewriter generates for a
+// percentage/horizontal query under the configured strategies — the output
+// of the paper's code generator. Standard queries return themselves.
+func (db *DB) Explain(sql string) (string, error) {
+	plan, err := db.planner.PlanSQL(sql, db.strat.coreOptions())
+	if err != nil {
+		return "", err
+	}
+	defer db.planner.CleanupPlan(plan)
+	return plan.SQL(), nil
+}
+
+// OLAPEquivalent returns the ANSI SQL/OLAP window-function formulation of
+// a percentage query — the baseline the paper's Section 4.2 compares
+// against. It is directly executable with Query.
+func (db *DB) OLAPEquivalent(sql string) (string, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := stmt.(*sqlparse.Select)
+	if !ok {
+		return "", fmt.Errorf("pctagg: expected a SELECT")
+	}
+	return db.planner.OLAPEquivalent(sel)
+}
+
+// InsertRows bulk-appends rows into a table without SQL parsing, the fast
+// path for loading generated data. Row values use the same Go types Rows
+// returns; integers may be int or int64.
+func (db *DB) InsertRows(table string, rows [][]any) error {
+	t, err := db.eng.Catalog().Get(table)
+	if err != nil {
+		return err
+	}
+	vals := make([]value.Value, 0, 16)
+	for ri, row := range rows {
+		vals = vals[:0]
+		for _, c := range row {
+			vals = append(vals, toValue(c))
+		}
+		if _, err := t.AppendRow(vals); err != nil {
+			return fmt.Errorf("pctagg: row %d: %w", ri, err)
+		}
+	}
+	return nil
+}
+
+// Tables lists the tables in the database.
+func (db *DB) Tables() []string { return db.eng.Catalog().Names() }
+
+// AutoStrategy toggles the cost-based strategy advisor: before each
+// percentage query, live statistics (the distinct BY combinations, the
+// fine-grouping size relative to |F|) pick the strategy per the paper's
+// Section 4 recommendations, overriding SetStrategies.
+func (db *DB) AutoStrategy(on bool) { db.auto = on }
+
+// ShareSummaries toggles summary sharing across queries: while enabled,
+// structurally identical intermediate aggregates (the Fk/Fj tables) are
+// computed once and reused by later percentage queries — the paper's
+// "shared summaries" idea for query batches. Call FlushSummaries when the
+// batch is done (or to pick up data changes: shared summaries are
+// snapshots and do not observe later inserts into the base table).
+func (db *DB) ShareSummaries(on bool) { db.planner.ShareSummaries(on) }
+
+// FlushSummaries drops every cached shared summary.
+func (db *DB) FlushSummaries() { db.planner.FlushSummaries() }
+
+// MaxColumns reports the configured per-table column limit used to decide
+// when horizontal results are vertically partitioned.
+func (db *DB) MaxColumns() int { return db.planner.MaxColumns }
+
+// SetMaxColumns configures the per-table column limit (the paper's DBMS
+// constraint that forces vertical partitioning of wide FH tables).
+func (db *DB) SetMaxColumns(n int) { db.planner.MaxColumns = n }
+
+func fromValue(v value.Value) any {
+	switch v.Kind() {
+	case value.KindInt:
+		return v.Int()
+	case value.KindFloat:
+		return v.Float()
+	case value.KindString:
+		return v.Str()
+	case value.KindBool:
+		return v.Bool()
+	default:
+		return nil
+	}
+}
+
+func toValue(c any) value.Value {
+	switch x := c.(type) {
+	case nil:
+		return value.Null
+	case int:
+		return value.NewInt(int64(x))
+	case int64:
+		return value.NewInt(x)
+	case float64:
+		return value.NewFloat(x)
+	case string:
+		return value.NewString(x)
+	case bool:
+		return value.NewBool(x)
+	default:
+		return value.NewString(fmt.Sprint(x))
+	}
+}

@@ -1,0 +1,171 @@
+package pctagg
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Snapshot persistence: Save serializes every table (schema, rows, primary
+// key, secondary indexes) with encoding/gob; Load restores them into an
+// empty or existing database. The format is columnar: one typed vector and
+// a null bitmap per column, which keeps files compact and loads fast.
+
+// snapColumn is the gob form of one column.
+type snapColumn struct {
+	Name  string
+	Type  uint8
+	Ints  []int64
+	Flts  []float64
+	Strs  []string
+	Bools []bool
+	Nulls []bool
+}
+
+// snapIndex is the gob form of one secondary index definition.
+type snapIndex struct {
+	Name    string
+	Columns []string
+}
+
+// snapTable is the gob form of one table.
+type snapTable struct {
+	Name       string
+	NumRows    int
+	Columns    []snapColumn
+	PrimaryKey []string
+	Indexes    []snapIndex
+}
+
+// snapshot is the gob header and payload.
+type snapshot struct {
+	Magic   string
+	Version int
+	Tables  []snapTable
+}
+
+const snapMagic = "pctagg-snapshot"
+
+// Save writes every table in the database to w. The planner's shared
+// summaries are not included (they are transient by design).
+func (db *DB) Save(w io.Writer) error {
+	snap := snapshot{Magic: snapMagic, Version: 1}
+	for _, name := range db.Tables() {
+		t, err := db.eng.Catalog().Get(name)
+		if err != nil {
+			return err
+		}
+		st := snapTable{Name: t.Name(), NumRows: t.NumRows()}
+		for _, pos := range t.PrimaryKey() {
+			st.PrimaryKey = append(st.PrimaryKey, t.Schema()[pos].Name)
+		}
+		for _, ix := range t.Indexes() {
+			if len(st.PrimaryKey) > 0 && ix.Name() == "pk_"+t.Name() {
+				continue // recreated by SetPrimaryKey on load
+			}
+			st.Indexes = append(st.Indexes, snapIndex{Name: ix.Name(), Columns: ix.Columns()})
+		}
+		for ci, def := range t.Schema() {
+			col := snapColumn{Name: def.Name, Type: uint8(def.Type), Nulls: make([]bool, t.NumRows())}
+			for r := 0; r < t.NumRows(); r++ {
+				v := t.Get(r, ci)
+				if v.IsNull() {
+					col.Nulls[r] = true
+				}
+				switch def.Type {
+				case storage.TypeInt:
+					var x int64
+					if !v.IsNull() {
+						x = v.Int()
+					}
+					col.Ints = append(col.Ints, x)
+				case storage.TypeFloat:
+					var x float64
+					if !v.IsNull() {
+						x = v.Float()
+					}
+					col.Flts = append(col.Flts, x)
+				case storage.TypeString:
+					var x string
+					if !v.IsNull() {
+						x = v.Str()
+					}
+					col.Strs = append(col.Strs, x)
+				case storage.TypeBool:
+					var x bool
+					if !v.IsNull() {
+						x = v.Bool()
+					}
+					col.Bools = append(col.Bools, x)
+				}
+			}
+			st.Columns = append(st.Columns, col)
+		}
+		snap.Tables = append(snap.Tables, st)
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load restores tables saved by Save. Tables whose names already exist in
+// the database cause an error; load into a fresh DB to restore a snapshot
+// wholesale.
+func (db *DB) Load(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("pctagg: reading snapshot: %w", err)
+	}
+	if snap.Magic != snapMagic {
+		return fmt.Errorf("pctagg: not a pctagg snapshot")
+	}
+	if snap.Version != 1 {
+		return fmt.Errorf("pctagg: unsupported snapshot version %d", snap.Version)
+	}
+	for _, st := range snap.Tables {
+		schema := make(storage.Schema, len(st.Columns))
+		for i, c := range st.Columns {
+			schema[i] = storage.ColumnDef{Name: c.Name, Type: storage.ColumnType(c.Type)}
+		}
+		t, err := db.eng.Catalog().Create(st.Name, schema)
+		if err != nil {
+			return err
+		}
+		row := make([]value.Value, len(st.Columns))
+		for r := 0; r < st.NumRows; r++ {
+			for i, c := range st.Columns {
+				if c.Nulls[r] {
+					row[i] = value.Null
+					continue
+				}
+				switch storage.ColumnType(c.Type) {
+				case storage.TypeInt:
+					row[i] = value.NewInt(c.Ints[r])
+				case storage.TypeFloat:
+					row[i] = value.NewFloat(c.Flts[r])
+				case storage.TypeString:
+					row[i] = value.NewString(c.Strs[r])
+				case storage.TypeBool:
+					row[i] = value.NewBool(c.Bools[r])
+				default:
+					return fmt.Errorf("pctagg: snapshot column %s has unknown type %d", c.Name, c.Type)
+				}
+			}
+			if _, err := t.AppendRow(row); err != nil {
+				return err
+			}
+		}
+		if len(st.PrimaryKey) > 0 {
+			if err := t.SetPrimaryKey(st.PrimaryKey); err != nil {
+				return err
+			}
+		}
+		for _, ix := range st.Indexes {
+			if _, err := t.CreateIndex(ix.Name, ix.Columns); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
