@@ -1,0 +1,134 @@
+// Command pctlint statically checks percentage queries in SQL scripts —
+// the linter for the paper's Vpct/Hpct/BY-aggregate extensions.
+//
+// Each input file is a self-contained script: DDL and data statements are
+// executed into a scratch in-memory database (so the data-aware checks can
+// measure live cardinalities), and every SELECT/EXPLAIN is linted against
+// it. Findings print as compiler-style lines:
+//
+//	report.sql:7:15: warning[PCT102]: 1 of 14 (store) × (dweek) combinations are absent …
+//
+// Usage:
+//
+//	pctlint [flags] file.sql [file2.sql …]
+//	pctlint [flags]              # read one script from stdin
+//
+// Flags:
+//
+//	-json            emit findings as a JSON array instead of text
+//	-codes           print the diagnostic-code registry and exit
+//	-max-columns N   column limit for the PCT103 explosion check (default 2048)
+//
+// Exit status: 0 when no error-severity findings, 1 when any error was
+// reported, 2 on usage or I/O failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/engine"
+	"repro/internal/lint"
+	"repro/internal/storage"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so tests can drive it.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pctlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	codes := fs.Bool("codes", false, "print the diagnostic-code registry and exit")
+	maxColumns := fs.Int("max-columns", 0, "column limit for the PCT103 check (default: planner's 2048)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *codes {
+		printCodes(stdout)
+		return 0
+	}
+
+	type fileDiag struct {
+		file string
+		d    lint.Diagnostic
+	}
+	var all []fileDiag
+	lintOne := func(name, src string) bool {
+		l := lint.New(core.NewPlanner(engine.New(storage.NewCatalog())))
+		l.ColumnLimit = *maxColumns
+		ds, err := l.LintSQL(src)
+		for _, d := range ds {
+			all = append(all, fileDiag{file: name, d: d})
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "pctlint: %s: %v\n", name, err)
+			return false
+		}
+		return true
+	}
+
+	if fs.NArg() == 0 {
+		src, err := io.ReadAll(stdin)
+		if err != nil {
+			fmt.Fprintln(stderr, "pctlint:", err)
+			return 2
+		}
+		if !lintOne("<stdin>", string(src)) {
+			return 2
+		}
+	}
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "pctlint:", err)
+			return 2
+		}
+		if !lintOne(path, string(src)) {
+			return 2
+		}
+	}
+
+	if *jsonOut {
+		type jsonFinding struct {
+			File string `json:"file"`
+			lint.Diagnostic
+		}
+		out := make([]jsonFinding, 0, len(all))
+		for _, fd := range all {
+			out = append(out, jsonFinding{File: fd.file, Diagnostic: fd.d})
+		}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "pctlint:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(b))
+	} else {
+		for _, fd := range all {
+			fmt.Fprintln(stdout, lint.Render(fd.file, fd.d))
+		}
+	}
+	for _, fd := range all {
+		if fd.d.Severity == diag.Error {
+			return 1
+		}
+	}
+	return 0
+}
+
+// printCodes writes the registry as an aligned table.
+func printCodes(w io.Writer) {
+	for _, ci := range diag.Registry {
+		fmt.Fprintf(w, "%s  %-8s  %s\n", ci.Code, ci.DefaultSeverity, ci.Title)
+		fmt.Fprintf(w, "        %s\n", ci.Note)
+	}
+}

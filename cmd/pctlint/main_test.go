@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args []string, stdin string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func corpus(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join("..", "..", "internal", "lint", "testdata", name)
+}
+
+func TestExitZeroOnCleanFile(t *testing.T) {
+	code, out, _ := runCLI(t, []string{corpus(t, "clean_vpct.sql")}, "")
+	if code != 0 {
+		t.Fatalf("exit %d for clean file, output:\n%s", code, out)
+	}
+	if out != "" {
+		t.Fatalf("expected no output, got:\n%s", out)
+	}
+}
+
+func TestExitOneOnErrors(t *testing.T) {
+	path := corpus(t, "errors_mixed.sql")
+	code, out, _ := runCLI(t, []string{path}, "")
+	if code != 1 {
+		t.Fatalf("exit %d for file with errors, want 1", code)
+	}
+	if !strings.Contains(out, "error[PCT001]") || !strings.Contains(out, "error[PCT002]") {
+		t.Fatalf("missing expected findings:\n%s", out)
+	}
+	if !strings.Contains(out, path+":4:47:") {
+		t.Fatalf("missing file:line:col prefix:\n%s", out)
+	}
+}
+
+func TestExitZeroOnWarnings(t *testing.T) {
+	code, out, _ := runCLI(t, []string{corpus(t, "warn_divzero.sql")}, "")
+	if code != 0 {
+		t.Fatalf("exit %d for warnings-only file, want 0", code)
+	}
+	if !strings.Contains(out, "warning[PCT101]") {
+		t.Fatalf("missing PCT101 warning:\n%s", out)
+	}
+}
+
+func TestStdinAndJSON(t *testing.T) {
+	script := `CREATE TABLE f (a INTEGER, b VARCHAR, amt INTEGER);
+SELECT a, Hpct(amt BY nosuch) FROM f GROUP BY a;`
+	code, out, _ := runCLI(t, []string{"-json"}, script)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(findings) != 1 || findings[0]["code"] != "PCT021" || findings[0]["file"] != "<stdin>" {
+		t.Fatalf("unexpected findings: %v", findings)
+	}
+}
+
+func TestMaxColumnsFlag(t *testing.T) {
+	// The corpus file's directive says 4; an explicit flag wins.
+	code, out, _ := runCLI(t, []string{"-max-columns", "100", corpus(t, "warn_explosion.sql")}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if strings.Contains(out, "PCT103") {
+		t.Fatalf("flag should override directive:\n%s", out)
+	}
+}
+
+func TestCodesFlag(t *testing.T) {
+	code, out, _ := runCLI(t, []string{"-codes"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, c := range []string{"PCT000", "PCT024", "PCT101", "PCT105"} {
+		if !strings.Contains(out, c) {
+			t.Fatalf("registry output missing %s:\n%s", c, out)
+		}
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	code, _, errb := runCLI(t, []string{"nosuch.sql"}, "")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if errb == "" {
+		t.Fatal("expected an error message on stderr")
+	}
+}

@@ -13,6 +13,7 @@
 //
 //	\dt                 list tables
 //	\explain <query>    show the generated standard-SQL plan
+//	\lint <query>       statically check a query (pctlint diagnostics)
 //	\olap <query>       show the ANSI OLAP window-function equivalent
 //	\strategy           show the active evaluation strategies
 //	\strategy <k>=<v>   set a strategy knob (see \strategy help)
@@ -177,6 +178,20 @@ func meta(db *pctagg.DB, cmd string) bool {
 			return false
 		}
 		fmt.Print(sql)
+	case "\\lint":
+		q := strings.TrimSpace(strings.TrimPrefix(cmd, "\\lint"))
+		if q == "" {
+			fmt.Fprintln(os.Stderr, "usage: \\lint <query>")
+			return false
+		}
+		ds := db.Lint(q)
+		if len(ds) == 0 {
+			fmt.Println("ok: no findings")
+			return false
+		}
+		for _, d := range ds {
+			fmt.Println(d)
+		}
 	case "\\olap":
 		q := strings.TrimSpace(strings.TrimPrefix(cmd, "\\olap"))
 		sql, err := db.OLAPEquivalent(q)

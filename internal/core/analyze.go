@@ -20,12 +20,20 @@
 // paper benchmarks against, and implements the two correctness treatments
 // the paper identifies for vertical percentages: missing rows (pre- or
 // post-processing) and division by zero (NULL results).
+//
+// Validation is a collecting static analysis: analyzeDiags walks the query
+// once and records every independent violation of the paper's usage rules
+// as a positioned diag.Diagnostic. The planner's analyze keeps the
+// fail-fast contract (first error wins); internal/lint surfaces the full
+// list plus its own warning/advisory checks.
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
+	"repro/internal/diag"
 	"repro/internal/expr"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
@@ -80,6 +88,7 @@ type item struct {
 	alias string        // user alias, may be empty
 	col   string        // itemGroupCol: column name
 	agg   *expr.AggCall // aggregate items
+	span  diag.Span     // source span of the select item
 }
 
 // analysis is the normalized form of a percentage/horizontal query.
@@ -94,73 +103,166 @@ type analysis struct {
 	schema    storage.Schema // schema of F
 }
 
-// Classify inspects a parsed SELECT and reports its query class. It errors
-// on the combinations the paper rules out (e.g. mixing vertical and
-// horizontal percentage aggregations in one statement).
-func Classify(sel *sqlparse.Select) (QueryClass, error) {
-	var hasVpct, hasHpct, hasHagg bool
+// classCounts tallies the BY-carrying aggregate kinds in a select list and
+// remembers a representative span for each.
+type classCounts struct {
+	vpct, hpct, hagg bool
+	vpctSpan         diag.Span
+	hpctSpan         diag.Span
+	haggSpan         diag.Span
+}
+
+func countClasses(sel *sqlparse.Select) classCounts {
+	var c classCounts
 	for _, it := range sel.Items {
 		if it.Star {
 			continue
 		}
-		err := expr.Walk(it.Expr, func(n expr.Expr) error {
+		_ = expr.Walk(it.Expr, func(n expr.Expr) error {
 			a, ok := n.(*expr.AggCall)
 			if !ok {
 				return nil
 			}
+			span := a.Span
+			if span.IsZero() {
+				span = it.Span
+			}
 			switch {
 			case a.Fn == expr.AggVpct:
-				hasVpct = true
+				if !c.vpct {
+					c.vpctSpan = span
+				}
+				c.vpct = true
 			case a.Fn == expr.AggHpct:
-				hasHpct = true
+				if !c.hpct {
+					c.hpctSpan = span
+				}
+				c.hpct = true
 			case a.IsHorizontal():
-				hasHagg = true
+				if !c.hagg {
+					c.haggSpan = span
+				}
+				c.hagg = true
 			}
 			return nil
 		})
-		if err != nil {
-			return ClassStandard, err
-		}
 	}
+	return c
+}
+
+// Classify inspects a parsed SELECT and reports its query class. It errors
+// on the combinations the paper rules out (e.g. mixing vertical and
+// horizontal percentage aggregations in one statement).
+func Classify(sel *sqlparse.Select) (QueryClass, error) {
+	c := countClasses(sel)
 	switch {
-	case hasVpct && (hasHpct || hasHagg):
+	case c.vpct && (c.hpct || c.hagg):
 		return ClassStandard, fmt.Errorf("core: combining vertical and horizontal percentage aggregations in one query is not supported (listed as future work in the paper)")
-	case hasHpct && hasHagg:
+	case c.hpct && c.hagg:
 		return ClassStandard, fmt.Errorf("core: combining Hpct with other horizontal aggregations in one query is not supported")
-	case hasVpct:
+	case c.vpct:
 		return ClassVertical, nil
-	case hasHpct:
+	case c.hpct:
 		return ClassHorizontalPct, nil
-	case hasHagg:
+	case c.hagg:
 		return ClassHorizontalAgg, nil
 	default:
 		return ClassStandard, nil
 	}
 }
 
+// classifyDiags is Classify in collecting form: mixing violations become
+// diagnostics and the dominant class is still reported so later checks can
+// proceed where they make sense.
+func classifyDiags(sel *sqlparse.Select, l *diag.List) QueryClass {
+	c := countClasses(sel)
+	if c.vpct && (c.hpct || c.hagg) {
+		span := c.hpctSpan
+		if !c.hpct {
+			span = c.haggSpan
+		}
+		l.Addf(diag.CodeMixedClasses, diag.Error, span,
+			"combining vertical and horizontal percentage aggregations in one query is not supported (listed as future work in the paper)")
+	} else if c.hpct && c.hagg {
+		l.Addf(diag.CodeHpctWithHagg, diag.Error, c.haggSpan,
+			"combining Hpct with other horizontal aggregations in one query is not supported")
+	}
+	switch {
+	case c.vpct:
+		return ClassVertical
+	case c.hpct:
+		return ClassHorizontalPct
+	case c.hagg:
+		return ClassHorizontalAgg
+	default:
+		return ClassStandard
+	}
+}
+
 // analyze validates the query against the paper's usage rules and produces
-// the normalized analysis the generators consume.
+// the normalized analysis the generators consume. It keeps the historical
+// fail-fast contract: the first error-severity diagnostic becomes the
+// returned error.
 func (p *Planner) analyze(sel *sqlparse.Select) (*analysis, error) {
-	class, err := Classify(sel)
-	if err != nil {
-		return nil, err
+	a, l := p.analyzeDiags(sel)
+	if d := l.FirstError(); d != nil {
+		return nil, diagError(d)
+	}
+	return a, nil
+}
+
+// diagError converts a diagnostic back into the planner's error form.
+// Catalog-lookup messages already carry their package prefix; rule
+// violations get the historical "core:" prefix.
+func diagError(d *diag.Diagnostic) error {
+	if d.Code == diag.CodeUnknownTable {
+		return errors.New(d.Message)
+	}
+	return errors.New("core: " + d.Message)
+}
+
+// analyzeDiags validates the query, collecting every independent violation
+// instead of failing on the first. The returned analysis is complete when
+// the list has no errors; with errors it is best-effort (and nil when a
+// structural problem — wrong class mix, no usable table — prevents
+// analysis).
+func (p *Planner) analyzeDiags(sel *sqlparse.Select) (*analysis, *diag.List) {
+	l := &diag.List{}
+	class := classifyDiags(sel, l)
+	if l.HasErrors() {
+		return nil, l
 	}
 	if class == ClassStandard {
-		return &analysis{class: ClassStandard}, nil
+		return &analysis{class: ClassStandard}, l
 	}
+
 	if len(sel.From) != 1 || sel.From[0].Join != sqlparse.JoinCross {
-		return nil, fmt.Errorf("core: percentage queries read from a single table or view F; pre-join into a temporary table first")
+		span := diag.Span{}
+		if len(sel.From) > 1 {
+			span = sel.From[1].Table.Span
+		} else if len(sel.From) == 1 {
+			span = sel.From[0].Table.Span
+		}
+		l.Addf(diag.CodeMultiTable, diag.Error, span,
+			"percentage queries read from a single table or view F; pre-join into a temporary table first")
 	}
 	if sel.Having != nil {
-		return nil, fmt.Errorf("core: HAVING is not supported with percentage aggregations")
+		l.Addf(diag.CodeHaving, diag.Error, sel.HavingSpan,
+			"HAVING is not supported with percentage aggregations")
 	}
 	if sel.Distinct {
-		return nil, fmt.Errorf("core: DISTINCT is not supported with percentage aggregations")
+		l.Addf(diag.CodeDistinct, diag.Error, sel.DistinctSpan,
+			"DISTINCT is not supported with percentage aggregations")
+	}
+	if len(sel.From) == 0 {
+		return nil, l
 	}
 	tableName := sel.From[0].Table.Name
 	tab, err := p.Eng.Catalog().Get(tableName)
 	if err != nil {
-		return nil, err
+		l.Add(diag.Diagnostic{Code: diag.CodeUnknownTable, Severity: diag.Error,
+			Span: sel.From[0].Table.Span, Message: err.Error()})
+		return nil, l
 	}
 	schema := tab.Schema()
 
@@ -174,45 +276,61 @@ func (p *Planner) analyze(sel *sqlparse.Select) (*analysis, error) {
 	}
 
 	// Resolve GROUP BY keys to column names (positions point at bare
-	// column items).
+	// column items). A bad key is skipped so the remaining keys still
+	// resolve and later checks stay meaningful.
 	for _, g := range sel.GroupBy {
 		name := g.Column
 		if g.Position > 0 {
 			if g.Position > len(sel.Items) {
-				return nil, fmt.Errorf("core: GROUP BY position %d out of range", g.Position)
+				l.Addf(diag.CodeGroupByPosition, diag.Error, g.Span,
+					"GROUP BY position %d out of range", g.Position)
+				continue
 			}
 			ref, ok := sel.Items[g.Position-1].Expr.(*expr.ColumnRef)
 			if !ok {
-				return nil, fmt.Errorf("core: GROUP BY position %d must reference a column item", g.Position)
+				l.Addf(diag.CodeGroupByPosition, diag.Error, g.Span,
+					"GROUP BY position %d must reference a column item", g.Position)
+				continue
 			}
 			name = ref.Name
 		}
 		if schema.ColumnIndex(name) < 0 {
-			return nil, fmt.Errorf("core: GROUP BY column %q is not a column of %s", name, tableName)
+			l.Addf(diag.CodeGroupByUnknown, diag.Error, g.Span,
+				"GROUP BY column %q is not a column of %s", name, tableName)
+			continue
 		}
-		for _, prev := range a.groupCols {
-			if strings.EqualFold(prev, name) {
-				return nil, fmt.Errorf("core: duplicate GROUP BY column %q", name)
-			}
+		if containsFold(a.groupCols, name) {
+			l.Addf(diag.CodeGroupByDuplicate, diag.Error, g.Span,
+				"duplicate GROUP BY column %q", name)
+			continue
 		}
 		a.groupCols = append(a.groupCols, name)
 	}
 
 	for _, sit := range sel.Items {
 		if sit.Star {
-			return nil, fmt.Errorf("core: SELECT * cannot be combined with percentage aggregations")
+			l.Addf(diag.CodeSelectStar, diag.Error, sit.Span,
+				"SELECT * cannot be combined with percentage aggregations")
+			continue
 		}
 		switch e := sit.Expr.(type) {
 		case *expr.ColumnRef:
 			if !containsFold(a.groupCols, e.Name) {
-				return nil, fmt.Errorf("core: column %s must appear in GROUP BY", e)
+				span := e.Span
+				if span.IsZero() {
+					span = sit.Span
+				}
+				l.Addf(diag.CodeNotGrouped, diag.Error, span,
+					"column %s must appear in GROUP BY", e)
 			}
-			a.items = append(a.items, item{kind: itemGroupCol, alias: sit.Alias, col: e.Name})
+			a.items = append(a.items, item{kind: itemGroupCol, alias: sit.Alias, col: e.Name, span: sit.Span})
 		case *expr.AggCall:
 			if e.Over != nil {
-				return nil, fmt.Errorf("core: window aggregates cannot be combined with percentage aggregations")
+				l.Addf(diag.CodeWindowMix, diag.Error, sit.Span,
+					"window aggregates cannot be combined with percentage aggregations")
+				continue
 			}
-			it := item{alias: sit.Alias, agg: e}
+			it := item{alias: sit.Alias, agg: e, span: sit.Span}
 			switch {
 			case e.Fn == expr.AggVpct || e.Fn == expr.AggHpct:
 				it.kind = itemPct
@@ -224,48 +342,72 @@ func (p *Planner) analyze(sel *sqlparse.Select) (*analysis, error) {
 			a.items = append(a.items, it)
 		default:
 			if expr.HasAggregate(sit.Expr) {
-				return nil, fmt.Errorf("core: percentage aggregations must be top-level select items, not nested in %s", sit.Expr)
+				l.Addf(diag.CodeNestedAgg, diag.Error, sit.Span,
+					"percentage aggregations must be top-level select items, not nested in %s", sit.Expr)
+			} else {
+				l.Addf(diag.CodeBadSelectItem, diag.Error, sit.Span,
+					"select item %s must be a grouping column or an aggregate", sit.Expr)
 			}
-			return nil, fmt.Errorf("core: select item %s must be a grouping column or an aggregate", sit.Expr)
 		}
 	}
 
-	if err := a.validateRules(); err != nil {
-		return nil, err
+	a.validateRules(l)
+	return a, l
+}
+
+// aggSpan returns the best span for an aggregate item: the call's own span
+// when the parser recorded one, else the whole select item.
+func (it item) aggSpan() diag.Span {
+	if it.agg != nil && !it.agg.Span.IsZero() {
+		return it.agg.Span
 	}
-	return a, nil
+	return it.span
+}
+
+// bySpan returns the span of the i'th BY column of the item's call, falling
+// back to the call span.
+func (it item) bySpan(i int) diag.Span {
+	if it.agg != nil && i < len(it.agg.BySpans) {
+		return it.agg.BySpans[i]
+	}
+	return it.aggSpan()
 }
 
 // validateRules enforces the per-function usage rules from Sections 3.1,
-// 3.2 and the companion paper's Section 3.1.
-func (a *analysis) validateRules() error {
+// 3.2 and the companion paper's Section 3.1, collecting every violation.
+func (a *analysis) validateRules(l *diag.List) {
 	switch a.class {
 	case ClassVertical:
-		// Rule V1: GROUP BY is required (two-level aggregation).
-		if len(a.groupCols) == 0 {
-			return fmt.Errorf("core: Vpct requires a GROUP BY clause")
-		}
 		for _, it := range a.items {
 			if it.kind != itemPct {
 				continue
 			}
 			call := it.agg
+			// Rule V1: GROUP BY is required (two-level aggregation).
+			if len(a.groupCols) == 0 {
+				l.Addf(diag.CodeVpctNoGroupBy, diag.Error, it.aggSpan(),
+					"Vpct requires a GROUP BY clause")
+			}
 			if call.Arg == nil {
-				return fmt.Errorf("core: Vpct requires an expression argument")
+				l.Addf(diag.CodeVpctNoArg, diag.Error, it.aggSpan(),
+					"Vpct requires an expression argument")
 			}
 			// Rule V2: BY columns must be a proper subset of GROUP BY
 			// ("the BY clause can have as many as k-1 columns"). An absent
 			// BY list means totals over all rows (j = 0).
-			if len(call.By) > 0 && len(call.By) >= len(a.groupCols) {
-				return fmt.Errorf("core: Vpct BY list must be a proper subset of the GROUP BY columns (at most %d of %d)", len(a.groupCols)-1, len(a.groupCols))
+			if len(a.groupCols) > 0 && len(call.By) > 0 && len(call.By) >= len(a.groupCols) {
+				l.Addf(diag.CodeVpctBySubset, diag.Error, it.aggSpan(),
+					"Vpct BY list must be a proper subset of the GROUP BY columns (at most %d of %d)",
+					len(a.groupCols)-1, len(a.groupCols))
 			}
-			for _, b := range call.By {
+			for i, b := range call.By {
 				if !containsFold(a.groupCols, b) {
-					return fmt.Errorf("core: Vpct BY column %q must be one of the GROUP BY columns", b)
+					l.Addf(diag.CodeVpctByUnknown, diag.Error, it.bySpan(i),
+						"Vpct BY column %q must be one of the GROUP BY columns", b)
 				}
 			}
-			if err := checkMeasure(call.Arg, a.schema); err != nil {
-				return err
+			if call.Arg != nil {
+				checkMeasure(call.Arg, a.schema, it.aggSpan(), l)
 			}
 		}
 	case ClassHorizontalPct, ClassHorizontalAgg:
@@ -276,31 +418,35 @@ func (a *analysis) validateRules() error {
 			call := it.agg
 			// Rule H2: BY is required and disjoint from GROUP BY.
 			if len(call.By) == 0 {
-				return fmt.Errorf("core: %s requires a BY subgrouping list", call.Fn)
+				l.Addf(diag.CodeByRequired, diag.Error, it.aggSpan(),
+					"%s requires a BY subgrouping list", call.Fn)
 			}
-			for _, b := range call.By {
+			for i, b := range call.By {
 				if containsFold(a.groupCols, b) {
-					return fmt.Errorf("core: %s BY column %q must be disjoint from the GROUP BY columns", call.Fn, b)
+					l.Addf(diag.CodeByNotDisjoint, diag.Error, it.bySpan(i),
+						"%s BY column %q must be disjoint from the GROUP BY columns", call.Fn, b)
 				}
 				if a.schema.ColumnIndex(b) < 0 {
-					return fmt.Errorf("core: %s BY column %q is not a column of %s", call.Fn, b, a.table)
+					l.Addf(diag.CodeByUnknown, diag.Error, it.bySpan(i),
+						"%s BY column %q is not a column of %s", call.Fn, b, a.table)
 				}
 			}
 			seen := map[string]bool{}
-			for _, b := range call.By {
-				l := strings.ToLower(b)
-				if seen[l] {
-					return fmt.Errorf("core: duplicate BY column %q", b)
+			for i, b := range call.By {
+				lo := strings.ToLower(b)
+				if seen[lo] {
+					l.Addf(diag.CodeByDuplicate, diag.Error, it.bySpan(i),
+						"duplicate BY column %q", b)
+					continue
 				}
-				seen[l] = true
+				seen[lo] = true
 			}
 			if call.Arg == nil && !call.Star {
-				return fmt.Errorf("core: %s requires an argument", call.Fn)
+				l.Addf(diag.CodeAggNoArg, diag.Error, it.aggSpan(),
+					"%s requires an argument", call.Fn)
 			}
 			if call.Arg != nil {
-				if err := checkMeasure(call.Arg, a.schema); err != nil {
-					return err
-				}
+				checkMeasure(call.Arg, a.schema, it.aggSpan(), l)
 			}
 		}
 	}
@@ -308,22 +454,30 @@ func (a *analysis) validateRules() error {
 	// must also resolve against F.
 	for _, it := range a.items {
 		if it.kind == itemVertAgg && it.agg.Arg != nil {
-			if err := checkMeasure(it.agg.Arg, a.schema); err != nil {
-				return err
-			}
+			checkMeasure(it.agg.Arg, a.schema, it.aggSpan(), l)
 		}
 	}
-	return nil
 }
 
-// checkMeasure verifies every column in a measure expression exists in F.
-func checkMeasure(e expr.Expr, schema storage.Schema) error {
-	for _, c := range expr.Columns(e) {
-		if schema.ColumnIndex(c) < 0 {
-			return fmt.Errorf("core: measure references unknown column %q", c)
+// checkMeasure verifies every column in a measure expression exists in F,
+// pinning each violation to the column reference when the parser recorded
+// its position.
+func checkMeasure(e expr.Expr, schema storage.Schema, fallback diag.Span, l *diag.List) {
+	_ = expr.Walk(e, func(n expr.Expr) error {
+		ref, ok := n.(*expr.ColumnRef)
+		if !ok {
+			return nil
 		}
-	}
-	return nil
+		if schema.ColumnIndex(ref.Name) < 0 {
+			span := ref.Span
+			if span.IsZero() {
+				span = fallback
+			}
+			l.Addf(diag.CodeUnknownMeasure, diag.Error, span,
+				"measure references unknown column %q", ref.Name)
+		}
+		return nil
+	})
 }
 
 // byColsOf returns the totals grouping D1..Dj for a vertical term: the

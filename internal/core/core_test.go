@@ -237,7 +237,7 @@ func TestVpctMissingRowsPost(t *testing.T) {
 		for _, r := range res.Rows {
 			if r[0].Int() == 4 && r[1].Str() == "Mo" {
 				found = true
-				if r[2].IsNull() || r[2].Float() != 0 {
+				if r[2].IsNull() || r[2].Float() != 0 { // floateq:ok exact expected value
 					t.Errorf("missing combination pct = %v, want 0", r[2])
 				}
 			}
@@ -298,7 +298,7 @@ func TestHpctPaperShape(t *testing.T) {
 		t.Fatalf("no Mo column in %v", res.Columns)
 	}
 	for _, r := range res.Rows {
-		if r[0].Int() == 4 && r[moIdx].Float() != 0 {
+		if r[0].Int() == 4 && r[moIdx].Float() != 0 { // floateq:ok exact expected value
 			t.Errorf("store 4 Monday = %v, want 0", r[moIdx])
 		}
 	}

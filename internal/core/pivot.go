@@ -319,7 +319,7 @@ func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
 					v = value.Null
 				default:
 					tf, _ := total.AsFloat()
-					if tf == 0 {
+					if tf == 0 { // floateq:ok SQL division-by-zero guard: exact zero yields NULL
 						v = value.Null
 					} else {
 						// sum(CASE … ELSE 0) semantics: absent combinations

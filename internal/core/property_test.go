@@ -222,7 +222,7 @@ func TestPropertyHpctMatchesVpctNumbers(t *testing.T) {
 				want, present := vmap[group+"|"+col]
 				switch {
 				case !present:
-					if got.IsNull() || got.Float() != 0 {
+					if got.IsNull() || got.Float() != 0 { // floateq:ok exact expected value
 						t.Errorf("trial %d FH[%s][%s] = %v, want 0 for absent combo", trial, group, col, got)
 					}
 				case want.IsNull():

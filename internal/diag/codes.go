@@ -1,0 +1,138 @@
+package diag
+
+// Stable diagnostic codes. PCT0xx are error-class rule violations (the
+// planner rejects the query); PCT1xx are warning/advisory-class findings
+// from the linter's data-aware checks. Codes are append-only: a published
+// code never changes meaning.
+const (
+	// CodeSyntax is a lexical or syntax error from the SQL parser.
+	CodeSyntax = "PCT000"
+
+	// CodeMixedClasses: Vpct combined with Hpct or a BY-aggregate in one
+	// statement (listed as future work in the paper).
+	CodeMixedClasses = "PCT001"
+	// CodeHpctWithHagg: Hpct combined with other horizontal aggregations.
+	CodeHpctWithHagg = "PCT002"
+	// CodeMultiTable: percentage queries must read from a single table F.
+	CodeMultiTable = "PCT003"
+	// CodeHaving: HAVING with percentage aggregations.
+	CodeHaving = "PCT004"
+	// CodeDistinct: SELECT DISTINCT with percentage aggregations.
+	CodeDistinct = "PCT005"
+	// CodeSelectStar: SELECT * with percentage aggregations.
+	CodeSelectStar = "PCT006"
+	// CodeGroupByPosition: GROUP BY position out of range or not a column.
+	CodeGroupByPosition = "PCT007"
+	// CodeGroupByUnknown: GROUP BY names a column not in F.
+	CodeGroupByUnknown = "PCT008"
+	// CodeGroupByDuplicate: duplicate GROUP BY column.
+	CodeGroupByDuplicate = "PCT009"
+	// CodeUnknownTable: the FROM table does not exist in the catalog.
+	CodeUnknownTable = "PCT010"
+	// CodeNotGrouped: a bare select column does not appear in GROUP BY.
+	CodeNotGrouped = "PCT011"
+	// CodeWindowMix: an OVER window aggregate mixed with percentage
+	// aggregations.
+	CodeWindowMix = "PCT012"
+	// CodeNestedAgg: a percentage aggregation nested inside an expression
+	// instead of being a top-level select item.
+	CodeNestedAgg = "PCT013"
+	// CodeBadSelectItem: a select item that is neither a grouping column
+	// nor an aggregate.
+	CodeBadSelectItem = "PCT014"
+	// CodeVpctNoGroupBy: Vpct without a GROUP BY clause.
+	CodeVpctNoGroupBy = "PCT015"
+	// CodeVpctNoArg: Vpct without an expression argument.
+	CodeVpctNoArg = "PCT016"
+	// CodeVpctBySubset: Vpct BY list not a proper subset of GROUP BY.
+	CodeVpctBySubset = "PCT017"
+	// CodeVpctByUnknown: Vpct BY column not one of the GROUP BY columns.
+	CodeVpctByUnknown = "PCT018"
+	// CodeByRequired: Hpct or a horizontal aggregate without a BY list.
+	CodeByRequired = "PCT019"
+	// CodeByNotDisjoint: Hpct/Hagg BY column also in GROUP BY.
+	CodeByNotDisjoint = "PCT020"
+	// CodeByUnknown: Hpct/Hagg BY column not a column of F.
+	CodeByUnknown = "PCT021"
+	// CodeByDuplicate: duplicate column in a BY list.
+	CodeByDuplicate = "PCT022"
+	// CodeAggNoArg: an aggregate that requires an argument lacks one.
+	CodeAggNoArg = "PCT023"
+	// CodeUnknownMeasure: a measure expression references an unknown
+	// column.
+	CodeUnknownMeasure = "PCT024"
+
+	// CodeDivZeroRisk: a Vpct super-group total can be zero or NULL, so
+	// percentages come out NULL (the paper's division-by-zero treatment).
+	CodeDivZeroRisk = "PCT101"
+	// CodeMissingRows: some grouping/subgrouping combinations are absent
+	// from F, so result rows (Vpct) or cells (Hpct/Hagg) are silently
+	// missing or NULL.
+	CodeMissingRows = "PCT102"
+	// CodeColumnExplosion: the number of distinct BY combinations exceeds
+	// (or approaches) the DBMS column limit.
+	CodeColumnExplosion = "PCT103"
+	// CodeUnorderedResult: a horizontal query without ORDER BY has
+	// implementation-defined row order.
+	CodeUnorderedResult = "PCT104"
+	// CodeStrategy: the cost-based advisor recommends non-default
+	// evaluation strategy knobs for this query.
+	CodeStrategy = "PCT105"
+)
+
+// CodeInfo describes one diagnostic code for the registry.
+type CodeInfo struct {
+	Code string
+	// DefaultSeverity is the severity the analyzer assigns findings with
+	// this code.
+	DefaultSeverity Severity
+	// Title is a one-line summary of what the code flags.
+	Title string
+	// Note ties the check to the paper's usage rules or failure modes.
+	Note string
+}
+
+// Registry lists every diagnostic code in order. cmd/pctlint -codes prints
+// it; the docs catalogue derives from the same data.
+var Registry = []CodeInfo{
+	{CodeSyntax, Error, "SQL syntax error", "the statement does not parse; nothing can be checked"},
+	{CodeMixedClasses, Error, "Vpct mixed with horizontal aggregations", "combining vertical and horizontal percentage aggregations is future work in the paper"},
+	{CodeHpctWithHagg, Error, "Hpct mixed with other horizontal aggregations", "one transposition layout per statement"},
+	{CodeMultiTable, Error, "percentage query reads more than one table", "the paper defines Vpct/Hpct over a single table or view F; pre-join first"},
+	{CodeHaving, Error, "HAVING with percentage aggregations", "percentages are computed by a generated multi-statement plan; HAVING has no defined slot"},
+	{CodeDistinct, Error, "SELECT DISTINCT with percentage aggregations", "DISTINCT would drop rows after percentages are computed"},
+	{CodeSelectStar, Error, "SELECT * with percentage aggregations", "the select list must name grouping columns and aggregates explicitly"},
+	{CodeGroupByPosition, Error, "invalid GROUP BY position", "a position must index a bare column select item"},
+	{CodeGroupByUnknown, Error, "GROUP BY column not in F", "grouping columns D1..Dk must be columns of F"},
+	{CodeGroupByDuplicate, Error, "duplicate GROUP BY column", "each grouping column may appear once"},
+	{CodeUnknownTable, Error, "unknown table", "F must exist in the catalog"},
+	{CodeNotGrouped, Error, "select column not in GROUP BY", "non-aggregated select items must be grouping columns"},
+	{CodeWindowMix, Error, "window aggregate mixed with percentage aggregation", "OVER(PARTITION BY) is the paper's comparison baseline, not composable with Vpct/Hpct"},
+	{CodeNestedAgg, Error, "percentage aggregation nested in expression", "Vpct/Hpct must be top-level select items"},
+	{CodeBadSelectItem, Error, "select item neither grouping column nor aggregate", "percentage queries follow the GROUP BY select-list rules"},
+	{CodeVpctNoGroupBy, Error, "Vpct without GROUP BY", "Vpct is a two-level aggregation; rule of Section 3.1"},
+	{CodeVpctNoArg, Error, "Vpct without an argument", "Vpct needs a measure expression to total"},
+	{CodeVpctBySubset, Error, "Vpct BY list not a proper subset of GROUP BY", "the BY clause can have as many as k-1 columns (Section 3.1)"},
+	{CodeVpctByUnknown, Error, "Vpct BY column not in GROUP BY", "BY columns select the subgrouping Dj+1..Dk out of the GROUP BY list"},
+	{CodeByRequired, Error, "Hpct/horizontal aggregate without BY", "the BY list defines the transposed columns (Section 3.2)"},
+	{CodeByNotDisjoint, Error, "BY column also in GROUP BY", "Hpct BY columns must be disjoint from the GROUP BY columns (Section 3.2)"},
+	{CodeByUnknown, Error, "BY column not in F", "subgrouping columns must be columns of F"},
+	{CodeByDuplicate, Error, "duplicate BY column", "each subgrouping column may appear once"},
+	{CodeAggNoArg, Error, "aggregate without required argument", "only count(*) may omit the argument"},
+	{CodeUnknownMeasure, Error, "measure references unknown column", "measure expressions resolve against the schema of F"},
+	{CodeDivZeroRisk, Warning, "division-by-zero risk: totals can be zero or NULL", "the paper's Section on correctness: zero totals make percentages NULL"},
+	{CodeMissingRows, Warning, "missing rows: absent grouping combinations", "the paper's missing-rows failure mode; pre-/post-processing treatments apply"},
+	{CodeColumnExplosion, Warning, "Hpct column explosion vs DBMS column limit", "Hpct creates one column per BY combination; beyond the limit the result is partitioned"},
+	{CodeUnorderedResult, Advisory, "result row order not guaranteed", "add ORDER BY on the grouping columns for stable output"},
+	{CodeStrategy, Advisory, "non-default evaluation strategy recommended", "the paper's Section 4 strategy recommendations, applied to live statistics"},
+}
+
+// Lookup returns the registry entry for a code, if known.
+func Lookup(code string) (CodeInfo, bool) {
+	for _, ci := range Registry {
+		if ci.Code == code {
+			return ci, true
+		}
+	}
+	return CodeInfo{}, false
+}

@@ -178,7 +178,7 @@ func TestExpressionOverAggregates(t *testing.T) {
 	r := mustExec(t, e, `SELECT state,
 		sum(CASE WHEN city = 'Houston' THEN salesAmt ELSE 0 END) / sum(salesAmt)
 		FROM sales GROUP BY state ORDER BY state`)
-	if !r.Rows[0][1].IsNull() && r.Rows[0][1].Float() != 0 {
+	if !r.Rows[0][1].IsNull() && r.Rows[0][1].Float() != 0 { // floateq:ok exact expected value
 		t.Errorf("CA Houston share = %v", r.Rows[0][1])
 	}
 	got := r.Rows[1][1].Float()
@@ -405,7 +405,7 @@ func TestInsertSelect(t *testing.T) {
 		t.Errorf("affected = %d", r.Affected)
 	}
 	r2 := mustExec(t, e, "SELECT A FROM Fk WHERE city = 'Houston'")
-	if len(r2.Rows) != 1 || r2.Rows[0][0].Float() != 64 {
+	if len(r2.Rows) != 1 || r2.Rows[0][0].Float() != 64 { // floateq:ok exact expected value
 		t.Errorf("rows = %v", r2.Rows)
 	}
 }
@@ -415,7 +415,7 @@ func TestInsertColumnListAndDefaults(t *testing.T) {
 	mustExec(t, e, "CREATE TABLE t (a INTEGER, b VARCHAR, c REAL)")
 	mustExec(t, e, "INSERT INTO t (c, a) VALUES (1.5, 7)")
 	r := mustExec(t, e, "SELECT a, b, c FROM t")
-	if r.Rows[0][0].Int() != 7 || !r.Rows[0][1].IsNull() || r.Rows[0][2].Float() != 1.5 {
+	if r.Rows[0][0].Int() != 7 || !r.Rows[0][1].IsNull() || r.Rows[0][2].Float() != 1.5 { // floateq:ok exact expected value
 		t.Errorf("row = %v", r.Rows[0])
 	}
 }
@@ -498,7 +498,7 @@ func TestUpdateCrossTableGlobalTotal(t *testing.T) {
 		t.Errorf("affected = %d", r.Affected)
 	}
 	res := mustExec(t, e, "SELECT A FROM Fk ORDER BY g")
-	if res.Rows[0][0].Float() != 0.25 || res.Rows[1][0].Float() != 0.75 {
+	if res.Rows[0][0].Float() != 0.25 || res.Rows[1][0].Float() != 0.75 { // floateq:ok exact expected value
 		t.Errorf("rows = %v", res.Rows)
 	}
 }

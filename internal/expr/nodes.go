@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/diag"
 	"repro/internal/value"
 )
 
@@ -34,6 +35,9 @@ type ColumnRef struct {
 	Name      string
 	Index     int
 	bound     bool
+	// Span locates the reference in the statement source when the parser
+	// produced it; zero for programmatically built references.
+	Span diag.Span
 }
 
 // Col returns an unbound reference to name.
@@ -426,6 +430,12 @@ type AggCall struct {
 	By       []string  // subgrouping columns: Vpct/Hpct/Hagg BY list
 	Default  *Literal  // Hagg DEFAULT literal replacing NULL fills
 	Over     *OverSpec // ANSI OLAP window, mutually exclusive with By
+
+	// Span locates the whole call in the statement source; BySpans aligns
+	// with By, one span per subgrouping column. Zero for programmatically
+	// built calls.
+	Span    diag.Span
+	BySpans []diag.Span
 }
 
 // Eval always fails: aggregates are computed by the engine, not per row.

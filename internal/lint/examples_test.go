@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+)
+
+var (
+	backtickString = regexp.MustCompile("`([^`]*)`")
+	quotedString   = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+	sqlStart       = regexp.MustCompile(`(?is)^\s*(CREATE|INSERT|SELECT|EXPLAIN)\s`)
+)
+
+// sqlLiterals extracts the SQL statement literals from a Go source file, in
+// source order.
+func sqlLiterals(src string) []string {
+	type hit struct {
+		pos int
+		sql string
+	}
+	var hits []hit
+	for _, re := range []*regexp.Regexp{backtickString, quotedString} {
+		for _, m := range re.FindAllStringSubmatchIndex(src, -1) {
+			s := src[m[2]:m[3]]
+			if sqlStart.MatchString(s) {
+				hits = append(hits, hit{pos: m[0], sql: s})
+			}
+		}
+	}
+	for i := range hits {
+		for j := i + 1; j < len(hits); j++ {
+			if hits[j].pos < hits[i].pos {
+				hits[i], hits[j] = hits[j], hits[i]
+			}
+		}
+	}
+	out := make([]string, len(hits))
+	for i, h := range hits {
+		out[i] = h.sql
+	}
+	return out
+}
+
+// exampleFixtures declares tables an example creates outside SQL (e.g.
+// CSV ingestion with schema inference), so its queries can resolve.
+var exampleFixtures = map[string]string{
+	"etlpipeline": `CREATE TABLE tx (region VARCHAR, store INTEGER, category VARCHAR, month INTEGER, amount INTEGER)`,
+}
+
+// TestExamplesLintClean asserts every SQL statement embedded in the
+// example programs lints free of error-severity findings: the shipped
+// examples must satisfy the usage rules they demonstrate. (Example data is
+// loaded programmatically, so the data-aware warning checks see empty
+// tables and stay quiet; only the rule checks are exercised here.)
+func TestExamplesLintClean(t *testing.T) {
+	mains, err := filepath.Glob(filepath.Join("..", "..", "examples", "*", "main.go"))
+	if err != nil || len(mains) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	for _, path := range mains {
+		name := filepath.Base(filepath.Dir(path))
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stmts := sqlLiterals(string(src))
+			if len(stmts) == 0 {
+				t.Fatalf("no SQL literals found in %s", path)
+			}
+			l := newLinter()
+			if fixture := exampleFixtures[name]; fixture != "" {
+				if _, err := l.LintSQL(fixture); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, sql := range stmts {
+				ds, err := l.LintSQL(sql)
+				if err != nil {
+					t.Fatalf("setup failed for %q: %v", sql, err)
+				}
+				for _, d := range ds {
+					if d.Severity == diag.Error {
+						t.Errorf("example statement lints with an error:\n  %s\n  %s", sql, Render("", d))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCoreGoldenQueriesLintClean asserts the queries documented in the
+// planner's golden SQL corpus lint free of error-severity findings against
+// the fixture they were generated from.
+func TestCoreGoldenQueriesLintClean(t *testing.T) {
+	b, err := os.ReadFile(filepath.Join("..", "core", "testdata", "generated_sql.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLinter()
+	fixture := `
+CREATE TABLE sales (RID INTEGER, state VARCHAR, city VARCHAR, salesAmt INTEGER);
+INSERT INTO sales VALUES
+  (1, 'CA', 'San Francisco', 13), (2, 'CA', 'San Francisco', 3),
+  (3, 'CA', 'San Francisco', 67), (4, 'CA', 'Los Angeles', 23),
+  (5, 'TX', 'Houston', 5), (6, 'TX', 'Houston', 35),
+  (7, 'TX', 'Houston', 10), (8, 'TX', 'Houston', 14),
+  (9, 'TX', 'Dallas', 53), (10, 'TX', 'Dallas', 32);
+CREATE TABLE daily (store INTEGER, dweek VARCHAR, salesAmt INTEGER);
+INSERT INTO daily VALUES
+  (2,'Mo',7),(2,'Tu',6),(2,'We',8),(2,'Th',9),(2,'Fr',16),(2,'Sa',24),(2,'Su',30),
+  (4,'Tu',9),(4,'We',9),(4,'Th',9),(4,'Fr',18),(4,'Sa',20),(4,'Su',35);`
+	if _, err := l.LintSQL(fixture); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, line := range strings.Split(string(b), "\n") {
+		query, ok := strings.CutPrefix(strings.TrimSpace(line), "-- query: ")
+		if !ok {
+			continue
+		}
+		n++
+		ds, err := l.LintSQL(query)
+		if err != nil {
+			t.Fatalf("lint %q: %v", query, err)
+		}
+		for _, d := range ds {
+			if d.Severity == diag.Error {
+				t.Errorf("golden query lints with an error:\n  %s\n  %s", query, Render("", d))
+			}
+		}
+	}
+	if n == 0 {
+		t.Fatal("no -- query: lines found in golden corpus")
+	}
+}

@@ -1,0 +1,8 @@
+-- Valid horizontal query without ORDER BY: row order is
+-- implementation-defined (PCT104).
+CREATE TABLE f (region VARCHAR, quarter INTEGER, amt INTEGER);
+INSERT INTO f VALUES
+  ('East', 1, 10), ('East', 2, 20), ('East', 3, 30), ('East', 4, 40),
+  ('West', 1, 15), ('West', 2, 25), ('West', 3, 35), ('West', 4, 45);
+SELECT region, Hpct(amt BY quarter)
+FROM f GROUP BY region;

@@ -1,0 +1,9 @@
+-- Three BY columns: the paper's Section 4 recommendation is to evaluate
+-- horizontal aggregations from the vertical pre-aggregate FV (PCT105).
+CREATE TABLE t (store INTEGER, a INTEGER, b INTEGER, c INTEGER, amt INTEGER);
+INSERT INTO t VALUES
+  (1,0,0,0,5),(1,0,0,1,6),(1,0,1,0,7),(1,0,1,1,8),
+  (1,1,0,0,9),(1,1,0,1,10),(1,1,1,0,11),(1,1,1,1,12);
+SELECT store, sum(amt BY a, b, c)
+FROM t GROUP BY store
+ORDER BY store;

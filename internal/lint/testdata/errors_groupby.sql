@@ -1,0 +1,12 @@
+-- GROUP BY and Vpct BY-list violations (PCT007-PCT009, PCT015-PCT018,
+-- PCT024).
+CREATE TABLE sales (RID INTEGER, state VARCHAR, city VARCHAR, salesAmt INTEGER);
+INSERT INTO sales VALUES (1, 'CA', 'San Francisco', 13);
+SELECT state, Vpct(salesAmt BY city) FROM sales GROUP BY 5, state, city;
+SELECT state, Vpct(salesAmt BY city) FROM sales GROUP BY state, city, nosuch;
+SELECT state, Vpct(salesAmt BY city) FROM sales GROUP BY state, city, state;
+SELECT Vpct(salesAmt BY city) FROM sales;
+SELECT state, city, Vpct(BY city) FROM sales GROUP BY state, city;
+SELECT state, city, Vpct(salesAmt BY state, city) FROM sales GROUP BY state, city;
+SELECT state, city, Vpct(salesAmt BY nosuch) FROM sales GROUP BY state, city;
+SELECT state, city, Vpct(nosuch BY city) FROM sales GROUP BY state, city;

@@ -1,0 +1,8 @@
+-- Horizontal BY-list violations (PCT019-PCT023).
+CREATE TABLE daily (store INTEGER, dweek VARCHAR, amt INTEGER);
+INSERT INTO daily VALUES (2, 'Mo', 7);
+SELECT store, Hpct(amt) FROM daily GROUP BY store;
+SELECT store, Hpct(amt BY store) FROM daily GROUP BY store;
+SELECT store, Hpct(amt BY nosuch) FROM daily GROUP BY store;
+SELECT store, Hpct(amt BY dweek, dweek) FROM daily GROUP BY store;
+SELECT store, sum(BY dweek) FROM daily GROUP BY store;

@@ -1,0 +1,7 @@
+-- Mixing aggregation classes in one statement (PCT001, PCT002).
+CREATE TABLE f (region VARCHAR, quarter INTEGER, amt INTEGER);
+INSERT INTO f VALUES ('East', 1, 10);
+SELECT region, quarter, Vpct(amt BY quarter), Hpct(amt BY quarter)
+FROM f GROUP BY region, quarter;
+SELECT region, Hpct(amt BY quarter), sum(amt BY quarter)
+FROM f GROUP BY region;

@@ -1,0 +1,16 @@
+-- Structural rule violations: multi-table, HAVING, DISTINCT, SELECT *,
+-- unknown table, window mix, nesting, bad items, ungrouped columns
+-- (PCT003-PCT006, PCT010-PCT014).
+CREATE TABLE sales (RID INTEGER, state VARCHAR, city VARCHAR, salesAmt INTEGER);
+CREATE TABLE stores (city VARCHAR, sqft INTEGER);
+INSERT INTO sales VALUES (1, 'CA', 'San Francisco', 13);
+SELECT state, Vpct(salesAmt BY city) FROM sales, stores GROUP BY state, city;
+SELECT state, Vpct(salesAmt BY city) FROM sales GROUP BY state, city HAVING state = 'CA';
+SELECT DISTINCT state, Vpct(salesAmt BY city) FROM sales GROUP BY state, city;
+SELECT *, Vpct(salesAmt BY city) FROM sales GROUP BY state, city;
+SELECT state, Vpct(salesAmt BY city) FROM nosuch GROUP BY state, city;
+SELECT state, Vpct(salesAmt BY city), sum(salesAmt) OVER (PARTITION BY state)
+FROM sales GROUP BY state, city;
+SELECT state, Vpct(salesAmt BY city) / 2 FROM sales GROUP BY state, city;
+SELECT state, salesAmt + 1, Vpct(salesAmt BY city) FROM sales GROUP BY state, city;
+SELECT RID, Vpct(salesAmt BY city) FROM sales GROUP BY state, city;

@@ -1,0 +1,9 @@
+-- NULL and non-positive measure values: super-group totals can be zero or
+-- NULL, so percentages come out NULL (PCT101).
+CREATE TABLE f (region VARCHAR, quarter INTEGER, amt INTEGER);
+INSERT INTO f VALUES
+  ('East', 1, 10), ('East', 2, 0), ('East', 3, -5), ('East', 4, 40),
+  ('West', 1, NULL), ('West', 2, 25), ('West', 3, 35), ('West', 4, 45);
+SELECT region, quarter, Vpct(amt BY quarter)
+FROM f GROUP BY region, quarter
+ORDER BY region, quarter;

@@ -1,0 +1,9 @@
+-- lint:max-columns=4
+-- Seven distinct BY values against a column limit of four: the horizontal
+-- result is vertically partitioned (PCT103).
+CREATE TABLE daily (store INTEGER, dweek VARCHAR, amt INTEGER);
+INSERT INTO daily VALUES
+  (2,'Mo',7),(2,'Tu',6),(2,'We',8),(2,'Th',9),(2,'Fr',16),(2,'Sa',24),(2,'Su',30);
+SELECT store, Hpct(amt BY dweek)
+FROM daily GROUP BY store
+ORDER BY store;

@@ -1,0 +1,9 @@
+-- Same missing combination, horizontal form: the absent (store, dweek)
+-- pair becomes a NULL result cell (PCT102).
+CREATE TABLE daily (store INTEGER, dweek VARCHAR, amt INTEGER);
+INSERT INTO daily VALUES
+  (2,'Mo',7),(2,'Tu',6),(2,'We',8),(2,'Th',9),(2,'Fr',16),(2,'Sa',24),(2,'Su',30),
+  (4,'Tu',9),(4,'We',9),(4,'Th',9),(4,'Fr',18),(4,'Sa',20),(4,'Su',35);
+SELECT store, Hpct(amt BY dweek)
+FROM daily GROUP BY store
+ORDER BY store;

@@ -3,6 +3,7 @@ package sqlparse
 import (
 	"strings"
 
+	"repro/internal/diag"
 	"repro/internal/expr"
 	"repro/internal/storage"
 )
@@ -215,6 +216,8 @@ const (
 type TableRef struct {
 	Name  string
 	Alias string
+	// Span locates the reference in the statement source.
+	Span diag.Span
 }
 
 // RefName returns the name the table is referenced by (alias if present).
@@ -248,6 +251,8 @@ type SelectItem struct {
 	Star  bool
 	Expr  expr.Expr
 	Alias string
+	// Span locates the whole item (expression plus alias) in the source.
+	Span diag.Span
 }
 
 // String renders the item.
@@ -267,6 +272,8 @@ type GroupKey struct {
 	Qualifier string
 	Column    string
 	Position  int // 1-based; 0 when Column is set
+	// Span locates the key in the statement source.
+	Span diag.Span
 }
 
 // String renders the key.
@@ -313,6 +320,11 @@ type Select struct {
 	Having   expr.Expr
 	OrderBy  []OrderKey
 	Limit    int // 0 = no limit
+
+	// DistinctSpan and HavingSpan locate the DISTINCT keyword and the
+	// HAVING clause, for positioned diagnostics; zero when absent.
+	DistinctSpan diag.Span
+	HavingSpan   diag.Span
 }
 
 func (*Select) stmt() {}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+
+	"repro/internal/diag"
 )
 
 // tokenKind classifies lexical tokens.
@@ -28,13 +30,24 @@ const (
 	tokSymbol
 )
 
-// token is one lexical token with its source position (1-based).
+// token is one lexical token with its source span (line/col 1-based).
 type token struct {
-	kind tokenKind
-	text string // keywords upper-cased; quoted idents unquoted
-	pos  int    // byte offset in the input
-	line int
-	col  int
+	kind    tokenKind
+	text    string // keywords upper-cased; quoted idents unquoted
+	pos     int    // byte offset in the input
+	line    int
+	col     int
+	end     int // byte offset one past the token
+	endLine int
+	endCol  int
+}
+
+// span returns the token's source range as a diagnostic span.
+func (t token) span() diag.Span {
+	return diag.Span{
+		Start: diag.Pos{Offset: t.pos, Line: t.line, Col: t.col},
+		End:   diag.Pos{Offset: t.end, Line: t.endLine, Col: t.endCol},
+	}
 }
 
 func (t token) String() string {
@@ -75,18 +88,26 @@ type lexer struct {
 
 func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
 
-// lexError is a positioned lexical or syntax error.
-type lexError struct {
-	line, col int
-	msg       string
+// SyntaxError is a positioned lexical or syntax error. Line and Col are
+// 1-based; tools (cmd/pctlint) unwrap it to place the finding precisely.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
 }
 
-func (e *lexError) Error() string {
-	return fmt.Sprintf("sql:%d:%d: %s", e.line, e.col, e.msg)
+// Error renders the message with its source position.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql: %s at line %d, col %d", e.Msg, e.Line, e.Col)
+}
+
+// Span returns the error position as a zero-width diagnostic span.
+func (e *SyntaxError) Span() diag.Span {
+	p := diag.Pos{Line: e.Line, Col: e.Col}
+	return diag.Span{Start: p, End: p}
 }
 
 func (l *lexer) errorf(format string, args ...any) error {
-	return &lexError{line: l.line, col: l.col, msg: fmt.Sprintf(format, args...)}
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (l *lexer) advance() byte {
@@ -115,8 +136,18 @@ func (l *lexer) peekAt(off int) byte {
 	return l.src[l.pos+off]
 }
 
-// next returns the next token.
+// next returns the next token with its end position stamped.
 func (l *lexer) next() (token, error) {
+	t, err := l.scan()
+	if err != nil {
+		return t, err
+	}
+	t.end, t.endLine, t.endCol = l.pos, l.line, l.col
+	return t, nil
+}
+
+// scan lexes the next token; next fills in the end position.
+func (l *lexer) scan() (token, error) {
 	for l.pos < len(l.src) {
 		ch := l.peek()
 		switch {
@@ -187,7 +218,7 @@ scan:
 		var sb strings.Builder
 		for {
 			if l.pos >= len(l.src) {
-				return token{}, &lexError{line: line, col: col, msg: "unterminated string literal"}
+				return token{}, &SyntaxError{Line: line, Col: col, Msg: "unterminated string literal"}
 			}
 			c := l.advance()
 			if c == '\'' {
@@ -207,7 +238,7 @@ scan:
 		var sb strings.Builder
 		for {
 			if l.pos >= len(l.src) {
-				return token{}, &lexError{line: line, col: col, msg: "unterminated quoted identifier"}
+				return token{}, &SyntaxError{Line: line, Col: col, Msg: "unterminated quoted identifier"}
 			}
 			c := l.advance()
 			if c == '"' {
@@ -239,7 +270,7 @@ scan:
 			l.advance()
 			return token{kind: tokSymbol, text: string(ch), pos: start, line: line, col: col}, nil
 		}
-		return token{}, &lexError{line: line, col: col, msg: fmt.Sprintf("unexpected character %q", rune(ch))}
+		return token{}, &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", rune(ch))}
 	}
 }
 

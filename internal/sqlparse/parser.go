@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/diag"
 	"repro/internal/expr"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -17,7 +18,7 @@ func Parse(src string) (Statement, error) {
 		return nil, err
 	}
 	if len(stmts) != 1 {
-		return nil, fmt.Errorf("sqlparse: expected one statement, got %d", len(stmts))
+		return nil, &SyntaxError{Line: 1, Col: 1, Msg: fmt.Sprintf("expected one statement, got %d", len(stmts))}
 	}
 	return stmts[0], nil
 }
@@ -47,7 +48,7 @@ func ParseAll(src string) ([]Statement, error) {
 		}
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("sqlparse: empty input")
+		return nil, &SyntaxError{Line: 1, Col: 1, Msg: "empty input"}
 	}
 	return out, nil
 }
@@ -72,6 +73,7 @@ func ParseExpr(src string) (expr.Expr, error) {
 type parser struct {
 	toks []token
 	pos  int
+	last token // most recently consumed token, for span ends
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -87,13 +89,22 @@ func (p *parser) advance() token {
 	t := p.toks[p.pos]
 	if t.kind != tokEOF {
 		p.pos++
+		p.last = t
 	}
 	return t
 }
 
 func (p *parser) errorf(format string, args ...any) error {
 	t := p.peek()
-	return fmt.Errorf("sql:%d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+	return &SyntaxError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// spanFrom covers from the start token through the last consumed token.
+func (p *parser) spanFrom(start token) diag.Span {
+	return diag.Span{
+		Start: diag.Pos{Offset: start.pos, Line: start.line, Col: start.col},
+		End:   diag.Pos{Offset: p.last.end, Line: p.last.endLine, Col: p.last.endCol},
+	}
 }
 
 // matchKeyword consumes the keyword if present.
@@ -460,12 +471,14 @@ func (p *parser) parseSelect() (Statement, error) {
 	sel := &Select{}
 	if p.matchKeyword("DISTINCT") {
 		sel.Distinct = true
+		sel.DistinctSpan = p.last.span()
 	} else {
 		p.matchKeyword("ALL")
 	}
 	for {
+		start := p.peek()
 		if p.matchSymbol("*") {
-			sel.Items = append(sel.Items, SelectItem{Star: true})
+			sel.Items = append(sel.Items, SelectItem{Star: true, Span: p.spanFrom(start)})
 		} else {
 			e, err := p.parseExpr()
 			if err != nil {
@@ -482,6 +495,7 @@ func (p *parser) parseSelect() (Statement, error) {
 				item.Alias = t.text
 				p.advance()
 			}
+			item.Span = p.spanFrom(start)
 			sel.Items = append(sel.Items, item)
 		}
 		if !p.matchSymbol(",") {
@@ -554,11 +568,13 @@ fromDone:
 		}
 	}
 	if p.matchKeyword("HAVING") {
+		havingTok := p.last
 		h, err := p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
 		sel.Having = h
+		sel.HavingSpan = p.spanFrom(havingTok)
 	}
 	if p.matchKeyword("ORDER") {
 		if err := p.expectKeyword("BY"); err != nil {
@@ -604,7 +620,7 @@ func (p *parser) groupKey() (GroupKey, error) {
 			return GroupKey{}, p.errorf("bad position %q", t.text)
 		}
 		p.advance()
-		return GroupKey{Position: n}, nil
+		return GroupKey{Position: n, Span: t.span()}, nil
 	}
 	name, err := p.identifier("column name or position")
 	if err != nil {
@@ -615,12 +631,13 @@ func (p *parser) groupKey() (GroupKey, error) {
 		if err != nil {
 			return GroupKey{}, err
 		}
-		return GroupKey{Qualifier: name, Column: col}, nil
+		return GroupKey{Qualifier: name, Column: col, Span: p.spanFrom(t)}, nil
 	}
-	return GroupKey{Column: name}, nil
+	return GroupKey{Column: name, Span: p.spanFrom(t)}, nil
 }
 
 func (p *parser) tableRef() (TableRef, error) {
+	start := p.peek()
 	name, err := p.identifier("table name")
 	if err != nil {
 		return TableRef{}, err
@@ -636,19 +653,30 @@ func (p *parser) tableRef() (TableRef, error) {
 		ref.Alias = t.text
 		p.advance()
 	}
+	ref.Span = p.spanFrom(start)
 	return ref, nil
 }
 
 func (p *parser) identList() ([]string, error) {
+	out, _, err := p.identListSpans()
+	return out, err
+}
+
+// identListSpans parses a comma list of identifiers, also returning the
+// source span of each.
+func (p *parser) identListSpans() ([]string, []diag.Span, error) {
 	var out []string
+	var spans []diag.Span
 	for {
+		t := p.peek()
 		id, err := p.identifier("column name")
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out = append(out, id)
+		spans = append(spans, t.span())
 		if !p.matchSymbol(",") {
-			return out, nil
+			return out, spans, nil
 		}
 	}
 }
@@ -904,9 +932,13 @@ func (p *parser) parsePrimary() (expr.Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			return expr.QCol(t.text, col), nil
+			ref := expr.QCol(t.text, col)
+			ref.Span = p.spanFrom(t)
+			return ref, nil
 		}
-		return expr.Col(t.text), nil
+		ref := expr.Col(t.text)
+		ref.Span = t.span()
+		return ref, nil
 	}
 	return nil, p.errorf("unexpected %s in expression", t)
 }
@@ -947,7 +979,8 @@ func (p *parser) parseCase() (expr.Expr, error) {
 // parseCall parses fn(...) — an aggregate (possibly with DISTINCT, *, BY
 // list, DEFAULT, and a trailing OVER clause) or a scalar function.
 func (p *parser) parseCall() (expr.Expr, error) {
-	name := p.advance().text
+	nameTok := p.advance()
+	name := nameTok.text
 	p.advance() // (
 	fn, isAgg := aggFuncs[strings.ToLower(name)]
 	if !isAgg {
@@ -977,7 +1010,10 @@ func (p *parser) parseCall() (expr.Expr, error) {
 	}
 	if p.matchSymbol("*") {
 		agg.Star = true
-	} else {
+	} else if t := p.peek(); !(t.kind == tokKeyword && t.text == "BY") {
+		// A missing argument directly before BY parses as Arg == nil so
+		// the analyzer can report it (PCT016/PCT023) alongside the
+		// query's other problems instead of dying here.
 		a, err := p.parseExpr()
 		if err != nil {
 			return nil, err
@@ -985,11 +1021,12 @@ func (p *parser) parseCall() (expr.Expr, error) {
 		agg.Arg = a
 	}
 	if p.matchKeyword("BY") {
-		cols, err := p.identList()
+		cols, spans, err := p.identListSpans()
 		if err != nil {
 			return nil, err
 		}
 		agg.By = cols
+		agg.BySpans = spans
 	}
 	if p.matchKeyword("DEFAULT") {
 		d, err := p.parsePrimary()
@@ -1032,5 +1069,6 @@ func (p *parser) parseCall() (expr.Expr, error) {
 	if (fn == expr.AggVpct || fn == expr.AggHpct) && agg.Star {
 		return nil, p.errorf("%s requires an expression argument", name)
 	}
+	agg.Span = p.spanFrom(nameTok)
 	return agg, nil
 }

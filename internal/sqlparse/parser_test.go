@@ -1,6 +1,7 @@
 package sqlparse
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -311,7 +312,7 @@ func TestParseNumberLiterals(t *testing.T) {
 		t.Fatal(err)
 	}
 	v, err := e.Eval(nil)
-	if err != nil || v.Float() != 151.5 {
+	if err != nil || v.Float() != 151.5 { // floateq:ok exact expected value
 		t.Errorf("eval = %v %v", v, err)
 	}
 }
@@ -374,8 +375,47 @@ func TestParseErrorPositions(t *testing.T) {
 	if err == nil {
 		t.Fatal("expected error")
 	}
-	if !strings.Contains(err.Error(), "2:") {
-		t.Errorf("error %q lacks line info", err)
+	if !strings.Contains(err.Error(), "at line 2, col 14") {
+		t.Errorf("error %q lacks position info", err)
+	}
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T is not a *SyntaxError", err)
+	}
+	if se.Line != 2 || se.Col != 14 {
+		t.Errorf("SyntaxError position = %d:%d, want 2:14", se.Line, se.Col)
+	}
+
+	// Parser (not lexer) errors carry positions too.
+	_, err = Parse("SELECT a FROM F GROUP BY\nORDER BY a")
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T is not a *SyntaxError", err)
+	}
+	if se.Line != 2 {
+		t.Errorf("parser error position = %d:%d, want line 2", se.Line, se.Col)
+	}
+}
+
+func TestParsedSpans(t *testing.T) {
+	sel := mustSelect(t, "SELECT state, Vpct(salesAmt BY city)\nFROM sales GROUP BY state, city")
+	if got := sel.Items[0].Span.Start; got.Line != 1 || got.Col != 8 {
+		t.Errorf("item 0 span = %v", sel.Items[0].Span)
+	}
+	agg, ok := sel.Items[1].Expr.(*expr.AggCall)
+	if !ok {
+		t.Fatalf("item 1 = %T", sel.Items[1].Expr)
+	}
+	if agg.Span.Start.Line != 1 || agg.Span.Start.Col != 15 {
+		t.Errorf("agg span = %v", agg.Span)
+	}
+	if len(agg.BySpans) != 1 || agg.BySpans[0].Start.Col != 32 {
+		t.Errorf("BY spans = %v", agg.BySpans)
+	}
+	if len(sel.GroupBy) != 2 || sel.GroupBy[1].Span.Start.Line != 2 {
+		t.Errorf("group key spans = %v, %v", sel.GroupBy[0].Span, sel.GroupBy[1].Span)
+	}
+	if sel.From[0].Table.Span.Start.Line != 2 || sel.From[0].Table.Span.Start.Col != 6 {
+		t.Errorf("table span = %v", sel.From[0].Table.Span)
 	}
 }
 

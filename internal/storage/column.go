@@ -118,7 +118,7 @@ func (c *column) append(v value.Value) error {
 	switch c.typ {
 	case TypeInt:
 		i, ok := v.AsInt()
-		if !ok || v.Kind() == value.KindFloat && v.Float() != float64(i) {
+		if !ok || v.Kind() == value.KindFloat && v.Float() != float64(i) { // floateq:ok lossless-store check is exact by design
 			return fmt.Errorf("storage: cannot store %s %v in INTEGER column", v.Kind(), v)
 		}
 		c.ints = append(c.ints, i)
@@ -169,7 +169,7 @@ func (c *column) set(r int, v value.Value) error {
 	switch c.typ {
 	case TypeInt:
 		i, ok := v.AsInt()
-		if !ok || v.Kind() == value.KindFloat && v.Float() != float64(i) {
+		if !ok || v.Kind() == value.KindFloat && v.Float() != float64(i) { // floateq:ok lossless-store check is exact by design
 			return fmt.Errorf("storage: cannot store %s %v in INTEGER column", v.Kind(), v)
 		}
 		c.ints[r] = i

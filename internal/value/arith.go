@@ -25,7 +25,7 @@ func Div(a, b Value) (Value, error) {
 	if !aok || !bok {
 		return Null, fmt.Errorf("value: cannot divide %s by %s", a.kind, b.kind)
 	}
-	if bf == 0 {
+	if bf == 0 { // floateq:ok SQL division-by-zero guard: exact zero yields NULL
 		return Null, nil
 	}
 	return NewFloat(af / bf), nil

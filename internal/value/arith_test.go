@@ -24,7 +24,7 @@ func TestAddSubMul(t *testing.T) {
 	if v := mustArith(t, Mul, NewInt(4), NewInt(3)); v.Int() != 12 {
 		t.Errorf("4*3 = %v", v)
 	}
-	if v := mustArith(t, Add, NewInt(2), NewFloat(0.5)); v.Kind() != KindFloat || v.Float() != 2.5 {
+	if v := mustArith(t, Add, NewInt(2), NewFloat(0.5)); v.Kind() != KindFloat || v.Float() != 2.5 { // floateq:ok exact expected value
 		t.Errorf("2+0.5 = %v", v)
 	}
 	if v := mustArith(t, Add, NewString("ab"), NewString("cd")); v.Str() != "abcd" {
@@ -49,7 +49,7 @@ func TestNullPropagation(t *testing.T) {
 
 func TestDivSemantics(t *testing.T) {
 	// Division always yields REAL: 1/2 = 0.5, not 0.
-	if v := mustArith(t, Div, NewInt(1), NewInt(2)); v.Kind() != KindFloat || v.Float() != 0.5 {
+	if v := mustArith(t, Div, NewInt(1), NewInt(2)); v.Kind() != KindFloat || v.Float() != 0.5 { // floateq:ok exact expected value
 		t.Errorf("1/2 = %v, want 0.5 REAL", v)
 	}
 	// Division by zero yields NULL (the paper's Vpct rule), not an error.
@@ -68,7 +68,7 @@ func TestNeg(t *testing.T) {
 	if v, _ := Neg(NewInt(5)); v.Int() != -5 {
 		t.Errorf("-5 = %v", v)
 	}
-	if v, _ := Neg(NewFloat(2.5)); v.Float() != -2.5 {
+	if v, _ := Neg(NewFloat(2.5)); v.Float() != -2.5 { // floateq:ok exact expected value
 		t.Errorf("-2.5 = %v", v)
 	}
 	if _, err := Neg(NewString("x")); err == nil {

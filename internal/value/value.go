@@ -175,7 +175,7 @@ func (v Value) Truthy() bool {
 	case KindBool, KindInt:
 		return v.i != 0
 	case KindFloat:
-		return v.f != 0
+		return v.f != 0 // floateq:ok SQL truthiness is exact
 	default:
 		return false
 	}
@@ -201,7 +201,7 @@ func Coerce(v Value, k Kind) (Value, error) {
 		}
 	case KindInt:
 		if v.kind == KindFloat {
-			if v.f != math.Trunc(v.f) || math.IsInf(v.f, 0) || math.IsNaN(v.f) {
+			if v.f != math.Trunc(v.f) || math.IsInf(v.f, 0) || math.IsNaN(v.f) { // floateq:ok lossless-cast check is exact by design
 				return Null, fmt.Errorf("value: cannot cast %v to INTEGER without loss", v.f)
 			}
 			return NewInt(int64(v.f)), nil

@@ -23,7 +23,7 @@ func TestConstructorsAndAccessors(t *testing.T) {
 	if got := NewInt(42).Int(); got != 42 {
 		t.Errorf("NewInt(42).Int() = %d", got)
 	}
-	if got := NewFloat(2.5).Float(); got != 2.5 {
+	if got := NewFloat(2.5).Float(); got != 2.5 { // floateq:ok exact expected value
 		t.Errorf("NewFloat(2.5).Float() = %v", got)
 	}
 	if got := NewString("abc").Str(); got != "abc" {
@@ -32,7 +32,7 @@ func TestConstructorsAndAccessors(t *testing.T) {
 	if !NewBool(true).Bool() || NewBool(false).Bool() {
 		t.Error("NewBool round trip failed")
 	}
-	if NewInt(7).Float() != 7.0 {
+	if NewInt(7).Float() != 7.0 { // floateq:ok exact expected value
 		t.Error("Float() must widen ints")
 	}
 }
@@ -80,10 +80,10 @@ func TestStringRendering(t *testing.T) {
 }
 
 func TestAsFloatAsInt(t *testing.T) {
-	if f, ok := NewInt(3).AsFloat(); !ok || f != 3 {
+	if f, ok := NewInt(3).AsFloat(); !ok || f != 3 { // floateq:ok exact expected value
 		t.Error("AsFloat on int failed")
 	}
-	if f, ok := NewFloat(3.5).AsFloat(); !ok || f != 3.5 {
+	if f, ok := NewFloat(3.5).AsFloat(); !ok || f != 3.5 { // floateq:ok exact expected value
 		t.Error("AsFloat on float failed")
 	}
 	if _, ok := Null.AsFloat(); ok {
@@ -113,7 +113,7 @@ func TestTruthy(t *testing.T) {
 }
 
 func TestCoerce(t *testing.T) {
-	if v, err := Coerce(NewInt(3), KindFloat); err != nil || v.Float() != 3 {
+	if v, err := Coerce(NewInt(3), KindFloat); err != nil || v.Float() != 3 { // floateq:ok exact expected value
 		t.Errorf("int→float: %v %v", v, err)
 	}
 	if v, err := Coerce(NewFloat(4), KindInt); err != nil || v.Int() != 4 {
@@ -128,7 +128,7 @@ func TestCoerce(t *testing.T) {
 	if v, err := Coerce(NewString("12"), KindInt); err != nil || v.Int() != 12 {
 		t.Errorf("string→int: %v %v", v, err)
 	}
-	if v, err := Coerce(NewString("1.5"), KindFloat); err != nil || v.Float() != 1.5 {
+	if v, err := Coerce(NewString("1.5"), KindFloat); err != nil || v.Float() != 1.5 { // floateq:ok exact expected value
 		t.Errorf("string→float: %v %v", v, err)
 	}
 	if _, err := Coerce(NewString("xyz"), KindFloat); err == nil {

@@ -23,7 +23,7 @@ func TestLoadCSVWithInference(t *testing.T) {
 	if rows.Data[0][2].(int64) != 23 {
 		t.Errorf("amount inferred wrong: %v", rows.Data[0])
 	}
-	if rows.Data[0][3].(float64) != 0.22 {
+	if rows.Data[0][3].(float64) != 0.22 { // floateq:ok exact expected value
 		t.Errorf("rate inferred wrong: %v", rows.Data[0])
 	}
 	// Empty cells are NULL (the TX row, amount 64, sorts second).
@@ -128,7 +128,7 @@ func TestSaveLoadSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows.Data[0][1].(float64) != 1.5 || rows.Data[0][3].(bool) != true {
+	if rows.Data[0][1].(float64) != 1.5 || rows.Data[0][3].(bool) != true { // floateq:ok exact expected value
 		t.Errorf("row 0 = %v", rows.Data[0])
 	}
 	if rows.Data[1][1] != nil || rows.Data[1][2] != nil {

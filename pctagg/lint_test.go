@@ -1,0 +1,67 @@
+package pctagg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintReportsAllViolations(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`CREATE TABLE sales (state VARCHAR, city VARCHAR, amt INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	// Two independent violations in one statement: fail-fast Query reports
+	// one; Lint must report both, with positions.
+	ds := db.Lint(`SELECT state, Vpct(amt BY state, city), Vpct(nosuch BY city)
+FROM sales GROUP BY state, city`)
+	var codes []string
+	for _, d := range ds {
+		codes = append(codes, d.Code)
+		if d.Line == 0 || d.Col == 0 {
+			t.Errorf("diagnostic %s has no position: %+v", d.Code, d)
+		}
+		if d.Severity != "error" {
+			t.Errorf("diagnostic %s severity = %q, want error", d.Code, d.Severity)
+		}
+	}
+	joined := strings.Join(codes, ",")
+	if !strings.Contains(joined, "PCT017") || !strings.Contains(joined, "PCT024") {
+		t.Fatalf("want PCT017 and PCT024, got %v", codes)
+	}
+}
+
+func TestLintDoesNotExecuteSetup(t *testing.T) {
+	db := Open()
+	ds := db.Lint(`CREATE TABLE t (a INTEGER); SELECT a, Hpct(a BY a) FROM t GROUP BY a`)
+	// The CREATE must not run: the SELECT then fails with unknown table,
+	// and the catalog stays empty.
+	if len(ds) != 1 || ds[0].Code != "PCT010" {
+		t.Fatalf("want a single PCT010, got %+v", ds)
+	}
+	if n := len(db.Tables()); n != 0 {
+		t.Fatalf("Lint executed DDL: %d tables", n)
+	}
+}
+
+func TestLintCleanQuery(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`CREATE TABLE f (region VARCHAR, quarter INTEGER, amt INTEGER);
+INSERT INTO f VALUES ('East', 1, 10), ('East', 2, 20), ('West', 1, 15), ('West', 2, 25)`); err != nil {
+		t.Fatal(err)
+	}
+	ds := db.Lint(`SELECT region, quarter, Vpct(amt BY quarter) FROM f GROUP BY region, quarter ORDER BY region, quarter`)
+	if len(ds) != 0 {
+		t.Fatalf("clean query produced findings: %+v", ds)
+	}
+}
+
+func TestLintSyntaxError(t *testing.T) {
+	db := Open()
+	ds := db.Lint(`SELECT FROM`)
+	if len(ds) != 1 || ds[0].Code != "PCT000" || ds[0].Severity != "error" {
+		t.Fatalf("want one PCT000 error, got %+v", ds)
+	}
+	if !strings.Contains(ds[0].String(), "PCT000") {
+		t.Fatalf("String() missing code: %s", ds[0].String())
+	}
+}

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/lint"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -173,6 +174,55 @@ func (db *DB) OLAPEquivalent(sql string) (string, error) {
 		return "", fmt.Errorf("pctagg: expected a SELECT")
 	}
 	return db.planner.OLAPEquivalent(sel)
+}
+
+// Diagnostic is one finding of the percentage-query linter: a stable
+// PCTxxx code, a severity ("error", "warning", or "advisory"), a 1-based
+// source position (zero when the finding has no single location), the
+// human-readable message, and an optional suggested fix.
+type Diagnostic struct {
+	Code     string
+	Severity string
+	Line     int
+	Col      int
+	Message  string
+	Fix      string
+}
+
+// String renders the diagnostic as a compiler-style line.
+func (d Diagnostic) String() string {
+	s := ""
+	if d.Line > 0 {
+		s = fmt.Sprintf("%d:%d: ", d.Line, d.Col)
+	}
+	s += fmt.Sprintf("%s[%s]: %s", d.Severity, d.Code, d.Message)
+	if d.Fix != "" {
+		s += "\n    fix: " + d.Fix
+	}
+	return s
+}
+
+// Lint statically checks the SELECT statements of a SQL script against the
+// database's catalog and live data without running them: every violation
+// of the paper's usage rules (the errors Query would report one at a
+// time), plus warnings for its silent failure modes — division by zero,
+// missing grouping combinations, Hpct column explosion — and strategy
+// advisories. Non-SELECT statements in the script are ignored, not
+// executed.
+func (db *DB) Lint(sql string) []Diagnostic {
+	ds := lint.New(db.planner).LintQueries(sql)
+	out := make([]Diagnostic, len(ds))
+	for i, d := range ds {
+		out[i] = Diagnostic{
+			Code:     d.Code,
+			Severity: d.Severity.String(),
+			Line:     d.Span.Start.Line,
+			Col:      d.Span.Start.Col,
+			Message:  d.Message,
+			Fix:      d.Fix,
+		}
+	}
+	return out
 }
 
 // InsertRows bulk-appends rows into a table without SQL parsing, the fast

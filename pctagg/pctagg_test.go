@@ -65,7 +65,7 @@ func TestQueryHpct(t *testing.T) {
 	}
 	zero := 0
 	for _, v := range caRow[1:] {
-		if f, ok := v.(float64); ok && f == 0 {
+		if f, ok := v.(float64); ok && f == 0 { // floateq:ok exact expected value
 			zero++
 		}
 	}
@@ -207,7 +207,7 @@ func TestInsertRowsBulkLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rows.Data[0][0].(int64) != 3 || rows.Data[0][1].(float64) != 6.0 {
+	if rows.Data[0][0].(int64) != 3 || rows.Data[0][1].(float64) != 6.0 { // floateq:ok exact expected value
 		t.Errorf("data = %v", rows.Data)
 	}
 	if err := db.InsertRows("nosuch", nil); err == nil {
@@ -294,7 +294,7 @@ func TestShareSummariesThroughPublicAPI(t *testing.T) {
 		t.Fatal("shared run changed results")
 	}
 	for i := range first.Data {
-		if first.Data[i][2].(float64) != second.Data[i][2].(float64) {
+		if first.Data[i][2].(float64) != second.Data[i][2].(float64) { // floateq:ok exact expected value
 			t.Fatalf("row %d changed: %v vs %v", i, first.Data[i], second.Data[i])
 		}
 	}

@@ -1,0 +1,325 @@
+// Command floateq is a vet-style static analyzer that flags == and !=
+// comparisons on floating-point operands. Percentage aggregations divide
+// measures into REAL results, so exact float equality is almost always a
+// bug in this codebase (the generated SQL itself guards divisions with
+// CASE WHEN x <> 0, but that decision is the planner's to make — Go code
+// should compare with a tolerance or against the value package's
+// comparators).
+//
+// The analyzer is built on go/parser + go/types only — no external
+// modules — with a loader that type-checks the repro module's packages
+// recursively from the filesystem and delegates the standard library to
+// the source importer. It checks every package under the module root,
+// including in-package _test.go files; external _test packages are checked
+// as their own units.
+//
+// Usage:
+//
+//	go run ./tools/floateq [dir]    # dir defaults to the module root (cwd)
+//
+// A finding can be waived with a trailing "// floateq:ok reason" comment
+// on the offending line. Exit status: 0 clean, 1 findings, 2 load failure.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// loader resolves imports: module-internal packages are parsed and
+// type-checked from the filesystem (recursively), everything else is
+// delegated to the standard-library source importer.
+type loader struct {
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*types.Package
+	modRoot string
+	modPath string
+}
+
+func (l *loader) dirOf(path string) string {
+	return filepath.Join(l.modRoot, strings.TrimPrefix(path, l.modPath))
+}
+
+// parseDir parses the non-test (or only in-package test) Go files of a
+// directory, split by suffix.
+func (l *loader) parseDir(dir string, tests bool) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") != tests {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if path != l.modPath && !strings.HasPrefix(path, l.modPath+"/") {
+		return l.std.Import(path)
+	}
+	files, err := l.parseDir(l.dirOf(path), false)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// finding is one flagged comparison.
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	modRoot, modPath, err := findModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "floateq:", err)
+		os.Exit(2)
+	}
+
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*types.Package{},
+		modRoot: modRoot,
+		modPath: modPath,
+	}
+
+	var findings []finding
+	for _, dir := range packageDirs(modRoot) {
+		rel, _ := filepath.Rel(modRoot, dir)
+		impPath := modPath
+		if rel != "." {
+			impPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		fs, err := checkDir(l, impPath, dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "floateq: %s: %v\n", impPath, err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].pos, findings[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	for _, f := range findings {
+		rel := f.pos.Filename
+		if r, err := filepath.Rel(modRoot, rel); err == nil {
+			rel = r
+		}
+		fmt.Printf("%s:%d:%d: %s\n", rel, f.pos.Line, f.pos.Column, f.msg)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// findModule locates the enclosing go.mod and reads the module path.
+func findModule(start string) (root, path string, err error) {
+	dir, err := filepath.Abs(start)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		b, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(b), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", start)
+		}
+		dir = parent
+	}
+}
+
+// packageDirs lists every directory under root holding Go files, skipping
+// hidden directories and testdata.
+func packageDirs(root string) []string {
+	var dirs []string
+	filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs
+}
+
+// checkDir type-checks one directory — the regular package merged with its
+// in-package test files, plus (separately) an external _test package if
+// present — and scans the result for float equality comparisons.
+func checkDir(l *loader, impPath, dir string) ([]finding, error) {
+	base, err := l.parseDir(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	testFiles, err := l.parseDir(dir, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(base) == 0 && len(testFiles) == 0 {
+		return nil, nil
+	}
+
+	// Split test files into in-package and external (package foo_test).
+	baseName := ""
+	if len(base) > 0 {
+		baseName = base[0].Name.Name
+	}
+	var inPkg, external []*ast.File
+	for _, f := range testFiles {
+		if baseName != "" && f.Name.Name == baseName {
+			inPkg = append(inPkg, f)
+		} else {
+			external = append(external, f)
+		}
+	}
+
+	var findings []finding
+	check := func(path string, files []*ast.File) error {
+		if len(files) == 0 {
+			return nil
+		}
+		info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+		conf := types.Config{Importer: l}
+		if _, err := conf.Check(path, l.fset, files, info); err != nil {
+			return err
+		}
+		findings = append(findings, scan(l.fset, files, info)...)
+		return nil
+	}
+	if err := check(impPath, append(append([]*ast.File{}, base...), inPkg...)); err != nil {
+		return nil, err
+	}
+	if err := check(impPath+"_test", external); err != nil {
+		return nil, err
+	}
+	return findings, nil
+}
+
+// isFloat reports whether a type is (or has underlying) floating point or
+// complex.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// waivedLines collects the lines carrying a "floateq:ok" comment per file.
+func waivedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "floateq:ok") {
+					p := fset.Position(c.Pos())
+					if out[p.Filename] == nil {
+						out[p.Filename] = map[int]bool{}
+					}
+					out[p.Filename][p.Line] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// scan walks the files for == / != with float operands, and switch
+// statements whose tag is a float (each case is an implicit equality).
+func scan(fset *token.FileSet, files []*ast.File, info *types.Info) []finding {
+	waived := waivedLines(fset, files)
+	skip := func(pos token.Position) bool {
+		return waived[pos.Filename] != nil && waived[pos.Filename][pos.Line]
+	}
+	var out []finding
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(info.Types[e.X].Type) && !isFloat(info.Types[e.Y].Type) {
+					return true
+				}
+				pos := fset.Position(e.OpPos)
+				if skip(pos) {
+					return true
+				}
+				out = append(out, finding{pos: pos,
+					msg: fmt.Sprintf("float equality: %s on floating-point operands; compare with a tolerance or waive with // floateq:ok", e.Op)})
+			case *ast.SwitchStmt:
+				if e.Tag == nil || !isFloat(info.Types[e.Tag].Type) {
+					return true
+				}
+				pos := fset.Position(e.Switch)
+				if skip(pos) {
+					return true
+				}
+				out = append(out, finding{pos: pos,
+					msg: "float equality: switch on a floating-point tag compares cases with ==; use if/else with tolerances"})
+			}
+			return true
+		})
+	}
+	return out
+}

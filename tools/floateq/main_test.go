@@ -1,0 +1,66 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// scanSrc type-checks a snippet and runs the analyzer over it.
+func scanSrc(t *testing.T, src string) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+	conf := types.Config{}
+	if _, err := conf.Check("snippet", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	return scan(fset, []*ast.File{f}, info)
+}
+
+func TestFlagsFloatComparisons(t *testing.T) {
+	fs := scanSrc(t, `package p
+func f(a, b float64, i, j int) bool {
+	if a == b { return true }     // finding 1
+	if a != 0 { return true }     // finding 2
+	if i == j { return true }     // int compare: clean
+	switch a {                    // finding 3
+	case 1.0:
+	}
+	return a > b                  // ordered compare: clean
+}
+`)
+	if len(fs) != 3 {
+		t.Fatalf("want 3 findings, got %d: %+v", len(fs), fs)
+	}
+	if fs[0].pos.Line != 3 || fs[1].pos.Line != 4 || fs[2].pos.Line != 6 {
+		t.Fatalf("wrong lines: %+v", fs)
+	}
+}
+
+func TestWaiverSuppresses(t *testing.T) {
+	fs := scanSrc(t, `package p
+func f(a float64) bool {
+	return a == 0 // floateq:ok exact sentinel
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("waived line still flagged: %+v", fs)
+	}
+}
+
+func TestFlagsTypedFloats(t *testing.T) {
+	fs := scanSrc(t, `package p
+type temp float32
+func f(a, b temp) bool { return a == b }
+`)
+	if len(fs) != 1 {
+		t.Fatalf("named float type not flagged: %+v", fs)
+	}
+}
