@@ -18,14 +18,20 @@ import (
 var (
 	suiteOnce sync.Once
 	suite     *bench.Suite
+	suiteErr  error
 )
 
-// benchSuite loads the benchmark data sets once per process.
+// benchSuite loads the benchmark data sets once per process. A failed
+// NewSuite is remembered alongside the suite: every benchmark that needs
+// the data fails loudly instead of running against a half-built suite.
 func benchSuite(b *testing.B) *bench.Suite {
 	b.Helper()
 	suiteOnce.Do(func() {
-		suite = bench.NewSuite(bench.SmallConfig(), nil)
+		suite, suiteErr = bench.NewSuite(bench.SmallConfig(), nil)
 	})
+	if suiteErr != nil {
+		b.Fatalf("bench suite: %v", suiteErr)
+	}
 	return suite
 }
 
@@ -175,6 +181,24 @@ func BenchmarkTableH3CASEFromF(b *testing.B) {
 
 func BenchmarkTableH3CASEFromFV(b *testing.B) {
 	runHagg(b, core.Options{Hagg: core.HaggOptions{Method: core.HaggCASE, FromFV: true}})
+}
+
+// ---- Parallel partitioned aggregation: P=1 vs P=GOMAXPROCS ----
+
+func BenchmarkParallelVpctSequential(b *testing.B) {
+	runVpct(b, core.Options{Vpct: core.VpctOptions{SubkeyIndexes: true}, Parallelism: 1})
+}
+
+func BenchmarkParallelVpctGOMAXPROCS(b *testing.B) {
+	runVpct(b, core.Options{Vpct: core.VpctOptions{SubkeyIndexes: true}, Parallelism: 0})
+}
+
+func BenchmarkParallelHpctSequential(b *testing.B) {
+	runHpct(b, core.Options{Parallelism: 1})
+}
+
+func BenchmarkParallelHpctGOMAXPROCS(b *testing.B) {
+	runHpct(b, core.Options{Parallelism: 0})
 }
 
 // ---- Ablation: CASE evaluation vs the proposed hash pivot ----

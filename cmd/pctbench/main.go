@@ -5,16 +5,19 @@
 //
 //	pctbench                       # all tables, medium scale
 //	pctbench -table 4              # only Table 4
+//	pctbench -table parallel       # sequential vs parallel aggregation
 //	pctbench -scale small|medium|paper
 //	pctbench -reps 3               # average over repetitions
 //	pctbench -o results.txt        # also write to a file
 //	pctbench -md                   # markdown output (for EXPERIMENTS.md)
+//	pctbench -json out.json        # also write machine-readable timings
 //
 // The -scale paper setting uses the papers' exact sizes (sales n=10M);
 // expect a long run and several GB of memory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,9 +29,10 @@ import (
 
 func main() {
 	scale := flag.String("scale", "medium", "data scale: small, medium, or paper")
-	table := flag.String("table", "all", "which table to run: 4, 5, 6, h3, ablation, or all")
+	table := flag.String("table", "all", "which table to run: 4, 5, 6, h3, ablation, parallel, or all")
 	reps := flag.Int("reps", 1, "repetitions per measurement (the paper used 5)")
 	out := flag.String("o", "", "also write results to this file")
+	jsonOut := flag.String("json", "", "also write timings to this file as JSON")
 	md := flag.Bool("md", false, "emit markdown tables")
 	quiet := flag.Bool("quiet", false, "suppress progress messages")
 	filter := flag.String("filter", "", "only run query rows whose label contains this substring")
@@ -53,7 +57,10 @@ func main() {
 	if *quiet {
 		log = nil
 	}
-	s := bench.NewSuite(cfg, log)
+	s, err := bench.NewSuite(cfg, log)
+	if err != nil {
+		fatal(err)
+	}
 
 	writers := []io.Writer{os.Stdout}
 	if *out != "" {
@@ -81,9 +88,11 @@ func main() {
 		{"ablation", s.RunAblationPivot},
 		{"update", s.RunAblationUpdate},
 		{"shared", s.RunAblationShared},
+		{"parallel", s.RunTableParallel},
 	}
 	want := strings.ToLower(*table)
 	ran := false
+	var tables []*bench.Table
 	for _, r := range runners {
 		if want != "all" && want != r.key {
 			continue
@@ -93,6 +102,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		tables = append(tables, tab)
 		if *md {
 			fmt.Fprintln(w, markdown(tab))
 		} else {
@@ -100,9 +110,50 @@ func main() {
 		}
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "pctbench: unknown table %q (4, 5, 6, h3, ablation, update, all)\n", *table)
+		fmt.Fprintf(os.Stderr, "pctbench: unknown table %q (4, 5, 6, h3, ablation, update, parallel, all)\n", *table)
 		os.Exit(2)
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, *scale, cfg, tables); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeJSON dumps the regenerated tables with times in seconds, for CI
+// artifacts and downstream tooling.
+func writeJSON(path, scale string, cfg bench.Config, tables []*bench.Table) error {
+	type jsonRow struct {
+		Label   string    `json:"label"`
+		Seconds []float64 `json:"seconds"`
+	}
+	type jsonTable struct {
+		Title  string    `json:"title"`
+		Note   string    `json:"note,omitempty"`
+		Header []string  `json:"header"`
+		Rows   []jsonRow `json:"rows"`
+	}
+	doc := struct {
+		Scale  string      `json:"scale"`
+		Reps   int         `json:"reps"`
+		Tables []jsonTable `json:"tables"`
+	}{Scale: scale, Reps: cfg.Reps}
+	for _, t := range tables {
+		jt := jsonTable{Title: t.Title, Note: t.Note, Header: t.Header}
+		for _, r := range t.Rows {
+			jr := jsonRow{Label: r.Label}
+			for _, d := range r.Times {
+				jr.Seconds = append(jr.Seconds, d.Seconds())
+			}
+			jt.Rows = append(jt.Rows, jr)
+		}
+		doc.Tables = append(doc.Tables, jt)
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func fatal(err error) {

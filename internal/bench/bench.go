@@ -45,6 +45,33 @@ type Config struct {
 	LabelFilter string
 }
 
+// Validate rejects configurations the loaders cannot populate: every data
+// set size must be positive (rand.Intn panics on zero cardinalities and the
+// |F| ≫ |Fk| ratios collapse), and the dimension cardinalities must be set
+// (a zero-value Cards means the caller forgot the preset).
+func (c Config) Validate() error {
+	sizes := []struct {
+		name string
+		n    int
+	}{
+		{"EmployeeN", c.EmployeeN}, {"SalesN", c.SalesN},
+		{"TransN1", c.TransN1}, {"TransN2", c.TransN2}, {"CensusN", c.CensusN},
+	}
+	for _, s := range sizes {
+		if s.n <= 0 {
+			return fmt.Errorf("bench: config %s = %d, want > 0", s.name, s.n)
+		}
+	}
+	if c.Cards.Dweek <= 0 || c.Cards.Dept <= 0 || c.Cards.Store <= 0 {
+		return fmt.Errorf("bench: config Cards unset (Dweek=%d Dept=%d Store=%d); start from SmallConfig/MediumConfig/PaperConfig",
+			c.Cards.Dweek, c.Cards.Dept, c.Cards.Store)
+	}
+	if c.Reps < 0 {
+		return fmt.Errorf("bench: config Reps = %d, want >= 0", c.Reps)
+	}
+	return nil
+}
+
 // SmallConfig sizes data for unit tests and `go test -bench`. Dimension
 // cardinalities scale down with n so that the widest horizontal result
 // keeps roughly the paper's rows-per-result-column ratio (n=10M over
@@ -95,9 +122,15 @@ type Suite struct {
 }
 
 // NewSuite creates an empty suite; data sets load lazily per experiment.
-func NewSuite(cfg Config, log io.Writer) *Suite {
+// The configuration is validated up front so a bad config fails loudly here
+// instead of producing a half-built suite that panics (or silently times
+// empty tables) mid-benchmark.
+func NewSuite(cfg Config, log io.Writer) (*Suite, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	eng := engine.New(storage.NewCatalog())
-	return &Suite{Cfg: cfg, Eng: eng, Planner: core.NewPlanner(eng), Log: log, loaded: map[string]bool{}}
+	return &Suite{Cfg: cfg, Eng: eng, Planner: core.NewPlanner(eng), Log: log, loaded: map[string]bool{}}, nil
 }
 
 func (s *Suite) logf(format string, args ...any) {

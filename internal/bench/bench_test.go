@@ -20,8 +20,17 @@ func tinyConfig() Config {
 	return c
 }
 
+func mustSuite(t *testing.T) *Suite {
+	t.Helper()
+	s, err := NewSuite(tinyConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 func TestRunTable4(t *testing.T) {
-	s := NewSuite(tinyConfig(), nil)
+	s := mustSuite(t)
 	tab, err := s.RunTable4()
 	if err != nil {
 		t.Fatal(err)
@@ -46,7 +55,7 @@ func TestRunTable4(t *testing.T) {
 }
 
 func TestRunTable5(t *testing.T) {
-	s := NewSuite(tinyConfig(), nil)
+	s := mustSuite(t)
 	tab, err := s.RunTable5()
 	if err != nil {
 		t.Fatal(err)
@@ -57,7 +66,7 @@ func TestRunTable5(t *testing.T) {
 }
 
 func TestRunTable6(t *testing.T) {
-	s := NewSuite(tinyConfig(), nil)
+	s := mustSuite(t)
 	tab, err := s.RunTable6()
 	if err != nil {
 		t.Fatal(err)
@@ -68,7 +77,7 @@ func TestRunTable6(t *testing.T) {
 }
 
 func TestRunTableH3(t *testing.T) {
-	s := NewSuite(tinyConfig(), nil)
+	s := mustSuite(t)
 	tab, err := s.RunTableH3()
 	if err != nil {
 		t.Fatal(err)
@@ -79,7 +88,7 @@ func TestRunTableH3(t *testing.T) {
 }
 
 func TestRunAblationPivot(t *testing.T) {
-	s := NewSuite(tinyConfig(), nil)
+	s := mustSuite(t)
 	tab, err := s.RunAblationPivot()
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +99,7 @@ func TestRunAblationPivot(t *testing.T) {
 }
 
 func TestSuiteLeavesNoTemporaries(t *testing.T) {
-	s := NewSuite(tinyConfig(), nil)
+	s := mustSuite(t)
 	if _, err := s.RunTable4(); err != nil {
 		t.Fatal(err)
 	}
@@ -112,15 +121,71 @@ func TestConfigs(t *testing.T) {
 	}
 }
 
+// TestNewSuiteRejectsInvalidConfig is the regression test for the root
+// bench_test.go suiteOnce bug: NewSuite used to succeed on impossible
+// configurations and the benchmarks then panicked (or silently timed empty
+// tables) deep inside the loaders. Bad configs must fail at construction.
+func TestNewSuiteRejectsInvalidConfig(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero value", func(c *Config) { *c = Config{} }},
+		{"zero employee", func(c *Config) { c.EmployeeN = 0 }},
+		{"negative sales", func(c *Config) { c.SalesN = -1 }},
+		{"zero census", func(c *Config) { c.CensusN = 0 }},
+		{"unset cards", func(c *Config) { c.Cards.Store = 0 }},
+		{"negative reps", func(c *Config) { c.Reps = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := tinyConfig()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, cfg)
+		}
+		if s, err := NewSuite(cfg, nil); err == nil {
+			t.Errorf("%s: NewSuite accepted invalid config (suite=%v)", tc.name, s != nil)
+		}
+	}
+	if err := tinyConfig().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestRunTableParallel(t *testing.T) {
+	s := mustSuite(t)
+	tab, err := s.RunTableParallel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r.Times) != 4 {
+			t.Fatalf("row %s times = %v", r.Label, r.Times)
+		}
+		for i, d := range r.Times {
+			if d <= 0 {
+				t.Errorf("row %s col %d: non-positive time", r.Label, i)
+			}
+		}
+	}
+	out := tab.Format()
+	if !strings.Contains(out, "P=1") || !strings.Contains(out, "Parallel") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
 func TestEnsureUnknownDataset(t *testing.T) {
-	s := NewSuite(tinyConfig(), nil)
+	s := mustSuite(t)
 	if err := s.Ensure("bogus"); err == nil {
 		t.Error("unknown data set must fail")
 	}
 }
 
 func TestRunAblationUpdate(t *testing.T) {
-	s := NewSuite(tinyConfig(), nil)
+	s := mustSuite(t)
 	tab, err := s.RunAblationUpdate()
 	if err != nil {
 		t.Fatal(err)
@@ -131,7 +196,7 @@ func TestRunAblationUpdate(t *testing.T) {
 }
 
 func TestRunAblationShared(t *testing.T) {
-	s := NewSuite(tinyConfig(), nil)
+	s := mustSuite(t)
 	tab, err := s.RunAblationShared()
 	if err != nil {
 		t.Fatal(err)
@@ -148,7 +213,7 @@ func TestRunAblationShared(t *testing.T) {
 }
 
 func TestBestHpctHeuristic(t *testing.T) {
-	s := NewSuite(tinyConfig(), nil)
+	s := mustSuite(t)
 	qs := s.PrimaryQueries()
 	// dweek-only: direct; dept,store: from FV.
 	if s.BestHpctOptions(qs[4]).Hpct.FromFV {

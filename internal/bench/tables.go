@@ -208,6 +208,52 @@ func (s *Suite) RunTable4() (*Table, error) {
 	return t, nil
 }
 
+// RunTableParallel regenerates the parallel-speedup experiment in the
+// Table 4/5 layout: each primary query's best Vpct and Hpct strategies run
+// sequentially (P=1) and with the partitioned parallel aggregation path at
+// P = GOMAXPROCS. Results are identical across columns by construction (the
+// differential harness proves it); only the wall time moves.
+func (s *Suite) RunTableParallel() (*Table, error) {
+	if err := s.ensureFor(s.PrimaryQueries()); err != nil {
+		return nil, err
+	}
+	n := runtime.GOMAXPROCS(0)
+	t := &Table{
+		Title: "Parallel partitioned aggregation: sequential vs P=" + fmt.Sprint(n),
+		Note:  "best Vpct and Hpct strategies; P=N partitions every Fk/Fj/FH aggregation scan",
+		Header: []string{
+			"Vpct P=1", fmt.Sprintf("Vpct P=%d", n),
+			"Hpct P=1", fmt.Sprintf("Hpct P=%d", n),
+		},
+	}
+	for _, q := range s.PrimaryQueries() {
+		if s.skipQuery(q.Label()) {
+			continue
+		}
+		row := Row{Label: q.Label()}
+		vseq, vpar := bestVpct(), bestVpct()
+		vseq.Parallelism, vpar.Parallelism = 1, n
+		hseq, hpar := s.BestHpctOptions(q), s.BestHpctOptions(q)
+		hseq.Parallelism, hpar.Parallelism = 1, n
+		for _, run := range []struct {
+			sql  string
+			opts core.Options
+		}{
+			{q.VpctSQL(), vseq}, {q.VpctSQL(), vpar},
+			{q.HpctSQL(), hseq}, {q.HpctSQL(), hpar},
+		} {
+			d, err := s.TimeQuery(run.sql, run.opts)
+			if err != nil {
+				return nil, err
+			}
+			row.Times = append(row.Times, d)
+		}
+		t.Rows = append(t.Rows, row)
+		s.logf("parallel %-45s done\n", q.Label())
+	}
+	return t, nil
+}
+
 // RunTable5 regenerates Table 5: horizontal percentage strategies —
 // computing FH from FV versus directly from F.
 func (s *Suite) RunTable5() (*Table, error) {

@@ -9,10 +9,17 @@ import (
 // TestConcurrentPercentageQueries exercises the paper's future-work
 // scenario: users concurrently submitting percentage queries against the
 // same fact table. Each worker plans and executes its own mix of vertical,
-// horizontal and Hagg queries; temp-table naming and catalog access must
-// not collide, and every worker must see correct results.
+// horizontal and Hagg queries — several with Parallelism > 1, so each
+// submitter additionally fans out partitioned-aggregation goroutines inside
+// its statements (the -race CI shard runs exactly this test); temp-table
+// naming, catalog access, and per-statement worker pools must not collide,
+// and every worker must see correct results.
 func TestConcurrentPercentageQueries(t *testing.T) {
 	p := newSalesPlanner(t)
+	par := func(o Options, workers int) Options {
+		o.Parallelism = workers
+		return o
+	}
 	queries := []struct {
 		sql  string
 		opts Options
@@ -20,12 +27,14 @@ func TestConcurrentPercentageQueries(t *testing.T) {
 	}{
 		{vpctSales, DefaultOptions(), 4},
 		{vpctSales, Options{Vpct: VpctOptions{UseUpdate: true}}, 4},
+		{vpctSales, par(DefaultOptions(), 4), 4},
 		{hpctDaily, DefaultOptions(), 2},
 		{hpctDaily, Options{Hpct: HpctOptions{FromFV: true}}, 2},
+		{hpctDaily, par(Options{Hpct: HpctOptions{HashPivot: true}}, 3), 2},
 		{"SELECT store, sum(salesAmt BY dweek) FROM daily GROUP BY store",
 			Options{Hagg: HaggOptions{Method: HaggSPJ}}, 2},
 		{"SELECT store, sum(salesAmt BY dweek) FROM daily GROUP BY store",
-			Options{Hagg: HaggOptions{Method: HaggCASE}}, 2},
+			par(Options{Hagg: HaggOptions{Method: HaggCASE}}, 8), 2},
 	}
 
 	var wg sync.WaitGroup

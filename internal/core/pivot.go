@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/expr"
@@ -33,8 +35,8 @@ func (p *Planner) planHpctHashPivot(plan *Plan, a *analysis, call *expr.AggCall,
 	where := a.where
 	plan.Steps = append(plan.Steps, Step{
 		Purpose: "hash-pivot F into FH (one O(1) column lookup per row)",
-		native: func(eng *engine.Engine) error {
-			return runPivot(eng, a.table, fh, groupCols, call, combos, where, true, nil)
+		native: func(eng *engine.Engine, parallelism int) error {
+			return runPivot(eng, a.table, fh, groupCols, call, combos, where, true, nil, parallelism)
 		},
 	})
 	p.finishHorizontalPlan(plan, a, groupNames, valueNames, nil, singleHolder(fh, valueNames, nil))
@@ -61,8 +63,8 @@ func (p *Planner) planHaggHashPivot(plan *Plan, a *analysis, call *expr.AggCall,
 	}
 	plan.Steps = append(plan.Steps, Step{
 		Purpose: "hash-pivot F into FH (one O(1) column lookup per row)",
-		native: func(eng *engine.Engine) error {
-			return runPivot(eng, a.table, fh, groupCols, call, combos, where, false, deflt)
+		native: func(eng *engine.Engine, parallelism int) error {
+			return runPivot(eng, a.table, fh, groupCols, call, combos, where, false, deflt, parallelism)
 		},
 	})
 	p.finishHorizontalPlan(plan, a, groupNames, valueNames, nil, singleHolder(fh, valueNames, nil))
@@ -156,6 +158,38 @@ func (acc *pivotAcc) add(v value.Value) {
 	acc.seen = true
 }
 
+// merge folds a disjoint partition's cell state into the receiver (same
+// semantics as the engine accumulators' merge: add(all rows) ≡ merged
+// partials). Integer sums stay exact via sumInt; isInt holds only if every
+// partition saw only integers.
+func (acc *pivotAcc) merge(o *pivotAcc) {
+	if !o.seen {
+		return
+	}
+	if !acc.seen {
+		*acc = *o
+		return
+	}
+	acc.nonNullC += o.nonNullC
+	switch acc.fn {
+	case expr.AggSum, expr.AggAvg, expr.AggVpct, expr.AggHpct:
+		acc.sum += o.sum
+		acc.sumInt += o.sumInt
+		acc.isInt = acc.isInt && o.isInt
+		acc.count += o.count
+	case expr.AggCount:
+		acc.count += o.count
+	case expr.AggMin:
+		if value.Compare(o.best, acc.best) < 0 {
+			acc.best = o.best
+		}
+	case expr.AggMax:
+		if value.Compare(o.best, acc.best) > 0 {
+			acc.best = o.best
+		}
+	}
+}
+
 func (acc *pivotAcc) result() value.Value {
 	if !acc.seen {
 		return value.Null
@@ -177,11 +211,39 @@ func (acc *pivotAcc) result() value.Value {
 	}
 }
 
-// runPivot scans F once, hashing each row to its group and result column.
-// For percentage mode it also folds the per-group total and divides at emit
-// time, NULLing zero or all-NULL totals like the SQL plans do.
+// pivotWorkers mirrors the engine's parallelism semantics (see
+// internal/engine/parallel.go): 0 → one worker per CPU gated by a
+// small-input threshold, 1 → sequential, n > 1 → n workers, capped by the
+// row count.
+func pivotWorkers(parallelism, rows int) int {
+	w := parallelism
+	switch {
+	case w == 1:
+		return 1
+	case w <= 0:
+		if rows < 8192 {
+			return 1
+		}
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > rows {
+		w = rows
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runPivot scans F, hashing each row to its group and result column. For
+// percentage mode it also folds the per-group total and divides at emit
+// time, NULLing zero or all-NULL totals like the SQL plans do. With
+// parallelism != 1 the scan is partitioned into contiguous row ranges folded
+// by worker goroutines and merged in partition order, preserving the
+// sequential group order (same model as the engine's parallel aggregation).
 func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
-	call *expr.AggCall, combos []combo, where expr.Expr, pct bool, deflt *value.Value) error {
+	call *expr.AggCall, combos []combo, where expr.Expr, pct bool, deflt *value.Value,
+	parallelism int) error {
 
 	src, err := eng.Catalog().Get(table)
 	if err != nil {
@@ -228,8 +290,6 @@ func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
 		cells   []pivotAcc
 		total   pivotAcc
 	}
-	groups := make(map[string]*group)
-	var order []*group
 
 	fn := call.Fn
 	if pct {
@@ -239,74 +299,143 @@ func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
 		fn = expr.AggCount
 	}
 
-	var rowBuf []value.Value
-	var box pivotRowBox
-	keyBuf := make([]byte, 0, 64)
-	byBuf := make([]byte, 0, 64)
-	for r := 0; r < src.NumRows(); r++ {
-		rowBuf = src.Row(r, rowBuf)
-		box.vals = rowBuf
-		rv := &box
-		if pred != nil {
-			v, err := pred.Eval(rv)
-			if err != nil {
-				return err
+	// scanPart folds the contiguous row range [lo, hi) into a private group
+	// map, returning the encoded keys in local first-appearance order. The
+	// bound expressions (pred, measure) are stateless under Eval and shared
+	// across workers; concurrent Table.Row reads are safe (the engine
+	// serializes writes per statement).
+	scanPart := func(lo, hi int) (map[string]*group, []string, error) {
+		groups := make(map[string]*group)
+		var order []string
+		var rowBuf []value.Value
+		var box pivotRowBox
+		keyBuf := make([]byte, 0, 64)
+		byBuf := make([]byte, 0, 64)
+		for r := lo; r < hi; r++ {
+			rowBuf = src.Row(r, rowBuf)
+			box.vals = rowBuf
+			rv := &box
+			if pred != nil {
+				v, err := pred.Eval(rv)
+				if err != nil {
+					return nil, nil, err
+				}
+				if !v.Truthy() {
+					continue
+				}
 			}
-			if !v.Truthy() {
-				continue
-			}
-		}
-		keyBuf = keyBuf[:0]
-		for _, gi := range groupIdx {
-			keyBuf = value.AppendKey(keyBuf, rowBuf[gi])
-		}
-		g, ok := groups[string(keyBuf)]
-		if !ok {
-			g = &group{cells: make([]pivotAcc, len(combos))}
-			for i := range g.cells {
-				g.cells[i].fn = fn
-			}
-			g.total.fn = expr.AggSum
+			keyBuf = keyBuf[:0]
 			for _, gi := range groupIdx {
-				g.keyVals = append(g.keyVals, rowBuf[gi])
+				keyBuf = value.AppendKey(keyBuf, rowBuf[gi])
 			}
-			groups[string(keyBuf)] = g
-			order = append(order, g)
-		}
-		byBuf = byBuf[:0]
-		for _, bi := range byIdx {
-			byBuf = value.AppendKey(byBuf, rowBuf[bi])
-		}
-		ci, ok := colOf[string(byBuf)]
-		if !ok {
-			// A combination outside the feedback snapshot (possible only if
-			// F changed between planning and execution).
-			return fmt.Errorf("core: row %d has a BY combination absent from the planned column layout", r)
-		}
-		var mv value.Value
-		switch {
-		case call.Star:
-			mv = value.NewInt(1)
-		case measure != nil:
-			mv, err = measure.Eval(rv)
-			if err != nil {
-				return err
+			g, ok := groups[string(keyBuf)]
+			if !ok {
+				g = &group{cells: make([]pivotAcc, len(combos))}
+				for i := range g.cells {
+					g.cells[i].fn = fn
+				}
+				g.total.fn = expr.AggSum
+				for _, gi := range groupIdx {
+					g.keyVals = append(g.keyVals, rowBuf[gi])
+				}
+				k := string(keyBuf)
+				groups[k] = g
+				order = append(order, k)
+			}
+			byBuf = byBuf[:0]
+			for _, bi := range byIdx {
+				byBuf = value.AppendKey(byBuf, rowBuf[bi])
+			}
+			ci, ok := colOf[string(byBuf)]
+			if !ok {
+				// A combination outside the feedback snapshot (possible only if
+				// F changed between planning and execution).
+				return nil, nil, fmt.Errorf("core: row %d has a BY combination absent from the planned column layout", r)
+			}
+			var mv value.Value
+			switch {
+			case call.Star:
+				mv = value.NewInt(1)
+			case measure != nil:
+				var err error
+				mv, err = measure.Eval(rv)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			if fn == expr.AggCount && !call.Star {
+				if !mv.IsNull() {
+					g.cells[ci].add(value.NewInt(1))
+				}
+			} else {
+				g.cells[ci].add(mv)
+			}
+			if pct {
+				g.total.add(mv)
 			}
 		}
-		if fn == expr.AggCount && !call.Star {
-			if !mv.IsNull() {
-				g.cells[ci].add(value.NewInt(1))
-			}
-		} else {
-			g.cells[ci].add(mv)
+		return groups, order, nil
+	}
+
+	nRows := src.NumRows()
+	workers := pivotWorkers(parallelism, nRows)
+	groups := make(map[string]*group)
+	var order []string
+	if workers <= 1 {
+		groups, order, err = scanPart(0, nRows)
+		if err != nil {
+			return err
 		}
-		if pct {
-			g.total.add(mv)
+	} else {
+		type part struct {
+			groups map[string]*group
+			order  []string
+			err    error
+		}
+		parts := make([]part, workers)
+		chunk := (nRows + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if lo > nRows {
+				lo = nRows
+			}
+			if hi > nRows {
+				hi = nRows
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				parts[w].groups, parts[w].order, parts[w].err = scanPart(lo, hi)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		// Merge in ascending partition order: lowest partition's error wins,
+		// and group order reproduces the sequential first-appearance order.
+		for pi := range parts {
+			p := &parts[pi]
+			if p.err != nil {
+				return p.err
+			}
+			for _, k := range p.order {
+				g := p.groups[k]
+				tgt, ok := groups[k]
+				if !ok {
+					groups[k] = g
+					order = append(order, k)
+					continue
+				}
+				for i := range tgt.cells {
+					tgt.cells[i].merge(&g.cells[i])
+				}
+				tgt.total.merge(&g.total)
+			}
 		}
 	}
 
 	out := make([]value.Value, 0, len(groupCols)+len(combos))
-	for _, g := range order {
+	for _, k := range order {
+		g := groups[k]
 		out = out[:0]
 		out = append(out, g.keyVals...)
 		total := g.total.result()

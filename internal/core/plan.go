@@ -21,8 +21,10 @@ type Step struct {
 	Purpose string
 	// SQL is the statement text; empty for native steps.
 	SQL string
-	// native, when set, runs instead of SQL.
-	native func(eng *engine.Engine) error
+	// native, when set, runs instead of SQL. It receives the plan's
+	// parallelism so native steps can partition their scans the same way the
+	// engine's aggregation path does.
+	native func(eng *engine.Engine, parallelism int) error
 }
 
 // Plan is a generated evaluation plan for a percentage/horizontal query.
@@ -45,6 +47,11 @@ type Plan struct {
 	Cleanup []Step
 	// N is the number of horizontal result columns (0 for vertical plans).
 	N int
+	// Parallelism is the worker count the plan's steps execute with,
+	// stamped from Options.Parallelism (0 = one worker per CPU, 1 =
+	// sequential, n > 1 = n workers). It never changes the generated SQL —
+	// only how the engine folds each aggregation.
+	Parallelism int
 }
 
 // SQL renders every build step as a script.
@@ -162,6 +169,14 @@ type Options struct {
 	Vpct VpctOptions
 	Hpct HpctOptions
 	Hagg HaggOptions
+	// Parallelism is the aggregation worker count for the plan's execution:
+	// 0 = one worker per CPU (the automatic mode falls back to the
+	// sequential fold below a small input threshold), 1 = the sequential
+	// path, n > 1 = exactly n workers, forced even on tiny inputs. Results
+	// are identical across settings — the partitioned fold merges
+	// per-worker accumulators in pinned partition order, reproducing the
+	// sequential group order exactly (see internal/difftest).
+	Parallelism int
 }
 
 // DefaultOptions returns the strategies the paper's evaluation found best
@@ -253,18 +268,26 @@ func (p *Planner) Plan(sel *sqlparse.Select, opts Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	var plan *Plan
 	switch a.class {
 	case ClassStandard:
-		return &Plan{Class: ClassStandard, FinalSelect: sel.String()}, nil
+		plan = &Plan{Class: ClassStandard, FinalSelect: sel.String()}
 	case ClassVertical:
-		return p.planVertical(a, opts.Vpct)
+		plan, err = p.planVertical(a, opts.Vpct)
 	case ClassHorizontalPct:
-		return p.planHorizontalPct(a, opts.Hpct)
+		plan, err = p.planHorizontalPct(a, opts.Hpct)
 	case ClassHorizontalAgg:
-		return p.planHorizontalAgg(a, opts.Hagg)
+		plan, err = p.planHorizontalAgg(a, opts.Hagg)
 	default:
 		return nil, fmt.Errorf("core: unplannable class %v", a.class)
 	}
+	if err != nil {
+		return nil, err
+	}
+	// Parallelism is stamped centrally: it applies to every class and never
+	// alters the generated SQL, only how the plan executes.
+	plan.Parallelism = opts.Parallelism
+	return plan, nil
 }
 
 // PlanSQL parses one SELECT and plans it.
@@ -289,7 +312,7 @@ func (p *Planner) Execute(plan *Plan) (*engine.Result, error) {
 		return nil, err
 	}
 	if plan.FinalSelect != "" {
-		res, err = p.Eng.ExecSQL(plan.FinalSelect)
+		res, err = p.Eng.ExecSQLP(plan.FinalSelect, plan.Parallelism)
 		if err != nil {
 			p.CleanupPlan(plan)
 			return nil, err
@@ -305,13 +328,13 @@ func (p *Planner) ExecuteSteps(plan *Plan) (*engine.Result, error) {
 	var last *engine.Result
 	for _, s := range plan.Steps {
 		if s.native != nil {
-			if err := s.native(p.Eng); err != nil {
+			if err := s.native(p.Eng, plan.Parallelism); err != nil {
 				return nil, fmt.Errorf("core: step %q: %w", s.Purpose, err)
 			}
 			last = &engine.Result{}
 			continue
 		}
-		res, err := p.Eng.ExecSQL(s.SQL)
+		res, err := p.Eng.ExecSQLP(s.SQL, plan.Parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("core: step %q: %w", s.Purpose, err)
 		}

@@ -8,9 +8,21 @@ import (
 )
 
 // accumulator folds one aggregate function over the rows of a group.
+// merge folds another accumulator of the same concrete type — built over a
+// disjoint row partition — into the receiver, so that add(r1…rn) ≡
+// add(r1…rk).merge(add(rk+1…rn)) for every split point k. The parallel
+// aggregation path relies on this to combine per-worker partial states.
 type accumulator interface {
 	add(v value.Value) error
+	merge(o accumulator) error
 	result() value.Value
+}
+
+// mergeTypeError reports an accumulator-kind mismatch during a parallel
+// merge. It can only fire on an engine bug (workers build their accumulators
+// from the same specs), so it is defensive rather than reachable from SQL.
+func mergeTypeError(dst, src accumulator) error {
+	return fmt.Errorf("engine: cannot merge %T into %T", src, dst)
 }
 
 // newAccumulator builds the accumulator for an aggregate call. BY-carrying
@@ -81,6 +93,37 @@ func (a *sumAcc) add(v value.Value) error {
 	return nil
 }
 
+// floatTotal reads the running sum as a float regardless of representation.
+func (a *sumAcc) floatTotal() float64 {
+	if a.isInt {
+		return float64(a.isum)
+	}
+	return a.fsum
+}
+
+func (a *sumAcc) merge(o accumulator) error {
+	b, ok := o.(*sumAcc)
+	if !ok {
+		return mergeTypeError(a, o)
+	}
+	if !b.seen {
+		return nil
+	}
+	if !a.seen {
+		*a = *b
+		return nil
+	}
+	if a.isInt && b.isInt {
+		a.isum += b.isum
+		return nil
+	}
+	// Any float on either side demotes the whole sum to float, exactly as a
+	// sequential scan over the concatenated partitions would.
+	a.fsum = a.floatTotal() + b.floatTotal()
+	a.isInt = false
+	return nil
+}
+
 func (a *sumAcc) result() value.Value {
 	if !a.seen {
 		return value.Null
@@ -104,6 +147,15 @@ func (a *countAcc) add(v value.Value) error {
 	return nil
 }
 
+func (a *countAcc) merge(o accumulator) error {
+	b, ok := o.(*countAcc)
+	if !ok {
+		return mergeTypeError(a, o)
+	}
+	a.n += b.n
+	return nil
+}
+
 func (a *countAcc) result() value.Value { return value.NewInt(a.n) }
 
 // countDistinctAcc counts distinct non-NULL values.
@@ -123,6 +175,20 @@ func (a *countDistinctAcc) add(v value.Value) error {
 	return nil
 }
 
+// merge takes the set union of the two partitions' value sets: count
+// distinct is not distributive over partial counts (both partitions may have
+// seen the same value), so the full set must travel with the partial state.
+func (a *countDistinctAcc) merge(o accumulator) error {
+	b, ok := o.(*countDistinctAcc)
+	if !ok {
+		return mergeTypeError(a, o)
+	}
+	for k := range b.seen {
+		a.seen[k] = struct{}{}
+	}
+	return nil
+}
+
 func (a *countDistinctAcc) result() value.Value { return value.NewInt(int64(len(a.seen))) }
 
 // avgAcc averages non-NULL values; empty → NULL.
@@ -137,6 +203,18 @@ func (a *avgAcc) add(v value.Value) error {
 	}
 	a.n++
 	return a.sum.add(v)
+}
+
+func (a *avgAcc) merge(o accumulator) error {
+	b, ok := o.(*avgAcc)
+	if !ok {
+		return mergeTypeError(a, o)
+	}
+	if err := a.sum.merge(&b.sum); err != nil {
+		return err
+	}
+	a.n += b.n
+	return nil
 }
 
 func (a *avgAcc) result() value.Value {
@@ -170,6 +248,17 @@ func (a *minMaxAcc) add(v value.Value) error {
 	return nil
 }
 
+func (a *minMaxAcc) merge(o accumulator) error {
+	b, ok := o.(*minMaxAcc)
+	if !ok || a.min != b.min {
+		return mergeTypeError(a, o)
+	}
+	if !b.seen {
+		return nil
+	}
+	return a.add(b.best)
+}
+
 func (a *minMaxAcc) result() value.Value {
 	if !a.seen {
 		return value.Null
@@ -189,12 +278,14 @@ type groupState struct {
 	accs    []accumulator
 }
 
-// hashAggregate consumes the input and produces one output row per group:
-// the group-key values followed by one aggregate result per spec. keyExprs
-// are bound against the input schema. With no keys, a single global group is
-// produced even for empty input (SQL semantics for aggregates without GROUP
-// BY).
-func hashAggregate(in iterator, keyExprs []expr.Expr, specs []aggSpec) ([][]value.Value, error) {
+// hashAggregateSeq is the sequential aggregation fold: it consumes the input
+// and produces one output row per group — the group-key values followed by
+// one aggregate result per spec. keyExprs are bound against the input
+// schema. With no keys, a single global group is produced even for empty
+// input (SQL semantics for aggregates without GROUP BY). Output rows follow
+// the first-appearance order of their groups in the input; the parallel path
+// (parallel.go) reproduces exactly this order.
+func hashAggregateSeq(in iterator, keyExprs []expr.Expr, specs []aggSpec) ([][]value.Value, error) {
 	groups := make(map[string]*groupState)
 	var order []string // first-appearance order, deterministic output
 	keyBuf := make([]byte, 0, 64)

@@ -49,7 +49,7 @@ func (e *Engine) execDropTable(dt *sqlparse.DropTable) (*Result, error) {
 }
 
 // execInsert appends VALUES rows or the result of INSERT … SELECT.
-func (e *Engine) execInsert(ins *sqlparse.Insert) (*Result, error) {
+func (e *Engine) execInsert(ins *sqlparse.Insert, parallelism int) (*Result, error) {
 	t, err := e.cat.Get(ins.Table)
 	if err != nil {
 		return nil, err
@@ -90,7 +90,7 @@ func (e *Engine) execInsert(ins *sqlparse.Insert) (*Result, error) {
 
 	n := 0
 	if ins.Query != nil {
-		res, err := e.execSelect(ins.Query)
+		res, err := e.execSelect(ins.Query, parallelism)
 		if err != nil {
 			return nil, err
 		}

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
@@ -12,10 +13,28 @@ import (
 // Engine executes SQL statements against a catalog.
 type Engine struct {
 	cat *storage.Catalog
+	// par is the default parallelism for Execute/ExecSQL: 0 = one worker
+	// per CPU (gated by an input-size threshold), 1 = sequential, n > 1 =
+	// exactly n workers. Atomic because concurrent submitters share one
+	// engine (see TestConcurrentPercentageQueries).
+	par atomic.Int32
 }
 
-// New returns an engine over the catalog.
-func New(cat *storage.Catalog) *Engine { return &Engine{cat: cat} }
+// New returns an engine over the catalog. The default parallelism is 1
+// (sequential); callers opt in via SetParallelism or the per-statement
+// ExecuteP/ExecSQLP entry points.
+func New(cat *storage.Catalog) *Engine {
+	e := &Engine{cat: cat}
+	e.par.Store(1)
+	return e
+}
+
+// SetParallelism sets the default parallelism used by Execute and ExecSQL:
+// 0 = one worker per CPU, 1 = sequential, n > 1 = exactly n workers.
+func (e *Engine) SetParallelism(p int) { e.par.Store(int32(p)) }
+
+// Parallelism returns the engine's default parallelism.
+func (e *Engine) Parallelism() int { return int(e.par.Load()) }
 
 // Catalog returns the engine's catalog.
 func (e *Engine) Catalog() *storage.Catalog { return e.cat }
@@ -28,13 +47,21 @@ type Result struct {
 	Affected int
 }
 
-// Execute runs one parsed statement.
+// Execute runs one parsed statement with the engine's default parallelism.
 func (e *Engine) Execute(stmt sqlparse.Statement) (*Result, error) {
+	return e.ExecuteP(stmt, e.Parallelism())
+}
+
+// ExecuteP runs one parsed statement with an explicit parallelism that
+// overrides the engine default for this statement only (0 = one worker per
+// CPU, 1 = sequential, n > 1 = n workers). Only aggregation consumes the
+// setting; other operators run as before.
+func (e *Engine) ExecuteP(stmt sqlparse.Statement, parallelism int) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sqlparse.Select:
-		return e.execSelect(s)
+		return e.execSelect(s, parallelism)
 	case *sqlparse.Insert:
-		return e.execInsert(s)
+		return e.execInsert(s, parallelism)
 	case *sqlparse.Update:
 		return e.execUpdate(s)
 	case *sqlparse.CreateTable:
@@ -53,15 +80,21 @@ func (e *Engine) Execute(stmt sqlparse.Statement) (*Result, error) {
 }
 
 // ExecSQL parses and runs a script (one or more statements separated by
-// semicolons) and returns the last statement's result.
+// semicolons) with the engine's default parallelism and returns the last
+// statement's result.
 func (e *Engine) ExecSQL(src string) (*Result, error) {
+	return e.ExecSQLP(src, e.Parallelism())
+}
+
+// ExecSQLP is ExecSQL with an explicit per-script parallelism override.
+func (e *Engine) ExecSQLP(src string, parallelism int) (*Result, error) {
 	stmts, err := sqlparse.ParseAll(src)
 	if err != nil {
 		return nil, err
 	}
 	var last *Result
 	for _, s := range stmts {
-		last, err = e.Execute(s)
+		last, err = e.ExecuteP(s, parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("%w\n  in: %s", err, s)
 		}

@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// Parallel partitioned aggregation. The input relation is materialized,
+// split into P contiguous partitions, and each partition is folded into a
+// private accumulator map by its own goroutine. The partial maps are merged
+// in ascending partition order, appending each partition's locally-new
+// groups in their local first-appearance order. Because a group's global
+// first occurrence lies in its lowest-numbered partition, and rows within a
+// partition keep the input order, this pinned merge order reproduces the
+// sequential fold's first-appearance output order exactly — the result is
+// row-for-row identical to hashAggregateSeq (see internal/difftest for the
+// differential harness that proves it).
+//
+// The parallelism knob follows core.Options.Parallelism semantics
+// throughout the repo: 0 → one worker per CPU (GOMAXPROCS), 1 → the
+// sequential path, n > 1 → exactly n workers (forced even on tiny inputs,
+// which is what lets the differential tests exercise the partitioned path
+// on hand-sized fixtures).
+
+// autoParallelMinRows gates the automatic mode (parallelism <= 0): below
+// this many input rows the goroutine spawn and merge overhead outweighs the
+// scan, so the sequential path runs instead. An explicit parallelism > 1
+// bypasses the gate.
+const autoParallelMinRows = 8192
+
+// resolveWorkers maps a parallelism setting to a worker count.
+func resolveWorkers(parallelism int) int {
+	if parallelism == 1 {
+		return 1
+	}
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// hashAggregate dispatches between the sequential fold and the partitioned
+// parallel path according to the parallelism setting (see the package
+// comment above for its semantics).
+func hashAggregate(in iterator, keyExprs []expr.Expr, specs []aggSpec, parallelism int) ([][]value.Value, error) {
+	workers := resolveWorkers(parallelism)
+	if workers <= 1 {
+		return hashAggregateSeq(in, keyExprs, specs)
+	}
+	// Iterators reuse row buffers and are not safe to share across
+	// goroutines, so the parallel path works on a materialized copy; the
+	// single-threaded drain here is also what keeps concurrent readers off
+	// the storage layer.
+	input, err := materialize(in)
+	if err != nil {
+		return nil, err
+	}
+	n := len(input.rows)
+	if n == 0 || (parallelism <= 0 && n < autoParallelMinRows) {
+		return hashAggregateSeq(input, keyExprs, specs)
+	}
+	if workers > n {
+		workers = n
+	}
+	return hashAggregateParallel(input.rows, keyExprs, specs, workers)
+}
+
+// partGroup is one group's partial state within a single partition.
+type partGroup struct {
+	keyVals []value.Value
+	accs    []accumulator
+}
+
+// partResult is one worker's output: its accumulator map keyed by encoded
+// group key, the local first-appearance order of those keys, and the first
+// error hit while folding the partition.
+type partResult struct {
+	groups map[string]*partGroup
+	order  []string
+	err    error
+}
+
+// aggregatePartition folds one contiguous slice of materialized rows.
+// keyExprs and the spec argument expressions are shared across workers; all
+// bound expression trees in this engine are immutable and stateless under
+// Eval, so concurrent evaluation is safe.
+func aggregatePartition(rows [][]value.Value, keyExprs []expr.Expr, specs []aggSpec) partResult {
+	res := partResult{groups: make(map[string]*partGroup)}
+	keyBuf := make([]byte, 0, 64)
+	keyVals := make([]value.Value, len(keyExprs))
+	var box rowBox
+	for _, row := range rows {
+		box.vals = row
+		rv := &box
+		keyBuf = keyBuf[:0]
+		for i, ke := range keyExprs {
+			v, err := ke.Eval(rv)
+			if err != nil {
+				res.err = err
+				return res
+			}
+			keyVals[i] = v
+			keyBuf = value.AppendKey(keyBuf, v)
+		}
+		gs, ok := res.groups[string(keyBuf)]
+		if !ok {
+			gs = &partGroup{
+				keyVals: append([]value.Value(nil), keyVals...),
+				accs:    make([]accumulator, len(specs)),
+			}
+			for i, s := range specs {
+				acc, err := newAccumulator(s.call)
+				if err != nil {
+					res.err = err
+					return res
+				}
+				gs.accs[i] = acc
+			}
+			k := string(keyBuf)
+			res.groups[k] = gs
+			res.order = append(res.order, k)
+		}
+		for i, s := range specs {
+			var v value.Value
+			if s.arg != nil {
+				var err error
+				v, err = s.arg.Eval(rv)
+				if err != nil {
+					res.err = err
+					return res
+				}
+			}
+			if err := gs.accs[i].add(v); err != nil {
+				res.err = err
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// hashAggregateParallel runs the partitioned fold over non-empty rows with
+// workers >= 2 goroutines and merges the partial states deterministically.
+func hashAggregateParallel(rows [][]value.Value, keyExprs []expr.Expr, specs []aggSpec, workers int) ([][]value.Value, error) {
+	parts := make([]partResult, workers)
+	chunk := (len(rows) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo > len(rows) {
+			lo = len(rows)
+		}
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w] = aggregatePartition(rows[lo:hi], keyExprs, specs)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Merge in ascending partition order; the lowest partition's error wins
+	// so a failing query reports the same error no matter how many workers
+	// raced past the failing row.
+	merged := make(map[string]*partGroup)
+	var order []string
+	for pi := range parts {
+		p := &parts[pi]
+		if p.err != nil {
+			return nil, p.err
+		}
+		for _, k := range p.order {
+			g := p.groups[k]
+			tgt, ok := merged[k]
+			if !ok {
+				merged[k] = g
+				order = append(order, k)
+				continue
+			}
+			for i := range tgt.accs {
+				if err := tgt.accs[i].merge(g.accs[i]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	out := make([][]value.Value, 0, len(order))
+	for _, k := range order {
+		gs := merged[k]
+		row := make([]value.Value, 0, len(gs.keyVals)+len(gs.accs))
+		row = append(row, gs.keyVals...)
+		for _, acc := range gs.accs {
+			row = append(row, acc.result())
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

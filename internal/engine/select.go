@@ -10,8 +10,10 @@ import (
 	"repro/internal/value"
 )
 
-// execSelect plans and runs a SELECT statement.
-func (e *Engine) execSelect(sel *sqlparse.Select) (*Result, error) {
+// execSelect plans and runs a SELECT statement. parallelism governs the
+// aggregation path only (see parallel.go); scans, joins, windows, and sorts
+// are unchanged by it.
+func (e *Engine) execSelect(sel *sqlparse.Select, parallelism int) (*Result, error) {
 	in, residualWhere, err := e.buildFrom(sel)
 	if err != nil {
 		return nil, err
@@ -70,7 +72,7 @@ func (e *Engine) execSelect(sel *sqlparse.Select) (*Result, error) {
 	case hasWindow(items):
 		rows, err = e.execWindowSelect(sel, items, in)
 	case len(sel.GroupBy) > 0 || sel.Having != nil || anyAggregate(items):
-		rows, err = e.execGroupSelect(sel, items, in)
+		rows, err = e.execGroupSelect(sel, items, in, parallelism)
 	default:
 		rows, err = e.execPlainSelect(sel, items, in)
 	}
@@ -286,7 +288,7 @@ func (e *Engine) execPlainSelect(sel *sqlparse.Select, items []sqlparse.SelectIt
 }
 
 // execGroupSelect runs hash aggregation and projects items over group rows.
-func (e *Engine) execGroupSelect(sel *sqlparse.Select, items []sqlparse.SelectItem, in iterator) ([][]value.Value, error) {
+func (e *Engine) execGroupSelect(sel *sqlparse.Select, items []sqlparse.SelectItem, in iterator, parallelism int) ([][]value.Value, error) {
 	inSch := in.schema()
 
 	// Resolve group keys to bound expressions over the input schema.
@@ -360,7 +362,7 @@ func (e *Engine) execGroupSelect(sel *sqlparse.Select, items []sqlparse.SelectIt
 		}
 	}
 
-	groupRows, err := hashAggregate(in, keyExprs, specs)
+	groupRows, err := hashAggregate(in, keyExprs, specs, parallelism)
 	if err != nil {
 		return nil, err
 	}

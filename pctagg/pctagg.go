@@ -46,18 +46,34 @@ type DB struct {
 	planner *core.Planner
 	strat   Strategies
 	auto    bool
+	par     int
 }
 
 // Open creates an empty database with the paper's recommended default
-// strategies.
+// strategies. Aggregations run in automatic parallel mode (one worker per
+// CPU once the input is large enough to pay off); see SetParallelism.
 func Open() *DB {
 	eng := engine.New(storage.NewCatalog())
+	eng.SetParallelism(0)
 	return &DB{
 		eng:     eng,
 		planner: core.NewPlanner(eng),
 		strat:   DefaultStrategies(),
 	}
 }
+
+// SetParallelism sets the aggregation worker count for subsequent queries:
+// 0 (the default) uses one worker per CPU on large inputs, 1 forces the
+// sequential path, n > 1 forces exactly n workers. Results are identical
+// across settings — the parallel path's deterministic merge reproduces the
+// sequential output exactly.
+func (db *DB) SetParallelism(p int) {
+	db.par = p
+	db.eng.SetParallelism(p)
+}
+
+// Parallelism returns the configured aggregation parallelism.
+func (db *DB) Parallelism() int { return db.par }
 
 // Rows is a query result: column names and row data. Values are plain Go
 // types: nil (SQL NULL), int64, float64, string, bool.
@@ -128,6 +144,9 @@ func (db *DB) Query(sql string) (*Rows, error) {
 				return nil, err
 			}
 		}
+		// Parallelism is orthogonal to strategy choice: the advisor never
+		// sets it, so stamp the DB-level setting on whatever options won.
+		opts.Parallelism = db.par
 		var plan *core.Plan
 		plan, err = db.planner.Plan(sel, opts)
 		if err != nil {
