@@ -11,6 +11,8 @@
 //	pctbench -o results.txt        # also write to a file
 //	pctbench -md                   # markdown output (for EXPERIMENTS.md)
 //	pctbench -json out.json        # also write machine-readable timings
+//	pctbench -breakdown stages.json  # trace the primary queries and write
+//	                                 # per-stage timings as JSON
 //
 // The -scale paper setting uses the papers' exact sizes (sales n=10M);
 // expect a long run and several GB of memory.
@@ -33,6 +35,7 @@ func main() {
 	reps := flag.Int("reps", 1, "repetitions per measurement (the paper used 5)")
 	out := flag.String("o", "", "also write results to this file")
 	jsonOut := flag.String("json", "", "also write timings to this file as JSON")
+	breakdown := flag.String("breakdown", "", "trace the primary queries and write per-stage timings to this file as JSON")
 	md := flag.Bool("md", false, "emit markdown tables")
 	quiet := flag.Bool("quiet", false, "suppress progress messages")
 	filter := flag.String("filter", "", "only run query rows whose label contains this substring")
@@ -91,10 +94,10 @@ func main() {
 		{"parallel", s.RunTableParallel},
 	}
 	want := strings.ToLower(*table)
-	ran := false
+	ran := want == "none" // -table none: only side outputs like -breakdown
 	var tables []*bench.Table
 	for _, r := range runners {
-		if want != "all" && want != r.key {
+		if want == "none" || want != "all" && want != r.key {
 			continue
 		}
 		ran = true
@@ -110,7 +113,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "pctbench: unknown table %q (4, 5, 6, h3, ablation, update, parallel, all)\n", *table)
+		fmt.Fprintf(os.Stderr, "pctbench: unknown table %q (4, 5, 6, h3, ablation, update, parallel, all, none)\n", *table)
 		os.Exit(2)
 	}
 	if *jsonOut != "" {
@@ -118,6 +121,41 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *breakdown != "" {
+		rows, err := s.RunBreakdown()
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeBreakdownJSON(*breakdown, *scale, rows); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeBreakdownJSON dumps the traced per-stage timings, one object per
+// primary query and strategy, stage durations in seconds.
+func writeBreakdownJSON(path, scale string, rows []bench.StageBreakdown) error {
+	type jsonQuery struct {
+		Label  string             `json:"label"`
+		SQL    string             `json:"sql"`
+		Stages map[string]float64 `json:"stages"`
+	}
+	doc := struct {
+		Scale   string      `json:"scale"`
+		Queries []jsonQuery `json:"queries"`
+	}{Scale: scale}
+	for _, r := range rows {
+		jq := jsonQuery{Label: r.Label, SQL: r.SQL, Stages: map[string]float64{}}
+		for _, st := range r.Stages {
+			jq.Stages[st.Name] = st.Duration.Seconds()
+		}
+		doc.Queries = append(doc.Queries, jq)
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // writeJSON dumps the regenerated tables with times in seconds, for CI

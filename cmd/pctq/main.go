@@ -17,6 +17,9 @@
 //	\olap <query>       show the ANSI OLAP window-function equivalent
 //	\strategy           show the active evaluation strategies
 //	\strategy <k>=<v>   set a strategy knob (see \strategy help)
+//	\timing             toggle per-statement wall-time reporting
+//	\trace on|off       print the execution trace after each query
+//	\stats              dump the process metrics registry as JSON
 //	\import <table> <file.csv>   load a CSV (header row, schema inferred)
 //	\export <file.csv> <query>   write a query result as CSV
 //	\save <file>        snapshot every table to a file
@@ -30,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/pctagg"
 )
@@ -38,9 +42,11 @@ func main() {
 	exec := flag.String("e", "", "execute this SQL and exit")
 	file := flag.String("f", "", "execute this SQL file and exit")
 	demo := flag.Bool("demo", false, "preload the paper's example tables (sales, daily)")
+	stats := flag.Bool("stats", false, "print the metrics registry as JSON on exit")
 	flag.Parse()
 
 	db := pctagg.Open()
+	sh := &shell{db: db}
 	if *demo {
 		if err := loadDemo(db); err != nil {
 			fatal(err)
@@ -50,7 +56,7 @@ func main() {
 
 	switch {
 	case *exec != "":
-		if err := runScript(db, *exec); err != nil {
+		if err := sh.runScript(*exec); err != nil {
 			fatal(err)
 		}
 	case *file != "":
@@ -58,12 +64,23 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runScript(db, string(data)); err != nil {
+		if err := sh.runScript(string(data)); err != nil {
 			fatal(err)
 		}
 	default:
-		repl(db)
+		sh.repl()
 	}
+	if *stats {
+		fmt.Println(db.MetricsJSON())
+	}
+}
+
+// shell holds the REPL's toggles: \timing (wall time per statement) and
+// \trace (execution trace after each query).
+type shell struct {
+	db     *pctagg.DB
+	timing bool
+	trace  bool
 }
 
 func fatal(err error) {
@@ -72,31 +89,50 @@ func fatal(err error) {
 }
 
 // runScript executes statements one by one, printing query results.
-func runScript(db *pctagg.DB, script string) error {
+func (sh *shell) runScript(script string) error {
 	for _, stmt := range splitStatements(script) {
-		if err := runOne(db, stmt); err != nil {
+		if err := sh.runOne(stmt); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runOne(db *pctagg.DB, stmt string) error {
+func (sh *shell) runOne(stmt string) error {
+	start := time.Now()
 	upper := strings.ToUpper(strings.TrimSpace(stmt))
 	if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "EXPLAIN") {
-		rows, err := db.Query(stmt)
+		var rows *pctagg.Rows
+		var trace *pctagg.Span
+		var err error
+		if sh.trace {
+			rows, trace, err = sh.db.QueryTraced(stmt)
+		} else {
+			rows, err = sh.db.Query(stmt)
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Print(rows.String())
+		if trace != nil {
+			fmt.Print(trace.Format())
+		}
+		sh.reportTime(start)
 		return nil
 	}
-	n, err := db.Exec(stmt)
+	n, err := sh.db.Exec(stmt)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("ok (%d rows affected)\n", n)
+	sh.reportTime(start)
 	return nil
+}
+
+func (sh *shell) reportTime(start time.Time) {
+	if sh.timing {
+		fmt.Printf("Time: %s\n", time.Since(start))
+	}
 }
 
 // splitStatements splits on top-level semicolons, respecting string
@@ -125,7 +161,7 @@ func splitStatements(script string) []string {
 	return out
 }
 
-func repl(db *pctagg.DB) {
+func (sh *shell) repl() {
 	fmt.Println("pctq — percentage aggregations shell. \\q quits, \\dt lists tables.")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -140,7 +176,7 @@ func repl(db *pctagg.DB) {
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		if pending.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if meta(db, trimmed) {
+			if sh.meta(trimmed) {
 				return
 			}
 			continue
@@ -154,18 +190,37 @@ func repl(db *pctagg.DB) {
 		script := pending.String()
 		pending.Reset()
 		prompt = "pctq> "
-		if err := runScript(db, script); err != nil {
+		if err := sh.runScript(script); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	}
 }
 
 // meta handles backslash commands; returns true to quit.
-func meta(db *pctagg.DB, cmd string) bool {
+func (sh *shell) meta(cmd string) bool {
+	db := sh.db
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\q", "\\quit":
 		return true
+	case "\\timing":
+		sh.timing = !sh.timing
+		fmt.Printf("timing %s\n", onOff(sh.timing))
+	case "\\trace":
+		switch {
+		case len(fields) == 1:
+			sh.trace = !sh.trace
+		case fields[1] == "on":
+			sh.trace = true
+		case fields[1] == "off":
+			sh.trace = false
+		default:
+			fmt.Fprintln(os.Stderr, "usage: \\trace [on|off]")
+			return false
+		}
+		fmt.Printf("trace %s\n", onOff(sh.trace))
+	case "\\stats":
+		fmt.Println(db.MetricsJSON())
 	case "\\dt":
 		for _, t := range db.Tables() {
 			fmt.Println(t)
@@ -339,4 +394,12 @@ func loadDemo(db *pctagg.DB) error {
 		(2,'Mo',7),(2,'Tu',6),(2,'We',8),(2,'Th',9),(2,'Fr',16),(2,'Sa',24),(2,'Su',30),
 		(4,'Tu',9),(4,'We',9),(4,'Th',9),(4,'Fr',18),(4,'Sa',20),(4,'Su',35)`)
 	return err
+}
+
+// onOff renders a toggle state.
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
 }

@@ -31,17 +31,18 @@ func TestRunScriptAndMeta(t *testing.T) {
 	if err := loadDemo(db); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScript(db, "SELECT state, Vpct(salesAmt) FROM sales GROUP BY state"); err != nil {
+	sh := &shell{db: db}
+	if err := sh.runScript("SELECT state, Vpct(salesAmt) FROM sales GROUP BY state"); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScript(db, "CREATE TABLE x (a INTEGER); INSERT INTO x VALUES (1)"); err != nil {
+	if err := sh.runScript("CREATE TABLE x (a INTEGER); INSERT INTO x VALUES (1)"); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScript(db, "SELECT bogus FROM sales"); err == nil {
+	if err := sh.runScript("SELECT bogus FROM sales"); err == nil {
 		t.Error("bad query must error")
 	}
 	// Meta commands: \q returns true, others false.
-	if !meta(db, "\\q") {
+	if !sh.meta("\\q") {
 		t.Error("\\q must quit")
 	}
 	for _, cmd := range []string{
@@ -55,10 +56,27 @@ func TestRunScriptAndMeta(t *testing.T) {
 		"\\nosuch",
 		"\\import onlyonearg",
 		"\\save",
+		"\\stats",
 	} {
-		if meta(db, cmd) {
+		if sh.meta(cmd) {
 			t.Errorf("meta(%q) must not quit", cmd)
 		}
+	}
+	// Toggles: \timing flips, \trace honors on/off, and traced queries run.
+	if sh.meta("\\timing"); !sh.timing {
+		t.Error("\\timing did not toggle on")
+	}
+	if sh.meta("\\trace on"); !sh.trace {
+		t.Error("\\trace on did not enable tracing")
+	}
+	if err := sh.runScript("SELECT state, Vpct(salesAmt) FROM sales GROUP BY state"); err != nil {
+		t.Fatalf("traced+timed query: %v", err)
+	}
+	if sh.meta("\\trace off"); sh.trace {
+		t.Error("\\trace off did not disable tracing")
+	}
+	if sh.meta("\\trace"); !sh.trace {
+		t.Error("bare \\trace did not toggle")
 	}
 	if !db.GetStrategies().Vpct.UpdateInPlace || !db.GetStrategies().Hpct.FromVertical {
 		t.Error("\\strategy did not apply knobs")
@@ -75,21 +93,21 @@ func TestImportExportSaveLoadMeta(t *testing.T) {
 		t.Fatal(err)
 	}
 	csvPath := dir + "/out.csv"
-	if meta(db, "\\export "+csvPath+" SELECT state, city, salesAmt FROM sales") {
+	if (&shell{db: db}).meta("\\export "+csvPath+" SELECT state, city, salesAmt FROM sales") {
 		t.Fatal("export quit")
 	}
-	if meta(db, "\\import imported "+csvPath) {
+	if (&shell{db: db}).meta("\\import imported "+csvPath) {
 		t.Fatal("import quit")
 	}
 	if !hasTable(db, "imported") {
 		t.Fatal("import did not create table")
 	}
 	snapPath := dir + "/snap.bin"
-	if meta(db, "\\save "+snapPath) {
+	if (&shell{db: db}).meta("\\save "+snapPath) {
 		t.Fatal("save quit")
 	}
 	db2 := pctagg.Open()
-	if meta(db2, "\\load "+snapPath) {
+	if (&shell{db: db2}).meta("\\load "+snapPath) {
 		t.Fatal("load quit")
 	}
 	if len(db2.Tables()) != 3 { // sales, daily, imported

@@ -1,5 +1,6 @@
 // Olapcompare: the paper's Section 4.2 experiment in miniature — the same
-// percentages computed three ways, checked for equality and timed:
+// percentages computed three ways, checked for equality and profiled with
+// the library's execution traces:
 //
 //  1. Vpct with the paper's best evaluation strategy,
 //  2. Hpct directly from F,
@@ -7,7 +8,10 @@
 //
 // On any non-trivial input the OLAP form is the slowest: it pushes every
 // detail row through the window computation and deduplicates afterwards,
-// which is exactly the inefficiency the paper's aggregations avoid.
+// which is exactly the inefficiency the paper's aggregations avoid. The
+// per-stage breakdown from QueryTraced shows where each formulation spends
+// its time — for Vpct, the division join that computes FV is printed span
+// by span.
 //
 // Run with: go run ./examples/olapcompare
 package main
@@ -17,6 +21,8 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/pctagg"
@@ -46,26 +52,18 @@ func main() {
 	fmt.Println("OLAP formulation:", olap)
 	fmt.Println()
 
-	t0 := time.Now()
-	vres, err := db.Query(vq)
+	vres, vtrace, err := db.QueryTraced(vq)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tv := time.Since(t0)
-
-	t0 = time.Now()
-	hres, err := db.Query(hq)
+	hres, htrace, err := db.QueryTraced(hq)
 	if err != nil {
 		log.Fatal(err)
 	}
-	th := time.Since(t0)
-
-	t0 = time.Now()
-	ores, err := db.Query(olap)
+	ores, otrace, err := db.QueryTraced(olap)
 	if err != nil {
 		log.Fatal(err)
 	}
-	to := time.Since(t0)
 
 	// Cross-check: the three answer sets carry identical numbers.
 	vmap := map[[2]int64]float64{}
@@ -93,9 +91,39 @@ func main() {
 		}
 	}
 	fmt.Println("all three formulations agree on every percentage ✓")
+
 	fmt.Printf("\n%-28s %10s\n", "formulation", "time")
-	fmt.Printf("%-28s %10s\n", "Vpct (best strategy)", tv.Round(time.Millisecond))
-	fmt.Printf("%-28s %10s\n", "Hpct (direct from F)", th.Round(time.Millisecond))
-	fmt.Printf("%-28s %10s\n", "OLAP window functions", to.Round(time.Millisecond))
-	fmt.Printf("\nOLAP / Vpct slowdown: %.1fx\n", float64(to)/float64(tv))
+	fmt.Printf("%-28s %10s\n", "Vpct (best strategy)", vtrace.Duration.Round(time.Millisecond))
+	fmt.Printf("%-28s %10s\n", "Hpct (direct from F)", htrace.Duration.Round(time.Millisecond))
+	fmt.Printf("%-28s %10s\n", "OLAP window functions", otrace.Duration.Round(time.Millisecond))
+	fmt.Printf("\nOLAP / Vpct slowdown: %.1fx\n", float64(otrace.Duration)/float64(vtrace.Duration))
+
+	// Where the time goes: the traced stage totals of each formulation.
+	printStages("Vpct", vtrace)
+	printStages("Hpct", htrace)
+	printStages("OLAP", otrace)
+
+	// The step the paper's Section 2.2 centers on — joining the fine
+	// aggregate Fk with the coarse totals Fj on the common subkey and
+	// dividing — shown with its actual statement and operator spans.
+	if div := vtrace.Find("divide"); div != nil {
+		fmt.Println("\nVpct division-join step, span by span:")
+		for _, line := range strings.Split(strings.TrimRight(div.Format(), "\n"), "\n") {
+			fmt.Println("  " + line)
+		}
+	}
+}
+
+// printStages lists a trace's five most expensive stages (summed by span
+// name across the tree).
+func printStages(label string, trace *pctagg.Span) {
+	names, totals := trace.StageTotals()
+	sort.Slice(names, func(i, j int) bool { return totals[names[i]] > totals[names[j]] })
+	if len(names) > 5 {
+		names = names[:5]
+	}
+	fmt.Printf("\n%s stage breakdown (top %d):\n", label, len(names))
+	for _, n := range names {
+		fmt.Printf("  %-55s %10s\n", n, totals[n].Round(10*time.Microsecond))
+	}
 }

@@ -29,7 +29,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"strings"
 
@@ -211,14 +210,30 @@ func (p *Planner) analyze(sel *sqlparse.Select) (*analysis, error) {
 	return a, nil
 }
 
+// CodedError is a planner error that carries the stable PCTxxx code of the
+// violated rule (see internal/diag), so callers can aggregate rejections by
+// diagnostic class without string matching.
+type CodedError struct {
+	// PCTCode is the diagnostic code, e.g. "PCT017".
+	PCTCode string
+	// Msg is the human-readable message, including the package prefix.
+	Msg string
+}
+
+// Error returns the message.
+func (e *CodedError) Error() string { return e.Msg }
+
+// Code returns the PCTxxx diagnostic code.
+func (e *CodedError) Code() string { return e.PCTCode }
+
 // diagError converts a diagnostic back into the planner's error form.
 // Catalog-lookup messages already carry their package prefix; rule
 // violations get the historical "core:" prefix.
 func diagError(d *diag.Diagnostic) error {
 	if d.Code == diag.CodeUnknownTable {
-		return errors.New(d.Message)
+		return &CodedError{PCTCode: d.Code, Msg: d.Message}
 	}
-	return errors.New("core: " + d.Message)
+	return &CodedError{PCTCode: d.Code, Msg: "core: " + d.Message}
 }
 
 // analyzeDiags validates the query, collecting every independent violation

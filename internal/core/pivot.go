@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -35,8 +36,8 @@ func (p *Planner) planHpctHashPivot(plan *Plan, a *analysis, call *expr.AggCall,
 	where := a.where
 	plan.Steps = append(plan.Steps, Step{
 		Purpose: "hash-pivot F into FH (one O(1) column lookup per row)",
-		native: func(eng *engine.Engine, parallelism int) error {
-			return runPivot(eng, a.table, fh, groupCols, call, combos, where, true, nil, parallelism)
+		native: func(eng *engine.Engine, parallelism int, span *obs.Span) error {
+			return runPivot(eng, a.table, fh, groupCols, call, combos, where, true, nil, parallelism, span)
 		},
 	})
 	p.finishHorizontalPlan(plan, a, groupNames, valueNames, nil, singleHolder(fh, valueNames, nil))
@@ -63,8 +64,8 @@ func (p *Planner) planHaggHashPivot(plan *Plan, a *analysis, call *expr.AggCall,
 	}
 	plan.Steps = append(plan.Steps, Step{
 		Purpose: "hash-pivot F into FH (one O(1) column lookup per row)",
-		native: func(eng *engine.Engine, parallelism int) error {
-			return runPivot(eng, a.table, fh, groupCols, call, combos, where, false, deflt, parallelism)
+		native: func(eng *engine.Engine, parallelism int, span *obs.Span) error {
+			return runPivot(eng, a.table, fh, groupCols, call, combos, where, false, deflt, parallelism, span)
 		},
 	})
 	p.finishHorizontalPlan(plan, a, groupNames, valueNames, nil, singleHolder(fh, valueNames, nil))
@@ -241,9 +242,12 @@ func pivotWorkers(parallelism, rows int) int {
 // parallelism != 1 the scan is partitioned into contiguous row ranges folded
 // by worker goroutines and merged in partition order, preserving the
 // sequential group order (same model as the engine's parallel aggregation).
+// span, when non-nil, receives the pivot's stage breakdown: a sequential fold
+// span or a concurrent partition fan-out with one child per worker plus a
+// merge span, then the emit span that writes FH.
 func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
 	call *expr.AggCall, combos []combo, where expr.Expr, pct bool, deflt *value.Value,
-	parallelism int) error {
+	parallelism int, span *obs.Span) error {
 
 	src, err := eng.Catalog().Get(table)
 	if err != nil {
@@ -382,10 +386,13 @@ func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
 	groups := make(map[string]*group)
 	var order []string
 	if workers <= 1 {
+		sp := span.NewChild("pivot fold")
 		groups, order, err = scanPart(0, nRows)
+		sp.End()
 		if err != nil {
 			return err
 		}
+		sp.SetRows(int64(nRows), int64(len(order)))
 	} else {
 		type part struct {
 			groups map[string]*group
@@ -394,6 +401,11 @@ func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
 		}
 		parts := make([]part, workers)
 		chunk := (nRows + workers - 1) / workers
+		fan := span.NewChild("partition fan-out")
+		if fan != nil {
+			fan.Concurrent = true
+			fan.AttrInt("workers", int64(workers))
+		}
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			lo, hi := w*chunk, (w+1)*chunk
@@ -406,17 +418,27 @@ func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
+				var ws *obs.Span
+				if fan != nil {
+					ws = fan.NewChild(fmt.Sprintf("worker %d/%d", w+1, workers))
+				}
 				parts[w].groups, parts[w].order, parts[w].err = scanPart(lo, hi)
+				ws.End()
+				ws.SetRows(int64(hi-lo), int64(len(parts[w].order)))
 			}(w, lo, hi)
 		}
 		wg.Wait()
+		fan.End()
 		// Merge in ascending partition order: lowest partition's error wins,
 		// and group order reproduces the sequential first-appearance order.
+		ms := span.NewChild("merge")
+		partials := 0
 		for pi := range parts {
 			p := &parts[pi]
 			if p.err != nil {
 				return p.err
 			}
+			partials += len(p.order)
 			for _, k := range p.order {
 				g := p.groups[k]
 				tgt, ok := groups[k]
@@ -431,8 +453,11 @@ func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
 				tgt.total.merge(&g.total)
 			}
 		}
+		ms.End()
+		ms.SetRows(int64(partials), int64(len(order)))
 	}
 
+	es := span.NewChild("emit " + fh)
 	out := make([]value.Value, 0, len(groupCols)+len(combos))
 	for _, k := range order {
 		g := groups[k]
@@ -473,5 +498,7 @@ func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
 			return err
 		}
 	}
+	es.End()
+	es.SetRows(int64(len(order)), int64(len(order)))
 	return nil
 }

@@ -7,9 +7,17 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/internal/value"
+)
+
+// Plan-level metrics (see internal/obs). Steps count both SQL and native
+// steps; the per-statement engine metrics accumulate underneath.
+var (
+	mPlanExecutions = obs.Default.Counter("core.plans")
+	mPlanSteps      = obs.Default.Counter("core.steps")
 )
 
 // Step is one statement of a generated plan. Most steps are SQL text; a few
@@ -23,8 +31,9 @@ type Step struct {
 	SQL string
 	// native, when set, runs instead of SQL. It receives the plan's
 	// parallelism so native steps can partition their scans the same way the
-	// engine's aggregation path does.
-	native func(eng *engine.Engine, parallelism int) error
+	// engine's aggregation path does, and the step's trace span (nil when the
+	// plan runs untraced) to hang stage spans from.
+	native func(eng *engine.Engine, parallelism int, span *obs.Span) error
 }
 
 // Plan is a generated evaluation plan for a percentage/horizontal query.
@@ -306,36 +315,77 @@ func (p *Planner) PlanSQL(sql string, opts Options) (*Plan, error) {
 // Execute runs the plan's build steps and final select, then drops the
 // plan's temporary tables. The returned result is the user-facing relation.
 func (p *Planner) Execute(plan *Plan) (*engine.Result, error) {
-	res, err := p.ExecuteSteps(plan)
+	return p.executeIn(plan, nil)
+}
+
+// ExecuteTraced runs the plan like Execute while recording an execution
+// trace: the returned root span holds one child per build step (named from
+// the step's Purpose — the Vpct division join, for example, is
+// root.Find("divide")), then the final select and cleanup, with engine
+// statement spans and operator details nested underneath. The trace is
+// returned even when execution fails, annotated with the error.
+func (p *Planner) ExecuteTraced(plan *Plan) (*engine.Result, *obs.Span, error) {
+	root := obs.NewSpan("plan " + plan.Class.String())
+	root.AttrInt("parallelism", int64(plan.Parallelism))
+	root.AttrInt("steps", int64(len(plan.Steps)))
+	res, err := p.executeIn(plan, root)
+	root.End()
 	if err != nil {
-		p.CleanupPlan(plan)
+		root.Attr("error", err.Error())
+	}
+	if res != nil {
+		root.SetRows(-1, int64(len(res.Rows)))
+	}
+	return res, root, err
+}
+
+func (p *Planner) executeIn(plan *Plan, root *obs.Span) (*engine.Result, error) {
+	res, err := p.executeStepsIn(plan, root)
+	if err != nil {
+		p.cleanupIn(plan, root)
 		return nil, err
 	}
 	if plan.FinalSelect != "" {
-		res, err = p.Eng.ExecSQLP(plan.FinalSelect, plan.Parallelism)
+		sp := root.NewChild("final select")
+		res, err = p.Eng.ExecSQLIn(plan.FinalSelect, plan.Parallelism, sp)
+		sp.End()
 		if err != nil {
-			p.CleanupPlan(plan)
+			sp.Attr("error", err.Error())
+			p.cleanupIn(plan, root)
 			return nil, err
 		}
+		sp.SetRows(-1, int64(len(res.Rows)))
 	}
-	p.CleanupPlan(plan)
+	p.cleanupIn(plan, root)
 	return res, nil
 }
 
 // ExecuteSteps runs only the build steps (what the paper times) and leaves
 // the temporary tables in place. Callers must CleanupPlan afterwards.
 func (p *Planner) ExecuteSteps(plan *Plan) (*engine.Result, error) {
+	return p.executeStepsIn(plan, nil)
+}
+
+func (p *Planner) executeStepsIn(plan *Plan, root *obs.Span) (*engine.Result, error) {
+	mPlanExecutions.Inc()
 	var last *engine.Result
 	for _, s := range plan.Steps {
+		mPlanSteps.Inc()
+		sp := root.NewChild("step: " + s.Purpose)
 		if s.native != nil {
-			if err := s.native(p.Eng, plan.Parallelism); err != nil {
+			err := s.native(p.Eng, plan.Parallelism, sp)
+			sp.End()
+			if err != nil {
+				sp.Attr("error", err.Error())
 				return nil, fmt.Errorf("core: step %q: %w", s.Purpose, err)
 			}
 			last = &engine.Result{}
 			continue
 		}
-		res, err := p.Eng.ExecSQLP(s.SQL, plan.Parallelism)
+		res, err := p.Eng.ExecSQLIn(s.SQL, plan.Parallelism, sp)
+		sp.End()
 		if err != nil {
+			sp.Attr("error", err.Error())
 			return nil, fmt.Errorf("core: step %q: %w", s.Purpose, err)
 		}
 		last = res
@@ -346,11 +396,23 @@ func (p *Planner) ExecuteSteps(plan *Plan) (*engine.Result, error) {
 // CleanupPlan drops the plan's temporary tables. Errors are ignored: a
 // failed plan may not have created all of them.
 func (p *Planner) CleanupPlan(plan *Plan) {
+	p.cleanupIn(plan, nil)
+}
+
+func (p *Planner) cleanupIn(plan *Plan, root *obs.Span) {
+	if len(plan.Cleanup) == 0 {
+		return
+	}
+	sp := root.NewChild("cleanup")
+	n := 0
 	for _, s := range plan.Cleanup {
 		if s.SQL != "" {
 			_, _ = p.Eng.ExecSQL(s.SQL)
+			n++
 		}
 	}
+	sp.End()
+	sp.SetRows(int64(n), -1)
 }
 
 // ----- shared generation helpers -----

@@ -49,7 +49,7 @@ func (e *Engine) execDropTable(dt *sqlparse.DropTable) (*Result, error) {
 }
 
 // execInsert appends VALUES rows or the result of INSERT … SELECT.
-func (e *Engine) execInsert(ins *sqlparse.Insert, parallelism int) (*Result, error) {
+func (e *Engine) execInsert(ins *sqlparse.Insert, ec execCtx) (*Result, error) {
 	t, err := e.cat.Get(ins.Table)
 	if err != nil {
 		return nil, err
@@ -90,16 +90,19 @@ func (e *Engine) execInsert(ins *sqlparse.Insert, parallelism int) (*Result, err
 
 	n := 0
 	if ins.Query != nil {
-		res, err := e.execSelect(ins.Query, parallelism)
+		res, err := e.execSelect(ins.Query, ec)
 		if err != nil {
 			return nil, err
 		}
+		sp := ec.span.NewChild("insert " + ins.Table)
 		for _, row := range res.Rows {
 			if err := appendMapped(row); err != nil {
 				return nil, err
 			}
 			n++
 		}
+		sp.End()
+		sp.SetRows(int64(len(res.Rows)), int64(n))
 		return &Result{Affected: n}, nil
 	}
 

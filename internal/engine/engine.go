@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -18,6 +20,11 @@ type Engine struct {
 	// exactly n workers. Atomic because concurrent submitters share one
 	// engine (see TestConcurrentPercentageQueries).
 	par atomic.Int32
+	// sink receives the finished span tree of every statement; slow is the
+	// slow-query log. Both are atomic so concurrent submitters can race
+	// reconfiguration safely (see trace.go).
+	sink atomic.Pointer[traceSink]
+	slow atomic.Pointer[slowLog]
 }
 
 // New returns an engine over the catalog. The default parallelism is 1
@@ -57,11 +64,51 @@ func (e *Engine) Execute(stmt sqlparse.Statement) (*Result, error) {
 // CPU, 1 = sequential, n > 1 = n workers). Only aggregation consumes the
 // setting; other operators run as before.
 func (e *Engine) ExecuteP(stmt sqlparse.Statement, parallelism int) (*Result, error) {
+	var root *obs.Span
+	if e.tracing() {
+		root = obs.NewSpan("statement")
+		root.Attr("sql", stmt.String())
+	}
+	t0 := time.Now()
+	res, err := e.exec(stmt, execCtx{par: parallelism, span: root})
+	e.finishStatement(stmt, root, time.Since(t0), err)
+	return res, err
+}
+
+// ExecuteIn runs one parsed statement as a child stage of parent: the
+// statement's span tree attaches under parent instead of going to the trace
+// sink, so multi-statement plans (the core package's generated SQL) nest
+// their statements inside one plan trace. A nil parent disables tracing for
+// the statement; metrics and the slow-query log still apply.
+func (e *Engine) ExecuteIn(stmt sqlparse.Statement, parallelism int, parent *obs.Span) (*Result, error) {
+	sp := parent.NewChild("statement")
+	sp.Attr("sql", stmt.String())
+	t0 := time.Now()
+	res, err := e.exec(stmt, execCtx{par: parallelism, span: sp})
+	d := time.Since(t0)
+	sp.SetDuration(d)
+	if res != nil {
+		sp.SetRows(-1, int64(max(len(res.Rows), res.Affected)))
+	}
+	mStatements.Inc()
+	mStatementNs.Observe(int64(d))
+	if err != nil {
+		mErrors.Inc()
+		sp.Attr("error", err.Error())
+	}
+	if l := e.slow.Load(); l != nil {
+		l.record(d, stmt.String())
+	}
+	return res, err
+}
+
+// exec dispatches one statement under an execution context.
+func (e *Engine) exec(stmt sqlparse.Statement, ec execCtx) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sqlparse.Select:
-		return e.execSelect(s, parallelism)
+		return e.execSelect(s, ec)
 	case *sqlparse.Insert:
-		return e.execInsert(s, parallelism)
+		return e.execInsert(s, ec)
 	case *sqlparse.Update:
 		return e.execUpdate(s)
 	case *sqlparse.CreateTable:
@@ -73,7 +120,7 @@ func (e *Engine) ExecuteP(stmt sqlparse.Statement, parallelism int) (*Result, er
 	case *sqlparse.Delete:
 		return e.execDelete(s)
 	case *sqlparse.Explain:
-		return e.execExplain(s)
+		return e.execExplain(s, ec)
 	default:
 		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 	}
@@ -95,6 +142,28 @@ func (e *Engine) ExecSQLP(src string, parallelism int) (*Result, error) {
 	var last *Result
 	for _, s := range stmts {
 		last, err = e.ExecuteP(s, parallelism)
+		if err != nil {
+			return nil, fmt.Errorf("%w\n  in: %s", err, s)
+		}
+	}
+	return last, nil
+}
+
+// ExecSQLIn parses and runs a script with every statement traced as a child
+// of parent: a "parse" span covers lexing and parsing, then one statement
+// span per statement (see ExecuteIn). It returns the last statement's
+// result, like ExecSQLP.
+func (e *Engine) ExecSQLIn(src string, parallelism int, parent *obs.Span) (*Result, error) {
+	ps := parent.NewChild("parse")
+	stmts, err := sqlparse.ParseAll(src)
+	ps.SetRows(-1, int64(len(stmts)))
+	ps.End()
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, s := range stmts {
+		last, err = e.ExecuteIn(s, parallelism, parent)
 		if err != nil {
 			return nil, fmt.Errorf("%w\n  in: %s", err, s)
 		}

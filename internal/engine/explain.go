@@ -3,20 +3,30 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/sqlparse"
 	"repro/internal/value"
 )
 
-// execExplain renders the physical plan of a SELECT without producing its
-// rows. The FROM pipeline is actually constructed — join sides are hashed
-// or index-bound exactly as execution would — so the output reflects real
-// decisions (index reuse, nested-loop fallbacks), at the cost of doing the
-// build work.
-func (e *Engine) execExplain(ex *sqlparse.Explain) (*Result, error) {
+// execExplain renders the physical plan of a SELECT. The FROM pipeline is
+// actually constructed — index decisions are made exactly as execution would
+// make them — but join hash tables and nested-loop right sides build lazily
+// on first probe, so plain EXPLAIN never pays the build cost even on large
+// inputs. EXPLAIN ANALYZE executes the query and annotates each operator
+// with its actual row count and cumulative time.
+func (e *Engine) execExplain(ex *sqlparse.Explain, ec execCtx) (*Result, error) {
+	if ex.Analyze {
+		return e.execExplainAnalyze(ex, ec)
+	}
 	sel := ex.Query
 	in, residualWhere, err := e.buildFrom(sel)
+	if err != nil {
+		return nil, err
+	}
+	items, err := expandStars(sel.Items, in.schema())
 	if err != nil {
 		return nil, err
 	}
@@ -25,11 +35,79 @@ func (e *Engine) execExplain(ex *sqlparse.Explain) (*Result, error) {
 	emit := func(depth int, s string) {
 		lines = append(lines, strings.Repeat("  ", depth)+s)
 	}
+	depth := explainHeader(sel, items, emit, nil)
+	if residualWhere != nil {
+		emit(depth, "Filter "+residualWhere.String())
+		depth++
+	}
+	describeIter(in, depth, emit)
+	return planResult(lines), nil
+}
 
-	items, err := expandStars(sel.Items, in.schema())
+// execExplainAnalyze runs the SELECT with full instrumentation and renders
+// the same plan tree annotated with actual rows and times, plus the parallel
+// fold's per-worker breakdown and a trailing execution summary.
+func (e *Engine) execExplainAnalyze(ex *sqlparse.Explain, ec execCtx) (*Result, error) {
+	sel := ex.Query
+	root := ec.span
+	if root == nil {
+		root = obs.NewSpan("statement")
+		root.Attr("sql", sel.String())
+	}
+	insp := &selInspect{}
+	t0 := time.Now()
+	_, err := e.execSelect(sel, execCtx{par: ec.par, span: root, inspect: insp})
+	total := time.Since(t0)
 	if err != nil {
 		return nil, err
 	}
+	if ec.span == nil {
+		root.SetDuration(total)
+	}
+
+	items, err := expandStars(sel.Items, insp.in.schema())
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	emit := func(depth int, s string) {
+		lines = append(lines, strings.Repeat("  ", depth)+s)
+	}
+	depth := explainHeader(sel, items, emit, root)
+	// The residual WHERE filter is the pipeline root itself when present, so
+	// describeIter renders it (with actuals) — no separate header line here,
+	// unlike plain EXPLAIN which works from the unwrapped pipeline.
+	describeIter(insp.in, depth, emit)
+	emit(0, fmt.Sprintf("Execution: rows=%d time=%s", insp.rows, total))
+	return planResult(lines), nil
+}
+
+func planResult(lines []string) *Result {
+	res := &Result{Columns: []string{"plan"}}
+	for _, l := range lines {
+		res.Rows = append(res.Rows, []value.Value{value.NewString(l)})
+	}
+	return res
+}
+
+// spanActual renders the "(actual …)" annotation for a stage span, or "".
+func spanActual(sp *obs.Span) string {
+	if sp == nil {
+		return ""
+	}
+	if sp.RowsOut >= 0 {
+		return fmt.Sprintf(" (actual rows=%d time=%s)", sp.RowsOut, sp.Duration)
+	}
+	return fmt.Sprintf(" (actual time=%s)", sp.Duration)
+}
+
+// explainHeader emits the plan lines above the FROM pipeline — Limit, Sort,
+// Distinct, and the consumer stage (window / hash aggregate / project) — and
+// returns the depth the pipeline starts at. When root is non-nil (EXPLAIN
+// ANALYZE) each line is annotated from the corresponding stage span, and the
+// parallel fold's worker and merge spans render under the HashAggregate.
+func explainHeader(sel *sqlparse.Select, items []sqlparse.SelectItem,
+	emit func(int, string), root *obs.Span) int {
 
 	depth := 0
 	if sel.Limit > 0 {
@@ -41,11 +119,11 @@ func (e *Engine) execExplain(ex *sqlparse.Explain) (*Result, error) {
 		for i, k := range sel.OrderBy {
 			keys[i] = k.String()
 		}
-		emit(depth, "Sort ["+strings.Join(keys, ", ")+"]")
+		emit(depth, "Sort ["+strings.Join(keys, ", ")+"]"+spanActual(root.Find("sort")))
 		depth++
 	}
 	if sel.Distinct {
-		emit(depth, "Distinct")
+		emit(depth, "Distinct"+spanActual(root.Find("distinct")))
 		depth++
 	}
 
@@ -60,7 +138,8 @@ func (e *Engine) execExplain(ex *sqlparse.Explain) (*Result, error) {
 				return nil
 			})
 		}
-		emit(depth, "WindowAggregate (sort-based, one pass per window) ["+strings.Join(specs, "; ")+"]")
+		emit(depth, "WindowAggregate (sort-based, one pass per window) ["+
+			strings.Join(specs, "; ")+"]"+spanActual(root.Find("window")))
 		depth++
 	case len(sel.GroupBy) > 0 || sel.Having != nil || anyAggregate(items):
 		var keys []string
@@ -80,34 +159,35 @@ func (e *Engine) execExplain(ex *sqlparse.Explain) (*Result, error) {
 		if sel.Having != nil {
 			line += " having=" + sel.Having.String()
 		}
-		emit(depth, line)
+		agg := root.Find("aggregate")
+		emit(depth, line+spanActual(agg))
 		depth++
+		if fan := agg.Find("partition fan-out"); fan != nil {
+			emit(depth, fmt.Sprintf("Parallel fold (%d workers)", len(fan.Children)))
+			for _, w := range fan.Children {
+				emit(depth+1, fmt.Sprintf("%s: rows=%d groups=%d time=%s", w.Name, w.RowsIn, w.RowsOut, w.Duration))
+			}
+			if m := agg.Find("merge"); m != nil {
+				emit(depth+1, fmt.Sprintf("merge: groups=%d time=%s", m.RowsOut, m.Duration))
+			}
+		}
 	default:
 		names := outputNames(items)
-		emit(depth, "Project ["+strings.Join(names, ", ")+"]")
+		emit(depth, "Project ["+strings.Join(names, ", ")+"]"+spanActual(root.Find("project")))
 		depth++
 	}
-
-	if residualWhere != nil {
-		emit(depth, "Filter "+residualWhere.String())
-		depth++
-	}
-	describeIter(in, depth, emit)
-
-	res := &Result{Columns: []string{"plan"}}
-	for _, l := range lines {
-		res.Rows = append(res.Rows, []value.Value{value.NewString(l)})
-	}
-	return res, nil
+	return depth
 }
 
-// describeIter renders the FROM pipeline bottom of the plan tree.
+// describeIter renders the FROM pipeline bottom of the plan tree. Operators
+// carrying opStats (EXPLAIN ANALYZE) are annotated with actual rows and
+// cumulative times.
 func describeIter(it iterator, depth int, emit func(int, string)) {
 	switch n := it.(type) {
 	case *tableScan:
-		emit(depth, fmt.Sprintf("Scan %s (%d rows)", n.tab.Name(), n.tab.NumRows()))
+		emit(depth, fmt.Sprintf("Scan %s (%d rows)%s", n.tab.Name(), n.tab.NumRows(), n.stats.actualSuffix()))
 	case *filterIter:
-		emit(depth, "Filter "+n.pred.String())
+		emit(depth, "Filter "+n.pred.String()+n.stats.actualSuffix())
 		describeIter(n.child, depth+1, emit)
 	case *hashJoin:
 		leftW := len(n.sch) - n.rightW
@@ -132,7 +212,12 @@ func describeIter(it iterator, depth int, emit func(int, string)) {
 		if n.build.tab != nil {
 			buildName = " " + n.build.tab.Name()
 		}
-		emit(depth, fmt.Sprintf("%s on [%s] (build%s via %s)", kind, strings.Join(conds, " AND "), buildName, build))
+		extra := ""
+		if n.stats != nil && n.build.built && !n.build.useIndex {
+			extra = fmt.Sprintf(" build time=%s", time.Duration(n.build.buildNs))
+		}
+		emit(depth, fmt.Sprintf("%s on [%s] (build%s via %s)%s%s",
+			kind, strings.Join(conds, " AND "), buildName, build, extra, n.stats.actualSuffix()))
 		describeIter(n.left, depth+1, emit)
 	case *nestedLoopJoin:
 		kind := "NestedLoopJoin"
@@ -143,10 +228,16 @@ func describeIter(it iterator, depth int, emit func(int, string)) {
 		if n.pred != nil {
 			pred = n.pred.String()
 		}
-		emit(depth, fmt.Sprintf("%s on %s (%d materialized right rows)", kind, pred, len(n.right.rows)))
+		emit(depth, fmt.Sprintf("%s on %s%s", kind, pred, n.stats.actualSuffix()))
 		describeIter(n.left, depth+1, emit)
+		mat := "Materialize (right side, deferred to first probe)"
+		if n.right != nil {
+			mat = fmt.Sprintf("Materialize (right side, %d rows, time=%s)", len(n.right.rows), time.Duration(n.matNs))
+		}
+		emit(depth+1, mat)
+		describeIter(n.rightSrc, depth+2, emit)
 	case *memRelation:
-		emit(depth, fmt.Sprintf("Values (%d rows)", len(n.rows)))
+		emit(depth, fmt.Sprintf("Values (%d rows)%s", len(n.rows), n.stats.actualSuffix()))
 	default:
 		emit(depth, fmt.Sprintf("%T", it))
 	}

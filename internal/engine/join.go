@@ -2,6 +2,7 @@ package engine
 
 import (
 	"strings"
+	"time"
 
 	"repro/internal/expr"
 	"repro/internal/storage"
@@ -128,15 +129,61 @@ func sameColRef(a, b *expr.ColumnRef) bool {
 	return strings.EqualFold(a.Qualifier, b.Qualifier) && strings.EqualFold(a.Name, b.Name)
 }
 
-// buildSide is the materialized right side of a hash join: either an ad-hoc
-// hash table or a pre-existing storage index (the paper's subkey-index
-// optimization skips the build phase by reusing the index).
+// buildSide is the right side of a hash join: either an ad-hoc hash table or
+// a pre-existing storage index (the paper's subkey-index optimization skips
+// the build phase by reusing the index). The ad-hoc table is built lazily,
+// on the first probe, so constructing the join — which EXPLAIN does to
+// render real plan decisions — costs nothing; only the cheap index check
+// runs eagerly because the plan text reports which build strategy applies.
 type buildSide struct {
-	tab      *storage.Table // set when rows come straight from a table
-	rows     [][]value.Value
-	buckets  map[string][]int // key → positions in rows (or table row ids)
-	useIndex bool
-	lookupFn func(key string) []int
+	tab       *storage.Table // set when rows come straight from a table
+	rows      [][]value.Value
+	pairs     []joinPair
+	buckets   map[string][]int // key → positions in rows (or table row ids)
+	useIndex  bool
+	lookupFn  func(key string) []int
+	built     bool
+	buildNs   int64 // wall time of the ad-hoc build, for traces
+	buildRows int64
+}
+
+// ensure performs the deferred build work on first probe and records the
+// join-build metrics (EXPLAIN never probes, so it never counts here).
+func (b *buildSide) ensure() {
+	if b.built {
+		return
+	}
+	b.built = true
+	if b.useIndex {
+		mJoinIndexReuse.Inc()
+		return
+	}
+	t0 := time.Now()
+	key := make([]byte, 0, 32)
+	if b.tab != nil {
+		b.buckets = make(map[string][]int, b.tab.NumRows())
+		for r := 0; r < b.tab.NumRows(); r++ {
+			key = key[:0]
+			for _, p := range b.pairs {
+				key = value.AppendKey(key, b.tab.Get(r, p.rightIdx))
+			}
+			b.buckets[string(key)] = append(b.buckets[string(key)], r)
+		}
+		b.buildRows = int64(b.tab.NumRows())
+	} else {
+		b.buckets = make(map[string][]int, len(b.rows))
+		for r, row := range b.rows {
+			key = key[:0]
+			for _, p := range b.pairs {
+				key = value.AppendKey(key, row[p.rightIdx])
+			}
+			b.buckets[string(key)] = append(b.buckets[string(key)], r)
+		}
+		b.buildRows = int64(len(b.rows))
+	}
+	b.lookupFn = func(k string) []int { return b.buckets[k] }
+	b.buildNs = time.Since(t0).Nanoseconds()
+	mJoinBuilds.Inc()
 }
 
 // hashJoin streams the left (probe) side against a materialized right
@@ -153,16 +200,18 @@ type hashJoin struct {
 	pending []int         // remaining matches for the current probe row
 	current []value.Value // current probe row (copy not needed within step)
 	outBuf  []value.Value
+	stats   *opStats
 }
 
-// newHashJoinFromTable builds the join against a base table right side. If
+// newHashJoinFromTable sets up the join against a base table right side. If
 // useIndex is true and the table has an index exactly on the join columns,
-// the index serves as the hash table; otherwise an ad-hoc table is built.
+// the index serves as the hash table; otherwise an ad-hoc table is built —
+// lazily, on the first probe (see buildSide.ensure).
 func newHashJoinFromTable(left iterator, right *storage.Table, rightAlias string,
 	pairs []joinPair, outer bool, useIndex bool) (*hashJoin, error) {
 
 	rightSch := schemaOf(right, rightAlias)
-	b := &buildSide{tab: right}
+	b := &buildSide{tab: right, pairs: pairs}
 	if useIndex {
 		cols := make([]string, len(pairs))
 		for i, p := range pairs {
@@ -172,18 +221,6 @@ func newHashJoinFromTable(left iterator, right *storage.Table, rightAlias string
 			b.useIndex = true
 			b.lookupFn = ix.LookupKey
 		}
-	}
-	if !b.useIndex {
-		b.buckets = make(map[string][]int, right.NumRows())
-		key := make([]byte, 0, 32)
-		for r := 0; r < right.NumRows(); r++ {
-			key = key[:0]
-			for _, p := range pairs {
-				key = value.AppendKey(key, right.Get(r, p.rightIdx))
-			}
-			b.buckets[string(key)] = append(b.buckets[string(key)], r)
-		}
-		b.lookupFn = func(k string) []int { return b.buckets[k] }
 	}
 	return &hashJoin{
 		left:   left,
@@ -195,18 +232,10 @@ func newHashJoinFromTable(left iterator, right *storage.Table, rightAlias string
 	}, nil
 }
 
-// newHashJoinFromRows builds the join against a materialized relation.
+// newHashJoinFromRows sets up the join against a materialized relation; the
+// hash table is built on first probe.
 func newHashJoinFromRows(left iterator, right *memRelation, pairs []joinPair, outer bool) *hashJoin {
-	b := &buildSide{rows: right.rows, buckets: make(map[string][]int, len(right.rows))}
-	key := make([]byte, 0, 32)
-	for r, row := range right.rows {
-		key = key[:0]
-		for _, p := range pairs {
-			key = value.AppendKey(key, row[p.rightIdx])
-		}
-		b.buckets[string(key)] = append(b.buckets[string(key)], r)
-	}
-	b.lookupFn = func(k string) []int { return b.buckets[k] }
+	b := &buildSide{rows: right.rows, pairs: pairs}
 	return &hashJoin{
 		left:   left,
 		build:  b,
@@ -220,6 +249,20 @@ func newHashJoinFromRows(left iterator, right *memRelation, pairs []joinPair, ou
 func (j *hashJoin) schema() relSchema { return j.sch }
 
 func (j *hashJoin) next() ([]value.Value, bool, error) {
+	if j.stats != nil {
+		t0 := time.Now()
+		row, ok, err := j.step()
+		j.stats.ns += time.Since(t0).Nanoseconds()
+		if ok {
+			j.stats.rows++
+		}
+		return row, ok, err
+	}
+	return j.step()
+}
+
+func (j *hashJoin) step() ([]value.Value, bool, error) {
+	j.build.ensure()
 	for {
 		if len(j.pending) > 0 {
 			r := j.pending[0]
@@ -280,35 +323,61 @@ func (j *hashJoin) emitNull() []value.Value {
 }
 
 // nestedLoopJoin is the reference fallback for joins whose ON clause is not
-// a conjunction of column equalities. The right side is materialized; the
-// predicate is evaluated over each row pair.
+// a conjunction of column equalities. The right side materializes lazily on
+// the first probe (so EXPLAIN constructs the join for free); the predicate
+// is evaluated over each row pair.
 type nestedLoopJoin struct {
-	left   iterator
-	right  *memRelation
-	pred   expr.Expr // bound over the combined schema; nil means cross product
-	box    rowBox
-	outer  bool
-	sch    relSchema
-	cur    []value.Value
-	curSet bool
-	rpos   int
-	seen   bool
-	outBuf []value.Value
+	left     iterator
+	rightSrc iterator
+	right    *memRelation // nil until the first probe materializes rightSrc
+	matNs    int64        // wall time of the lazy materialization, for traces
+	pred     expr.Expr    // bound over the combined schema; nil means cross product
+	box      rowBox
+	outer    bool
+	sch      relSchema
+	cur      []value.Value
+	curSet   bool
+	rpos     int
+	seen     bool
+	outBuf   []value.Value
+	stats    *opStats
 }
 
-func newNestedLoopJoin(left iterator, right *memRelation, pred expr.Expr, outer bool) *nestedLoopJoin {
+func newNestedLoopJoin(left iterator, rightSrc iterator, pred expr.Expr, outer bool) *nestedLoopJoin {
 	return &nestedLoopJoin{
-		left:  left,
-		right: right,
-		pred:  pred,
-		outer: outer,
-		sch:   append(append(relSchema{}, left.schema()...), right.sch...),
+		left:     left,
+		rightSrc: rightSrc,
+		pred:     pred,
+		outer:    outer,
+		sch:      append(append(relSchema{}, left.schema()...), rightSrc.schema()...),
 	}
 }
 
 func (j *nestedLoopJoin) schema() relSchema { return j.sch }
 
 func (j *nestedLoopJoin) next() ([]value.Value, bool, error) {
+	if j.stats != nil {
+		t0 := time.Now()
+		row, ok, err := j.step()
+		j.stats.ns += time.Since(t0).Nanoseconds()
+		if ok {
+			j.stats.rows++
+		}
+		return row, ok, err
+	}
+	return j.step()
+}
+
+func (j *nestedLoopJoin) step() ([]value.Value, bool, error) {
+	if j.right == nil {
+		t0 := time.Now()
+		m, err := materialize(j.rightSrc)
+		if err != nil {
+			return nil, false, err
+		}
+		j.right = m
+		j.matNs = time.Since(t0).Nanoseconds()
+	}
 	for {
 		if !j.curSet {
 			row, ok, err := j.left.next()

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/value"
 )
 
@@ -43,29 +45,55 @@ func resolveWorkers(parallelism int) int {
 }
 
 // hashAggregate dispatches between the sequential fold and the partitioned
-// parallel path according to the parallelism setting (see the package
-// comment above for its semantics).
-func hashAggregate(in iterator, keyExprs []expr.Expr, specs []aggSpec, parallelism int) ([][]value.Value, error) {
-	workers := resolveWorkers(parallelism)
+// parallel path according to the parallelism setting in ec (see the package
+// comment above for its semantics). ec.span, when set, is the aggregate
+// stage span: the sequential path adds a "fold" child, the parallel path a
+// concurrent "partition fan-out" with one child per worker plus a "merge".
+func hashAggregate(in iterator, keyExprs []expr.Expr, specs []aggSpec, ec execCtx) ([][]value.Value, error) {
+	workers := resolveWorkers(ec.par)
 	if workers <= 1 {
-		return hashAggregateSeq(in, keyExprs, specs)
+		// The fold drains the pipeline itself, so the operator subtree nests
+		// under the fold span: its cumulative time is part of the fold wall.
+		sp := ec.span.NewChild("fold")
+		out, err := hashAggregateSeq(in, keyExprs, specs)
+		sp.End()
+		sp.SetRows(-1, int64(len(out)))
+		if sp != nil {
+			sp.AddChild(operatorSpans(in))
+		}
+		mGroupsEmitted.Add(int64(len(out)))
+		return out, err
 	}
 	// Iterators reuse row buffers and are not safe to share across
 	// goroutines, so the parallel path works on a materialized copy; the
 	// single-threaded drain here is also what keeps concurrent readers off
-	// the storage layer.
+	// the storage layer. The drain is where the operator subtree's time is
+	// spent, so it attaches directly under the aggregate span here.
 	input, err := materialize(in)
 	if err != nil {
 		return nil, err
 	}
+	if ec.span != nil {
+		ec.span.AddChild(operatorSpans(in))
+	}
 	n := len(input.rows)
-	if n == 0 || (parallelism <= 0 && n < autoParallelMinRows) {
-		return hashAggregateSeq(input, keyExprs, specs)
+	if n == 0 || (ec.par <= 0 && n < autoParallelMinRows) {
+		mAggSeqFallback.Inc()
+		ec.span.Attr("fallback", "sequential (below parallel threshold)")
+		sp := ec.span.NewChild("fold")
+		out, err := hashAggregateSeq(input, keyExprs, specs)
+		sp.End()
+		sp.SetRows(int64(n), int64(len(out)))
+		mGroupsEmitted.Add(int64(len(out)))
+		return out, err
 	}
 	if workers > n {
 		workers = n
 	}
-	return hashAggregateParallel(input.rows, keyExprs, specs, workers)
+	mAggParallel.Inc()
+	out, err := hashAggregateParallel(input.rows, keyExprs, specs, workers, ec.span)
+	mGroupsEmitted.Add(int64(len(out)))
+	return out, err
 }
 
 // partGroup is one group's partial state within a single partition.
@@ -144,7 +172,15 @@ func aggregatePartition(rows [][]value.Value, keyExprs []expr.Expr, specs []aggS
 
 // hashAggregateParallel runs the partitioned fold over non-empty rows with
 // workers >= 2 goroutines and merges the partial states deterministically.
-func hashAggregateParallel(rows [][]value.Value, keyExprs []expr.Expr, specs []aggSpec, workers int) ([][]value.Value, error) {
+// span, when set, receives a concurrent "partition fan-out" child with one
+// "worker i/N" span per goroutine (rows folded in, groups produced out) and
+// a "merge" span covering the deterministic ascending-order merge.
+func hashAggregateParallel(rows [][]value.Value, keyExprs []expr.Expr, specs []aggSpec, workers int, span *obs.Span) ([][]value.Value, error) {
+	fan := span.NewChild("partition fan-out")
+	if fan != nil {
+		fan.Concurrent = true
+		fan.AttrInt("workers", int64(workers))
+	}
 	parts := make([]partResult, workers)
 	chunk := (len(rows) + workers - 1) / workers
 	var wg sync.WaitGroup
@@ -160,14 +196,22 @@ func hashAggregateParallel(rows [][]value.Value, keyExprs []expr.Expr, specs []a
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			var ws *obs.Span
+			if fan != nil {
+				ws = fan.NewChild(fmt.Sprintf("worker %d/%d", w+1, workers))
+			}
 			parts[w] = aggregatePartition(rows[lo:hi], keyExprs, specs)
+			ws.End()
+			ws.SetRows(int64(hi-lo), int64(len(parts[w].order)))
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	fan.End()
 
 	// Merge in ascending partition order; the lowest partition's error wins
 	// so a failing query reports the same error no matter how many workers
 	// raced past the failing row.
+	ms := span.NewChild("merge")
 	merged := make(map[string]*partGroup)
 	var order []string
 	for pi := range parts {
@@ -201,5 +245,7 @@ func hashAggregateParallel(rows [][]value.Value, keyExprs []expr.Expr, specs []a
 		}
 		out = append(out, row)
 	}
+	ms.End()
+	ms.SetRows(int64(len(rows)), int64(len(out)))
 	return out, nil
 }

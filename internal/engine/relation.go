@@ -14,6 +14,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/expr"
 	"repro/internal/storage"
@@ -78,12 +79,17 @@ type iterator interface {
 	next() ([]value.Value, bool, error)
 }
 
-// tableScan streams a base table, reusing one row buffer.
+// tableScan streams a base table, reusing one row buffer. stats is non-nil
+// only for traced statements (see trace.go); the per-row cost of the
+// disabled state is one pointer test. Rows scanned are added to the metric
+// once, at exhaustion, so the hot loop stays allocation- and atomic-free.
 type tableScan struct {
-	tab *storage.Table
-	sch relSchema
-	pos int
-	buf []value.Value
+	tab     *storage.Table
+	sch     relSchema
+	pos     int
+	buf     []value.Value
+	counted bool
+	stats   *opStats
 }
 
 func newTableScan(t *storage.Table, alias string) *tableScan {
@@ -93,7 +99,24 @@ func newTableScan(t *storage.Table, alias string) *tableScan {
 func (s *tableScan) schema() relSchema { return s.sch }
 
 func (s *tableScan) next() ([]value.Value, bool, error) {
+	if s.stats != nil {
+		t0 := time.Now()
+		row, ok, err := s.step()
+		s.stats.ns += time.Since(t0).Nanoseconds()
+		if ok {
+			s.stats.rows++
+		}
+		return row, ok, err
+	}
+	return s.step()
+}
+
+func (s *tableScan) step() ([]value.Value, bool, error) {
 	if s.pos >= s.tab.NumRows() {
+		if !s.counted {
+			s.counted = true
+			mRowsScanned.Add(int64(s.pos))
+		}
 		return nil, false, nil
 	}
 	s.buf = s.tab.Row(s.pos, s.buf)
@@ -106,6 +129,7 @@ type filterIter struct {
 	child iterator
 	pred  expr.Expr // bound against the child schema
 	box   rowBox
+	stats *opStats
 }
 
 // rowView adapts a value slice to expr.Row.
@@ -126,6 +150,19 @@ func (b *rowBox) ColumnValue(i int) value.Value { return b.vals[i] }
 func (f *filterIter) schema() relSchema { return f.child.schema() }
 
 func (f *filterIter) next() ([]value.Value, bool, error) {
+	if f.stats != nil {
+		t0 := time.Now()
+		row, ok, err := f.step()
+		f.stats.ns += time.Since(t0).Nanoseconds()
+		if ok {
+			f.stats.rows++
+		}
+		return row, ok, err
+	}
+	return f.step()
+}
+
+func (f *filterIter) step() ([]value.Value, bool, error) {
 	for {
 		row, ok, err := f.child.next()
 		if !ok || err != nil {
@@ -146,9 +183,10 @@ func (f *filterIter) next() ([]value.Value, bool, error) {
 // possible (window-function input, join build sides, reference operators in
 // tests).
 type memRelation struct {
-	sch  relSchema
-	rows [][]value.Value
-	pos  int
+	sch   relSchema
+	rows  [][]value.Value
+	pos   int
+	stats *opStats
 }
 
 func (m *memRelation) schema() relSchema { return m.sch }
@@ -159,6 +197,9 @@ func (m *memRelation) next() ([]value.Value, bool, error) {
 	}
 	r := m.rows[m.pos]
 	m.pos++
+	if m.stats != nil {
+		m.stats.rows++
+	}
 	return r, true, nil
 }
 

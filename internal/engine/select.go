@@ -6,14 +6,18 @@ import (
 	"strings"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/sqlparse"
 	"repro/internal/value"
 )
 
-// execSelect plans and runs a SELECT statement. parallelism governs the
+// execSelect plans and runs a SELECT statement. ec.par governs the
 // aggregation path only (see parallel.go); scans, joins, windows, and sorts
-// are unchanged by it.
-func (e *Engine) execSelect(sel *sqlparse.Select, parallelism int) (*Result, error) {
+// are unchanged by it. When ec.span is set the whole pipeline is
+// instrumented: operators record actual rows and cumulative times, and the
+// consumer stage (project / aggregate / window) attaches its operator
+// subtree plus any worker fan-out spans to the statement span.
+func (e *Engine) execSelect(sel *sqlparse.Select, ec execCtx) (*Result, error) {
 	in, residualWhere, err := e.buildFrom(sel)
 	if err != nil {
 		return nil, err
@@ -27,6 +31,12 @@ func (e *Engine) execSelect(sel *sqlparse.Select, parallelism int) (*Result, err
 			return nil, fmt.Errorf("engine: aggregates are not allowed in WHERE")
 		}
 		in = &filterIter{child: in, pred: pred}
+	}
+	if ec.span != nil {
+		instrumentIter(in)
+	}
+	if ec.inspect != nil {
+		ec.inspect.in = in
 	}
 
 	items, err := expandStars(sel.Items, in.schema())
@@ -68,25 +78,45 @@ func (e *Engine) execSelect(sel *sqlparse.Select, parallelism int) (*Result, err
 	}
 
 	var rows [][]value.Value
+	var consumer *obs.Span
+	attachOps := true // aggregate paths attach the operator subtree themselves
 	switch {
 	case hasWindow(items):
+		consumer = ec.span.NewChild("window")
 		rows, err = e.execWindowSelect(sel, items, in)
 	case len(sel.GroupBy) > 0 || sel.Having != nil || anyAggregate(items):
-		rows, err = e.execGroupSelect(sel, items, in, parallelism)
+		consumer = ec.span.NewChild("aggregate")
+		attachOps = false
+		rows, err = e.execGroupSelect(sel, items, in, execCtx{par: ec.par, span: consumer})
 	default:
+		consumer = ec.span.NewChild("project")
 		rows, err = e.execPlainSelect(sel, items, in)
+	}
+	if consumer != nil {
+		consumer.End()
+		consumer.SetRows(-1, int64(len(rows)))
+		if attachOps {
+			consumer.AddChild(operatorSpans(in))
+		}
 	}
 	if err != nil {
 		return nil, err
 	}
 
 	if sel.Distinct {
+		sp := ec.span.NewChild("distinct")
+		before := len(rows)
 		rows = distinctRows(rows)
+		sp.SetRows(int64(before), int64(len(rows)))
+		sp.End()
 	}
 	if len(sel.OrderBy) > 0 {
+		sp := ec.span.NewChild("sort")
 		if err := orderRows(rows, sel.OrderBy, names); err != nil {
 			return nil, err
 		}
+		sp.SetRows(int64(len(rows)), int64(len(rows)))
+		sp.End()
 	}
 	if hidden > 0 {
 		names = names[:len(names)-hidden]
@@ -96,6 +126,10 @@ func (e *Engine) execSelect(sel *sqlparse.Select, parallelism int) (*Result, err
 	}
 	if sel.Limit > 0 && len(rows) > sel.Limit {
 		rows = rows[:sel.Limit]
+	}
+	if ec.inspect != nil {
+		ec.inspect.rows = len(rows)
+		ec.inspect.analyzed = true
 	}
 	return &Result{Columns: names, Rows: rows}, nil
 }
@@ -143,11 +177,9 @@ func (e *Engine) buildFrom(sel *sqlparse.Select) (iterator, expr.Expr, error) {
 			pairs, residual := extractEquiPairs(whereConjuncts, cur.schema(), rightSch)
 			whereConjuncts = residual
 			if len(pairs) == 0 {
-				right, err := materialize(newTableScan(rt, alias))
-				if err != nil {
-					return nil, nil, err
-				}
-				cur = newNestedLoopJoin(cur, right, nil, false)
+				// The right side materializes lazily on first probe, so
+				// EXPLAIN pays nothing for it.
+				cur = newNestedLoopJoin(cur, newTableScan(rt, alias), nil, false)
 				continue
 			}
 			j, err := newHashJoinFromTable(cur, rt, alias, pairs, false, true)
@@ -162,16 +194,12 @@ func (e *Engine) buildFrom(sel *sqlparse.Select) (iterator, expr.Expr, error) {
 			pairs, residual := extractEquiPairs(onConjuncts, cur.schema(), rightSch)
 			if len(pairs) == 0 || (outer && len(residual) > 0) {
 				// Fallback: evaluate the full ON predicate row by row.
-				right, err := materialize(newTableScan(rt, alias))
-				if err != nil {
-					return nil, nil, err
-				}
 				combined := append(append(relSchema{}, cur.schema()...), rightSch...)
 				pred, err := bindExpr(fe.On, combined)
 				if err != nil {
 					return nil, nil, err
 				}
-				cur = newNestedLoopJoin(cur, right, pred, outer)
+				cur = newNestedLoopJoin(cur, newTableScan(rt, alias), pred, outer)
 				continue
 			}
 			j, err := newHashJoinFromTable(cur, rt, alias, pairs, outer, true)
@@ -288,7 +316,9 @@ func (e *Engine) execPlainSelect(sel *sqlparse.Select, items []sqlparse.SelectIt
 }
 
 // execGroupSelect runs hash aggregation and projects items over group rows.
-func (e *Engine) execGroupSelect(sel *sqlparse.Select, items []sqlparse.SelectItem, in iterator, parallelism int) ([][]value.Value, error) {
+// ec.span is the aggregate stage span; the parallel path attaches its worker
+// fan-out and merge spans to it.
+func (e *Engine) execGroupSelect(sel *sqlparse.Select, items []sqlparse.SelectItem, in iterator, ec execCtx) ([][]value.Value, error) {
 	inSch := in.schema()
 
 	// Resolve group keys to bound expressions over the input schema.
@@ -362,7 +392,7 @@ func (e *Engine) execGroupSelect(sel *sqlparse.Select, items []sqlparse.SelectIt
 		}
 	}
 
-	groupRows, err := hashAggregate(in, keyExprs, specs, parallelism)
+	groupRows, err := hashAggregate(in, keyExprs, specs, ec)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// The metrics registry is process-wide and write-hot: counters and
+// histograms are updated from statement execution paths, possibly from many
+// goroutines at once. Registration (name → metric) takes a lock once, at
+// package init or first use; handles are then plain atomics, so recording a
+// sample is a single atomic add and allocates nothing. Engine code keeps
+// package-level handles instead of re-looking names up per statement.
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable int64 (e.g. a current pool size).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of fixed log-scale histogram buckets. Bucket i
+// counts samples with ns < 2^(i+histShift); the last bucket is unbounded.
+// With histShift 10 the range spans 1µs (2^10 ns) to ~17s (2^34 ns), which
+// covers parse-time microseconds through paper-scale query seconds.
+const (
+	histBuckets = 25
+	histShift   = 10
+)
+
+// Histogram accumulates nanosecond durations into fixed power-of-two
+// buckets. All fields are atomics; Observe is lock- and allocation-free.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// bucketIndex maps a nanosecond sample to its bucket.
+func bucketIndex(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns)) // smallest b with ns < 2^b
+	i := b - histShift
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one duration sample in nanoseconds.
+func (h *Histogram) Observe(ns int64) {
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all samples in nanoseconds.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// BucketBound returns the exclusive upper bound (ns) of bucket i; the last
+// bucket returns -1 (unbounded).
+func BucketBound(i int) int64 {
+	if i >= histBuckets-1 {
+		return -1
+	}
+	return int64(1) << (i + histShift)
+}
+
+// Registry holds named metrics. Names must be unique across all three
+// kinds; registering an existing name with the same kind returns the
+// existing metric (so handle lookup is idempotent), while a kind clash
+// panics — it is always a programming error caught by the guard test.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry the engine records into.
+var Default = NewRegistry()
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.mustBeFree(name, "counter")
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.mustBeFree(name, "gauge")
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, registering it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.mustBeFree(name, "histogram")
+	h := &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// mustBeFree panics when name is already taken by another metric kind.
+// Called with r.mu held.
+func (r *Registry) mustBeFree(name, kind string) {
+	if _, ok := r.counters[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as a counter, requested as %s", name, kind))
+	}
+	if _, ok := r.gauges[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as a gauge, requested as %s", name, kind))
+	}
+	if _, ok := r.hists[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as a histogram, requested as %s", name, kind))
+	}
+}
+
+// Names returns every registered metric name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// JSON renders the registry expvar-style: a single JSON object keyed by
+// metric name. Counters and gauges render as numbers; histograms as
+// {"count":…, "sum_ns":…, "buckets":{"<le_ns>":n, …, "+inf":n}} with empty
+// buckets omitted. Keys are sorted for stable output.
+func (r *Registry) JSON() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	type entry struct {
+		name string
+		body string
+	}
+	var entries []entry
+	for n, c := range r.counters {
+		entries = append(entries, entry{n, fmt.Sprintf("%d", c.Value())})
+	}
+	for n, g := range r.gauges {
+		entries = append(entries, entry{n, fmt.Sprintf("%d", g.Value())})
+	}
+	for n, h := range r.hists {
+		var bb strings.Builder
+		bb.WriteByte('{')
+		first := true
+		for i := 0; i < histBuckets; i++ {
+			v := h.buckets[i].Load()
+			if v == 0 {
+				continue
+			}
+			if !first {
+				bb.WriteByte(',')
+			}
+			first = false
+			if bound := BucketBound(i); bound < 0 {
+				fmt.Fprintf(&bb, `"+inf":%d`, v)
+			} else {
+				fmt.Fprintf(&bb, `"%d":%d`, bound, v)
+			}
+		}
+		bb.WriteByte('}')
+		entries = append(entries, entry{n, fmt.Sprintf(`{"count":%d,"sum_ns":%d,"buckets":%s}`,
+			h.Count(), h.Sum(), bb.String())})
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].name < entries[b].name })
+	var sb strings.Builder
+	sb.WriteString("{\n")
+	for i, e := range entries {
+		fmt.Fprintf(&sb, "  %q: %s", e.name, e.body)
+		if i < len(entries)-1 {
+			sb.WriteByte(',')
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,194 @@
+// Package obs is the engine's observability layer: per-statement execution
+// traces (nested spans with monotonic durations, row counts, and key/value
+// attributes) and a process-wide metrics registry (counters, gauges, and
+// log-scale nanosecond histograms). It is stdlib-only and designed so that
+// the disabled state costs nothing on the hot path: every Span method is
+// safe on a nil receiver and returns immediately, so instrumented code
+// calls unconditionally and pays a single pointer test when tracing is off.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one timed region of statement execution. Spans nest: a statement
+// span holds parse/plan/scan/aggregate children; a parallel aggregation
+// holds one child per worker plus a merge span. Durations are monotonic
+// (time.Since on the start reading). RowsIn/RowsOut are -1 when the stage
+// has no meaningful row count.
+//
+// A span is owned by the goroutine that created it, with one exception:
+// AddChild and NewChild are safe to call concurrently, so parallel workers
+// can attach their spans to a shared fan-out parent.
+type Span struct {
+	Name     string
+	Duration time.Duration
+	RowsIn   int64
+	RowsOut  int64
+	Attrs    []Attr
+	Children []*Span
+	// Concurrent marks a span whose children ran in overlapping wall time
+	// (a worker fan-out): the sum of child durations may then legitimately
+	// exceed the parent's, unlike sequential children.
+	Concurrent bool
+
+	start time.Time
+	mu    sync.Mutex // guards Children during concurrent attachment
+}
+
+// NewSpan starts a new root span.
+func NewSpan(name string) *Span {
+	return &Span{Name: name, RowsIn: -1, RowsOut: -1, start: time.Now()}
+}
+
+// NewChild starts a child span under s. On a nil receiver it returns nil,
+// so disabled tracing propagates through call chains for free.
+func (s *Span) NewChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := NewSpan(name)
+	s.AddChild(c)
+	return c
+}
+
+// AddChild attaches a finished or running child. Safe for concurrent use.
+func (s *Span) AddChild(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+}
+
+// End stamps the span's duration. Calling End more than once keeps the
+// first reading.
+func (s *Span) End() {
+	if s == nil || s.Duration != 0 {
+		return
+	}
+	s.Duration = time.Since(s.start)
+	if s.Duration == 0 {
+		s.Duration = 1 // a finished span is never zero: End() beats clock granularity
+	}
+}
+
+// SetDuration overrides the measured duration — used when a stage's time is
+// accumulated externally (per-call operator timing) rather than spanned.
+func (s *Span) SetDuration(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Duration = d
+}
+
+// SetRows records the row counts flowing into and out of the stage. Pass -1
+// to leave a side unset.
+func (s *Span) SetRows(in, out int64) {
+	if s == nil {
+		return
+	}
+	s.RowsIn, s.RowsOut = in, out
+}
+
+// Attr appends a key/value annotation.
+func (s *Span) Attr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// AttrInt appends an integer annotation.
+func (s *Span) AttrInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: fmt.Sprintf("%d", v)})
+}
+
+// Find returns the first span (depth-first, s included) whose name contains
+// substr, or nil.
+func (s *Span) Find(substr string) *Span {
+	if s == nil {
+		return nil
+	}
+	if strings.Contains(s.Name, substr) {
+		return s
+	}
+	for _, c := range s.Children {
+		if m := c.Find(substr); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// Walk visits every span in the tree depth-first, s first.
+func (s *Span) Walk(fn func(*Span)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	for _, c := range s.Children {
+		c.Walk(fn)
+	}
+}
+
+// Format renders the span tree as an indented text block:
+//
+//	statement SELECT … (1.2ms) in=10 out=4
+//	  aggregate (0.8ms) in=10 out=4
+//	    partition 0/2 (0.3ms) …
+func (s *Span) Format() string {
+	var sb strings.Builder
+	s.format(&sb, 0)
+	return sb.String()
+}
+
+func (s *Span) format(sb *strings.Builder, depth int) {
+	if s == nil {
+		return
+	}
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(s.Name)
+	fmt.Fprintf(sb, " (%s)", s.Duration)
+	if s.RowsIn >= 0 {
+		fmt.Fprintf(sb, " in=%d", s.RowsIn)
+	}
+	if s.RowsOut >= 0 {
+		fmt.Fprintf(sb, " out=%d", s.RowsOut)
+	}
+	for _, a := range s.Attrs {
+		fmt.Fprintf(sb, " %s=%s", a.Key, a.Value)
+	}
+	sb.WriteByte('\n')
+	for _, c := range s.Children {
+		c.format(sb, depth+1)
+	}
+}
+
+// StageTotals sums durations by span name across the whole tree — the
+// per-stage breakdown pctbench emits. Names are returned sorted for stable
+// output.
+func (s *Span) StageTotals() ([]string, map[string]time.Duration) {
+	totals := map[string]time.Duration{}
+	s.Walk(func(sp *Span) { totals[sp.Name] += sp.Duration })
+	names := make([]string, 0, len(totals))
+	for n := range totals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, totals
+}

@@ -191,15 +191,24 @@ func (d *Delete) String() string {
 	return s
 }
 
-// Explain is EXPLAIN SELECT …: show the physical plan without running it.
+// Explain is EXPLAIN [ANALYZE] SELECT …: show the physical plan. Plain
+// EXPLAIN renders the plan without running the query; EXPLAIN ANALYZE
+// executes it and annotates each operator with actual row counts and
+// durations.
 type Explain struct {
-	Query *Select
+	Query   *Select
+	Analyze bool
 }
 
 func (*Explain) stmt() {}
 
 // String renders the statement.
-func (e *Explain) String() string { return "EXPLAIN " + e.Query.String() }
+func (e *Explain) String() string {
+	if e.Analyze {
+		return "EXPLAIN ANALYZE " + e.Query.String()
+	}
+	return "EXPLAIN " + e.Query.String()
+}
 
 // JoinType distinguishes the FROM-list join forms.
 type JoinType uint8

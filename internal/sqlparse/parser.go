@@ -162,14 +162,18 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseSelect()
 	case "EXPLAIN":
 		p.advance()
+		analyze := p.matchKeyword("ANALYZE")
 		if kw := p.peek(); kw.kind != tokKeyword || kw.text != "SELECT" {
+			if analyze {
+				return nil, p.errorf("EXPLAIN ANALYZE supports SELECT statements")
+			}
 			return nil, p.errorf("EXPLAIN supports SELECT statements")
 		}
 		sel, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Query: sel.(*Select)}, nil
+		return &Explain{Query: sel.(*Select), Analyze: analyze}, nil
 	case "CREATE":
 		if p.peekAt(1).kind == tokKeyword && p.peekAt(1).text == "INDEX" {
 			return p.parseCreateIndex()

@@ -495,3 +495,42 @@ func TestParseNotInErrors(t *testing.T) {
 		t.Error("BETWEEN without AND must fail")
 	}
 }
+
+func TestParseExplainAnalyze(t *testing.T) {
+	stmt, err := Parse("EXPLAIN SELECT a FROM f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmt.(*Explain)
+	if !ok || ex.Analyze {
+		t.Fatalf("EXPLAIN parsed as %T analyze=%v", stmt, ex.Analyze)
+	}
+	if got := ex.String(); got != "EXPLAIN SELECT a FROM f" {
+		t.Errorf("String() = %q", got)
+	}
+
+	stmt, err = Parse("EXPLAIN ANALYZE SELECT a, sum(b) FROM f GROUP BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex = stmt.(*Explain)
+	if !ex.Analyze {
+		t.Error("ANALYZE flag not set")
+	}
+	// The rendered form must re-parse to the same statement.
+	re, err := Parse(ex.String())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if re.(*Explain).String() != ex.String() {
+		t.Errorf("round trip unstable: %q vs %q", re.(*Explain).String(), ex.String())
+	}
+
+	if _, err := Parse("EXPLAIN ANALYZE INSERT INTO f VALUES (1)"); err == nil {
+		t.Error("EXPLAIN ANALYZE of non-SELECT must fail")
+	}
+	// ANALYZE stays usable as a quoted identifier.
+	if _, err := Parse(`SELECT "ANALYZE" FROM f`); err != nil {
+		t.Errorf("quoted ANALYZE identifier: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+package pctagg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestObservabilityUnderConcurrency runs a mixed workload — vertical,
+// horizontal, plain, and deliberately-invalid queries, several with
+// Parallelism > 1 so statements fan out worker goroutines — while a shared
+// trace sink collects every trace, the slow-query log is attached, and
+// reader goroutines hammer the metrics registry (JSON and Names snapshots).
+// The -race CI shard runs exactly this test: sink attachment, counter and
+// histogram updates, dynamic error-counter registration, and registry
+// snapshots must all be safe under concurrent statement execution. It also
+// re-checks the trace invariants on every collected trace: positive
+// durations and sum-of-sequential-children never exceeding the parent.
+func TestObservabilityUnderConcurrency(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`CREATE TABLE f (store INTEGER, dweek INTEGER, amt INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]any, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		rows = append(rows, []any{i % 50, i % 7, 1 + i%100})
+	}
+	if err := db.InsertRows("f", rows); err != nil {
+		t.Fatal(err)
+	}
+	db.SetParallelism(3)
+	defer db.SetParallelism(0)
+
+	var mu sync.Mutex
+	var traces []*Span
+	db.SetTraceSink(func(s *Span) {
+		mu.Lock()
+		traces = append(traces, s)
+		mu.Unlock()
+	})
+	defer db.SetTraceSink(nil)
+	db.SetSlowQueryLog(io.Discard, 0)
+	defer db.SetSlowQueryLog(nil, time.Second)
+
+	queries := []struct {
+		sql  string
+		fail bool
+	}{
+		{"SELECT store, dweek, Vpct(amt BY dweek) FROM f GROUP BY store, dweek", false},
+		{"SELECT store, Hpct(amt BY dweek) FROM f GROUP BY store", false},
+		{"SELECT store, sum(amt BY dweek) FROM f GROUP BY store", false},
+		{"SELECT dweek, sum(amt) FROM f GROUP BY dweek", false},
+		// Rejected by the planner (BY list not a proper subset): exercises
+		// the dynamic query.errors.PCTxxx counter registration.
+		{"SELECT store, Vpct(amt BY store) FROM f GROUP BY store", true},
+	}
+
+	const workers, iters = 6, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	var ok, failed int64
+	var cmu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q := queries[(w+i)%len(queries)]
+				_, err := db.Query(q.sql)
+				if q.fail != (err != nil) {
+					errs <- fmt.Errorf("worker %d: %s: err=%v, want fail=%v", w, q.sql, err, q.fail)
+					return
+				}
+				cmu.Lock()
+				if q.fail {
+					failed++
+				} else {
+					ok++
+				}
+				cmu.Unlock()
+			}
+		}(w)
+	}
+	// Registry readers racing the writers inside the queries.
+	stop := make(chan struct{})
+	var rwg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = obs.Default.JSON()
+					_ = obs.Default.Names()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every query — including the failing ones, whose traces carry the
+	// error attribute — produced exactly one trace.
+	if int64(len(traces)) != ok+failed {
+		t.Fatalf("sink received %d traces, want %d", len(traces), ok+failed)
+	}
+	if obs.Default.Counter("query.errors.PCT017").Value() == 0 {
+		t.Error("concurrent rejections did not register the PCT017 counter")
+	}
+	for _, tr := range traces {
+		if tr.Name != "query" || tr.Duration <= 0 {
+			t.Fatalf("bad trace root: %v", tr)
+		}
+		tr.Walk(func(s *Span) {
+			if s.Concurrent {
+				return
+			}
+			var sum time.Duration
+			for _, c := range s.Children {
+				sum += c.Duration
+			}
+			if s.Duration > 0 && sum > s.Duration+time.Microsecond {
+				t.Errorf("children of %q (%s) sum to %s:\n%s", s.Name, s.Duration, sum,
+					strings.TrimRight(s.Format(), "\n"))
+			}
+		})
+	}
+}

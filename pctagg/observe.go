@@ -1,0 +1,106 @@
+// Observability surface of the public API: execution traces, the metrics
+// registry, and the slow-query log. See DESIGN.md's "Observability" section
+// for the span model and metric naming rules.
+package pctagg
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/obs"
+	"repro/internal/sqlparse"
+)
+
+// Span is one node of an execution trace: a named stage with a monotonic
+// duration, optional row counts and attributes, and child stages. Concurrent
+// spans (partition fan-outs) hold one child per worker whose wall times
+// overlap. See internal/obs for the full API (Find, Walk, Format,
+// StageTotals).
+type Span = obs.Span
+
+// Query-level metrics: statements by class, plus dynamic per-code error
+// counters (query.errors.PCTxxx) registered on first occurrence.
+var (
+	mQueryPlain = obs.Default.Counter("query.plain")
+	mQueryVpct  = obs.Default.Counter("query.vpct")
+	mQueryHpct  = obs.Default.Counter("query.hpct")
+	mQueryHagg  = obs.Default.Counter("query.hagg")
+)
+
+// SetTraceSink attaches a per-query trace sink: after every Query call the
+// sink receives the root span of that query's execution trace (parse, plan,
+// per-step statement spans, operator details, parallel worker breakdowns).
+// Pass nil to detach. With no sink attached tracing is off and queries pay
+// no tracing cost. The sink runs synchronously on the querying goroutine; it
+// must not call back into the DB.
+func (db *DB) SetTraceSink(fn func(*Span)) { db.sink = fn }
+
+// SetSlowQueryLog logs every SQL statement whose execution exceeds
+// threshold to w, one "slow query (<duration>): <sql>" line each. This is
+// statement-granular: a percentage query that rewrites into several
+// statements can log several lines. Pass a nil writer to disable.
+func (db *DB) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
+	db.eng.SetSlowQueryLog(w, threshold)
+}
+
+// QueryTraced runs one SELECT like Query and also returns the execution
+// trace, whether or not a trace sink is attached (the sink, if any, is not
+// invoked). The trace is returned even when the query fails, annotated with
+// the error.
+func (db *DB) QueryTraced(sql string) (*Rows, *Span, error) {
+	root := newQuerySpan(sql)
+	rows, err := db.queryIn(sql, root)
+	finishQuerySpan(root, err)
+	return rows, root, err
+}
+
+// MetricsJSON renders every registered metric — counters, gauges, and
+// histograms, across the engine, planner, and query layers — as one sorted
+// JSON object, expvar-style.
+func (db *DB) MetricsJSON() string { return obs.Default.JSON() }
+
+func newQuerySpan(sql string) *Span {
+	root := obs.NewSpan("query")
+	root.Attr("sql", sql)
+	return root
+}
+
+func finishQuerySpan(root *Span, err error) {
+	root.End()
+	if err != nil {
+		root.Attr("error", err.Error())
+	}
+}
+
+func countQueryClass(class core.QueryClass) {
+	switch class {
+	case core.ClassVertical:
+		mQueryVpct.Inc()
+	case core.ClassHorizontalPct:
+		mQueryHpct.Inc()
+	case core.ClassHorizontalAgg:
+		mQueryHagg.Inc()
+	default:
+		mQueryPlain.Inc()
+	}
+}
+
+// countQueryError bumps the per-diagnostic-code error counter. Planner
+// rejections carry their PCTxxx code (core.CodedError); parse failures map
+// to the linter's syntax code; anything else (runtime failures) lands in
+// query.errors.other.
+func countQueryError(err error) {
+	code := "other"
+	var ce *core.CodedError
+	var se *sqlparse.SyntaxError
+	switch {
+	case errors.As(err, &ce):
+		code = ce.Code()
+	case errors.As(err, &se):
+		code = diag.CodeSyntax
+	}
+	obs.Default.Counter("query.errors." + code).Inc()
+}

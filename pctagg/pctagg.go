@@ -30,6 +30,7 @@ package pctagg
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -47,6 +48,7 @@ type DB struct {
 	strat   Strategies
 	auto    bool
 	par     int
+	sink    func(*Span) // per-query trace sink; see SetTraceSink
 }
 
 // Open creates an empty database with the paper's recommended default
@@ -108,15 +110,47 @@ func (db *DB) Exec(sql string) (int64, error) {
 
 // Query runs one SELECT. Standard SQL executes directly; queries using
 // Vpct, Hpct, BY-aggregates, or OVER(PARTITION BY …) are planned and
-// evaluated with the configured strategies.
+// evaluated with the configured strategies. With a trace sink attached (see
+// SetTraceSink) each call also emits an execution trace.
 func (db *DB) Query(sql string) (*Rows, error) {
+	var root *Span
+	if db.sink != nil {
+		root = newQuerySpan(sql)
+	}
+	rows, err := db.queryIn(sql, root)
+	if root != nil {
+		finishQuerySpan(root, err)
+		db.sink(root)
+	}
+	return rows, err
+}
+
+// queryIn is the Query body. root, when non-nil, receives the trace: parse
+// and plan spans, then either the engine statement span (standard SQL) or
+// the planner's full plan trace (percentage/horizontal queries).
+func (db *DB) queryIn(sql string, root *Span) (*Rows, error) {
+	ps := root.NewChild("parse")
 	stmt, err := sqlparse.Parse(sql)
+	ps.End()
 	if err != nil {
+		countQueryError(err)
 		return nil, err
 	}
 	if ex, ok := stmt.(*sqlparse.Explain); ok {
-		res, err := db.eng.Execute(ex)
+		class, err := core.Classify(ex.Query)
 		if err != nil {
+			countQueryError(err)
+			return nil, err
+		}
+		if class != core.ClassStandard {
+			// The engine cannot run percentage aggregates: EXPLAIN shows the
+			// rewriter's multi-statement plan, EXPLAIN ANALYZE executes it and
+			// shows the recorded trace.
+			return db.explainPlanned(ex, root)
+		}
+		res, err := db.eng.ExecuteIn(ex, db.par, root)
+		if err != nil {
+			countQueryError(err)
 			return nil, err
 		}
 		out := &Rows{Columns: res.Columns}
@@ -131,30 +165,18 @@ func (db *DB) Query(sql string) (*Rows, error) {
 	}
 	class, err := core.Classify(sel)
 	if err != nil {
+		countQueryError(err)
 		return nil, err
 	}
+	countQueryClass(class)
 	var res *engine.Result
 	if class == core.ClassStandard {
-		res, err = db.eng.Execute(sel)
+		res, err = db.eng.ExecuteIn(sel, db.par, root)
 	} else {
-		opts := db.strat.coreOptions()
-		if db.auto {
-			opts, err = db.planner.Advise(sel)
-			if err != nil {
-				return nil, err
-			}
-		}
-		// Parallelism is orthogonal to strategy choice: the advisor never
-		// sets it, so stamp the DB-level setting on whatever options won.
-		opts.Parallelism = db.par
-		var plan *core.Plan
-		plan, err = db.planner.Plan(sel, opts)
-		if err != nil {
-			return nil, err
-		}
-		res, err = db.planner.Execute(plan)
+		res, err = db.queryPlanned(sel, root)
 	}
 	if err != nil {
+		countQueryError(err)
 		return nil, err
 	}
 	out := &Rows{Columns: res.Columns}
@@ -164,6 +186,73 @@ func (db *DB) Query(sql string) (*Rows, error) {
 			conv[i] = fromValue(v)
 		}
 		out.Data = append(out.Data, conv)
+	}
+	return out, nil
+}
+
+// planFor resolves the effective options — the advisor's pick under
+// AutoStrategy, the configured strategies otherwise, with the DB-level
+// parallelism stamped on either (it is orthogonal to strategy choice and
+// the advisor never sets it) — and plans the SELECT.
+func (db *DB) planFor(sel *sqlparse.Select) (*core.Plan, error) {
+	opts := db.strat.coreOptions()
+	var err error
+	if db.auto {
+		opts, err = db.planner.Advise(sel)
+		if err != nil {
+			return nil, err
+		}
+	}
+	opts.Parallelism = db.par
+	return db.planner.Plan(sel, opts)
+}
+
+// queryPlanned evaluates a percentage/horizontal SELECT through the planner,
+// nesting the plan's trace under root when tracing.
+func (db *DB) queryPlanned(sel *sqlparse.Select, root *Span) (*engine.Result, error) {
+	pls := root.NewChild("plan")
+	plan, err := db.planFor(sel)
+	pls.End()
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return db.planner.Execute(plan)
+	}
+	res, planSpan, err := db.planner.ExecuteTraced(plan)
+	root.AddChild(planSpan)
+	return res, err
+}
+
+// explainPlanned renders EXPLAIN output for a percentage/horizontal query:
+// the generated multi-statement SQL script (the paper's code-generator
+// output), or — under EXPLAIN ANALYZE — the execution trace of actually
+// running the plan, one span per line with actual rows and times.
+func (db *DB) explainPlanned(ex *sqlparse.Explain, root *Span) (*Rows, error) {
+	pls := root.NewChild("plan")
+	plan, err := db.planFor(ex.Query)
+	pls.End()
+	if err != nil {
+		countQueryError(err)
+		return nil, err
+	}
+	var lines []string
+	if ex.Analyze {
+		res, trace, err := db.planner.ExecuteTraced(plan)
+		root.AddChild(trace)
+		if err != nil {
+			countQueryError(err)
+			return nil, err
+		}
+		lines = strings.Split(strings.TrimRight(trace.Format(), "\n"), "\n")
+		lines = append(lines, fmt.Sprintf("Execution: rows=%d time=%s", len(res.Rows), trace.Duration))
+	} else {
+		defer db.planner.CleanupPlan(plan)
+		lines = strings.Split(strings.TrimRight(plan.SQL(), "\n"), "\n")
+	}
+	out := &Rows{Columns: []string{"plan"}}
+	for _, l := range lines {
+		out.Data = append(out.Data, []any{l})
 	}
 	return out, nil
 }
