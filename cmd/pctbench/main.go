@@ -13,6 +13,8 @@
 //	pctbench -json out.json        # also write machine-readable timings
 //	pctbench -breakdown stages.json  # trace the primary queries and write
 //	                                 # per-stage timings as JSON
+//	pctbench -timeout 30s            # per-statement deadline (PCT201 on expiry)
+//	pctbench -cancel BENCH_cancel.json  # cancellation-latency smoke benchmark
 //
 // The -scale paper setting uses the papers' exact sizes (sales n=10M);
 // expect a long run and several GB of memory.
@@ -25,8 +27,10 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
 )
 
 func main() {
@@ -36,6 +40,8 @@ func main() {
 	out := flag.String("o", "", "also write results to this file")
 	jsonOut := flag.String("json", "", "also write timings to this file as JSON")
 	breakdown := flag.String("breakdown", "", "trace the primary queries and write per-stage timings to this file as JSON")
+	timeout := flag.Duration("timeout", 0, "per-statement deadline (0 = none); an expired run fails with PCT201 instead of hanging the suite")
+	cancelOut := flag.String("cancel", "", "run the cancellation-latency smoke benchmark and write the result to this file as JSON")
 	md := flag.Bool("md", false, "emit markdown tables")
 	quiet := flag.Bool("quiet", false, "suppress progress messages")
 	filter := flag.String("filter", "", "only run query rows whose label contains this substring")
@@ -63,6 +69,9 @@ func main() {
 	s, err := bench.NewSuite(cfg, log)
 	if err != nil {
 		fatal(err)
+	}
+	if *timeout > 0 {
+		s.Eng.SetLimits(engine.Limits{Timeout: *timeout})
 	}
 
 	writers := []io.Writer{os.Stdout}
@@ -130,6 +139,46 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *cancelOut != "" {
+		reps := cfg.Reps
+		if reps < 3 {
+			reps = 3
+		}
+		res, err := s.RunCancelSmoke(reps, 4, 2*time.Millisecond)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeCancelJSON(*cancelOut, *scale, res); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeCancelJSON dumps the cancellation-latency smoke result: per-rep
+// latency between cancel and error return, in milliseconds.
+func writeCancelJSON(path, scale string, res *bench.CancelSmoke) error {
+	doc := struct {
+		Scale       string    `json:"scale"`
+		Rows        int       `json:"rows"`
+		Parallelism int       `json:"parallelism"`
+		CancelMs    float64   `json:"cancel_after_ms"`
+		Code        string    `json:"code"`
+		LatenciesMs []float64 `json:"latencies_ms"`
+		MaxMs       float64   `json:"max_ms"`
+	}{Scale: scale, Rows: res.Rows, Parallelism: res.Parallelism,
+		CancelMs: float64(res.CancelAfter) / 1e6, Code: res.Code}
+	for _, l := range res.Latencies {
+		ms := float64(l) / 1e6
+		doc.LatenciesMs = append(doc.LatenciesMs, ms)
+		if ms > doc.MaxMs {
+			doc.MaxMs = ms
+		}
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // writeBreakdownJSON dumps the traced per-stage timings, one object per

@@ -8,6 +8,10 @@
 //	pctq -e "SQL"        # execute one statement/script and exit
 //	pctq -f script.sql   # execute a file and exit
 //	pctq -demo           # preload the paper's example tables
+//	pctq -timeout 5s     # per-statement deadline (PCT201 on expiry)
+//
+// Ctrl-C cancels the in-flight statement (typed PCT200 error, tables left
+// intact) instead of killing the shell.
 //
 // Meta-commands inside the shell:
 //
@@ -29,9 +33,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -43,10 +49,11 @@ func main() {
 	file := flag.String("f", "", "execute this SQL file and exit")
 	demo := flag.Bool("demo", false, "preload the paper's example tables (sales, daily)")
 	stats := flag.Bool("stats", false, "print the metrics registry as JSON on exit")
+	timeout := flag.Duration("timeout", 0, "per-statement deadline (0 = none), e.g. 5s")
 	flag.Parse()
 
 	db := pctagg.Open()
-	sh := &shell{db: db}
+	sh := &shell{db: db, timeout: *timeout}
 	if *demo {
 		if err := loadDemo(db); err != nil {
 			fatal(err)
@@ -76,11 +83,28 @@ func main() {
 }
 
 // shell holds the REPL's toggles: \timing (wall time per statement) and
-// \trace (execution trace after each query).
+// \trace (execution trace after each query), plus the per-statement
+// deadline from -timeout.
 type shell struct {
-	db     *pctagg.DB
-	timing bool
-	trace  bool
+	db      *pctagg.DB
+	timing  bool
+	trace   bool
+	timeout time.Duration
+}
+
+// statementCtx builds the lifecycle context for one statement: the
+// -timeout deadline if one was set, and Ctrl-C wired to cancellation so an
+// interrupt stops the in-flight query (typed PCT200 error, tables intact)
+// instead of killing the shell. The returned stop func releases the signal
+// registration.
+func (sh *shell) statementCtx() (context.Context, context.CancelFunc) {
+	ctx := context.Background()
+	cancelTimeout := context.CancelFunc(func() {})
+	if sh.timeout > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, sh.timeout)
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	return ctx, func() { stop(); cancelTimeout() }
 }
 
 func fatal(err error) {
@@ -100,15 +124,17 @@ func (sh *shell) runScript(script string) error {
 
 func (sh *shell) runOne(stmt string) error {
 	start := time.Now()
+	ctx, stop := sh.statementCtx()
+	defer stop()
 	upper := strings.ToUpper(strings.TrimSpace(stmt))
 	if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "EXPLAIN") {
 		var rows *pctagg.Rows
 		var trace *pctagg.Span
 		var err error
 		if sh.trace {
-			rows, trace, err = sh.db.QueryTraced(stmt)
+			rows, trace, err = sh.db.QueryTracedCtx(ctx, stmt)
 		} else {
-			rows, err = sh.db.Query(stmt)
+			rows, err = sh.db.QueryCtx(ctx, stmt)
 		}
 		if err != nil {
 			return err
@@ -120,7 +146,7 @@ func (sh *shell) runOne(stmt string) error {
 		sh.reportTime(start)
 		return nil
 	}
-	n, err := sh.db.Exec(stmt)
+	n, err := sh.db.ExecCtx(ctx, stmt)
 	if err != nil {
 		return err
 	}

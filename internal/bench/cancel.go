@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// CancelSmoke is the cancellation-latency result: for each repetition, the
+// wall time between cancelling an in-flight parallel aggregation over the
+// sales table and the statement returning its typed error. The query
+// lifecycle promise is that this latency is bounded by the governor's check
+// stride, not by the remaining work.
+type CancelSmoke struct {
+	Rows        int
+	Parallelism int
+	CancelAfter time.Duration
+	Latencies   []time.Duration
+	Code        string // diagnostic code of the returned error (PCT200)
+}
+
+// RunCancelSmoke fires the sales-table aggregation reps times, cancelling
+// each run cancelAfter into its execution, and measures how long the engine
+// takes to unwind. A run that finishes before the cancel lands is retried
+// with a shorter fuse (tiny scales finish in microseconds); a run that
+// returns anything but a cancellation error fails the smoke test.
+func (s *Suite) RunCancelSmoke(reps int, parallelism int, cancelAfter time.Duration) (*CancelSmoke, error) {
+	if err := s.Ensure("sales"); err != nil {
+		return nil, err
+	}
+	const sql = "SELECT dweek, monthNo, sum(salesAmt), count(*) FROM sales GROUP BY dweek, monthNo"
+	out := &CancelSmoke{Rows: s.Cfg.SalesN, Parallelism: parallelism, CancelAfter: cancelAfter}
+	s.logf("cancel smoke: %d reps, cancel after %s\n", reps, cancelAfter)
+	for i := 0; i < reps; i++ {
+		fuse := cancelAfter
+		for {
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(fuse)
+				cancel()
+			}()
+			start := time.Now()
+			_, err := s.Eng.ExecSQLCtxP(ctx, sql, parallelism)
+			elapsed := time.Since(start)
+			cancel()
+			if err == nil {
+				// The statement beat the fuse; shorten it and retry.
+				if fuse = fuse / 2; fuse < 50*time.Microsecond {
+					return nil, fmt.Errorf("cancel smoke: statement finishes in %s, too fast to cancel at this scale", elapsed)
+				}
+				continue
+			}
+			var ce *engine.CancelledError
+			if !errors.As(err, &ce) {
+				return nil, fmt.Errorf("cancel smoke: got %v, want a cancellation error", err)
+			}
+			out.Code = ce.Code()
+			// Latency = total run time minus the time the fuse let it run.
+			lat := elapsed - fuse
+			if lat < 0 {
+				lat = 0
+			}
+			out.Latencies = append(out.Latencies, lat)
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,274 @@
+// Lifecycle chaos suite: every fault point is driven through the public API
+// with an injected error, panic, and delay, asserting the robustness
+// contract each time — a typed error (never a crash), no leaked goroutines,
+// base tables untouched, temporary tables cleaned up, and every trace span
+// closed. Run with -race; the CI chaos shard does.
+package chaos_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/diag"
+	"repro/internal/leakcheck"
+	"repro/pctagg"
+)
+
+var errInjected = errors.New("chaos: injected failure")
+
+// chaosDB loads the paper's demo table. Parallelism 4 forces the
+// partitioned paths even on the tiny fixture, so worker fault points are
+// reachable.
+func chaosDB(t *testing.T) *pctagg.DB {
+	t.Helper()
+	db := pctagg.Open()
+	db.SetParallelism(4)
+	if _, err := db.Exec(`CREATE TABLE sales (RID INTEGER, state VARCHAR, city VARCHAR, salesAmt INTEGER);
+		INSERT INTO sales VALUES
+		(1,'CA','San Francisco',13),(2,'CA','San Francisco',3),(3,'CA','San Francisco',67),
+		(4,'CA','Los Angeles',23),(5,'TX','Houston',5),(6,'TX','Houston',35),
+		(7,'TX','Houston',10),(8,'TX','Houston',14),(9,'TX','Dallas',53),(10,'TX','Dallas',32)`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// scenario routes execution through one fault point.
+type scenario struct {
+	point string
+	// prep tweaks the DB (strategies) before the query runs.
+	prep func(db *pctagg.DB)
+	// sql is run via QueryTracedCtx.
+	sql string
+	// fault tweaks beyond the kind (worker targeting, After skips).
+	arm func(f *chaos.Fault)
+}
+
+var scenarios = []scenario{
+	{
+		point: chaos.JoinBuild,
+		sql:   "SELECT a.state, b.city FROM sales a, sales b WHERE a.RID = b.RID",
+	},
+	{
+		point: chaos.AggWorker,
+		sql:   "SELECT state, sum(salesAmt) FROM sales GROUP BY state",
+		arm:   func(f *chaos.Fault) { f.Worker = 2 }, // target worker 2/4 specifically
+	},
+	{
+		point: chaos.AggMerge,
+		sql:   "SELECT state, sum(salesAmt) FROM sales GROUP BY state",
+	},
+	{
+		point: chaos.PivotAlloc,
+		prep: func(db *pctagg.DB) {
+			db.SetStrategies(pctagg.Strategies{Hpct: pctagg.HpctStrategy{HashPivot: true}})
+		},
+		sql: "SELECT state, Hpct(salesAmt BY city) FROM sales GROUP BY state",
+	},
+	{
+		point: chaos.InsertSink,
+		sql:   "SELECT state, city, Vpct(salesAmt BY city) FROM sales GROUP BY state, city",
+		arm:   func(f *chaos.Fault) { f.After = 2 }, // fail on the 3rd staged row, mid-write
+	},
+}
+
+func metricValue(t *testing.T, db *pctagg.DB, name string) float64 {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(db.MetricsJSON()), &m); err != nil {
+		t.Fatalf("MetricsJSON: %v", err)
+	}
+	raw, ok := m[name]
+	if !ok {
+		return 0
+	}
+	var v float64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return 0
+	}
+	return v
+}
+
+// runScenario executes one (point, fault-kind) cell and asserts the
+// robustness contract.
+func runScenario(t *testing.T, sc scenario, kind string) {
+	defer leakcheck.Check(t)()
+	db := chaosDB(t)
+	if sc.prep != nil {
+		sc.prep(db)
+	}
+	baseTables := strings.Join(db.Tables(), ",")
+
+	f := chaos.Fault{}
+	switch kind {
+	case "error":
+		f.Err = errInjected
+	case "panic":
+		f.Panic = "chaos-panic"
+	case "delay":
+		f.Delay = 20 * time.Millisecond
+	}
+	if sc.arm != nil {
+		sc.arm(&f)
+	}
+	panicsBefore := metricValue(t, db, "engine.panics")
+	chaos.Enable()
+	defer chaos.Disable()
+	chaos.Arm(sc.point, f)
+
+	rows, root, err := db.QueryTracedCtx(context.Background(), sc.sql)
+	fired := chaos.Fired(sc.point)
+	chaos.Disable()
+
+	if fired == 0 {
+		t.Fatalf("fault point %s never fired: the call site is detached from this scenario", sc.point)
+	}
+
+	switch kind {
+	case "error":
+		if err == nil || !strings.Contains(err.Error(), "injected") {
+			t.Fatalf("err = %v, want the injected error", err)
+		}
+	case "panic":
+		if err == nil {
+			t.Fatal("panic was not contained into an error")
+		}
+		var coded interface{ Code() string }
+		if !errors.As(err, &coded) || coded.Code() != diag.CodePanic {
+			t.Fatalf("err = %v, want a typed %s panic error", err, diag.CodePanic)
+		}
+		if !strings.Contains(err.Error(), "chaos-panic") {
+			t.Errorf("contained panic lost its value: %v", err)
+		}
+		if after := metricValue(t, db, "engine.panics"); after <= panicsBefore {
+			t.Errorf("engine.panics = %v, want > %v", after, panicsBefore)
+		}
+	case "delay":
+		if err != nil {
+			t.Fatalf("pure-latency fault failed the query: %v", err)
+		}
+		if len(rows.Data) == 0 {
+			t.Error("delayed query returned no rows")
+		}
+	}
+
+	// Span tree closed on every outcome, including mid-worker failures.
+	if root != nil {
+		if un := root.Unclosed(); len(un) > 0 {
+			names := make([]string, len(un))
+			for i, s := range un {
+				names[i] = s.Name
+			}
+			t.Errorf("unclosed spans after %s/%s: %v\n%s", sc.point, kind, names, root.Format())
+		}
+	}
+
+	// Temporary tables cleaned up; base tables untouched.
+	if got := strings.Join(db.Tables(), ","); got != baseTables {
+		t.Errorf("tables after fault = %q, want %q (temp tables must be dropped)", got, baseTables)
+	}
+	cnt, err := db.Query("SELECT count(*) FROM sales")
+	if err != nil {
+		t.Fatalf("post-fault count: %v", err)
+	}
+	if n := cnt.Data[0][0].(int64); n != 10 {
+		t.Errorf("sales has %d rows after fault, want 10 (base table must be untouched)", n)
+	}
+
+	// The engine must be fully usable after the fault.
+	if _, err := db.Query("SELECT state, sum(salesAmt) FROM sales GROUP BY state"); err != nil {
+		t.Errorf("query after fault: %v", err)
+	}
+}
+
+// TestFaultMatrix drives every fault point through error, panic, and delay
+// injection — the acceptance matrix of the robustness contract.
+func TestFaultMatrix(t *testing.T) {
+	for _, sc := range scenarios {
+		for _, kind := range []string{"error", "panic", "delay"} {
+			sc, kind := sc, kind
+			t.Run(sc.point+"/"+kind, func(t *testing.T) {
+				runScenario(t, sc, kind)
+			})
+		}
+	}
+}
+
+// TestInsertSinkRollsBackStagedRows pins the savepoint contract directly: a
+// fault on the Nth staged row leaves the INSERT target at its pre-statement
+// contents, not partially written.
+func TestInsertSinkRollsBackStagedRows(t *testing.T) {
+	defer leakcheck.Check(t)()
+	db := chaosDB(t)
+	if _, err := db.Exec(`CREATE TABLE dst (state VARCHAR, total INTEGER); INSERT INTO dst VALUES ('seed', 1)`); err != nil {
+		t.Fatal(err)
+	}
+	chaos.Enable()
+	defer chaos.Disable()
+	chaos.Arm(chaos.InsertSink, chaos.Fault{Err: errInjected, After: 1})
+	_, err := db.Exec("INSERT INTO dst SELECT state, sum(salesAmt) FROM sales GROUP BY state")
+	chaos.Disable()
+	if err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("err = %v, want the injected error", err)
+	}
+	rows, err := db.Query("SELECT state, total FROM dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].(string) != "seed" {
+		t.Errorf("dst = %v, want only the seed row (atomic rollback)", rows.Data)
+	}
+}
+
+// TestUpdateStagingSwapAtomic pins the staging-then-swap contract for
+// UPDATE: a mid-rewrite failure publishes nothing.
+func TestUpdateStagingSwapAtomic(t *testing.T) {
+	defer leakcheck.Check(t)()
+	db := chaosDB(t)
+	// MaxRows small enough to fail the staged rewrite partway through.
+	db.SetLimits(pctagg.Limits{MaxRows: 4})
+	_, err := db.Exec("UPDATE sales SET salesAmt = salesAmt + 1")
+	db.SetLimits(pctagg.Limits{})
+	if err == nil {
+		t.Fatal("UPDATE under MaxRows=4 succeeded, want limit error")
+	}
+	rows, qerr := db.Query("SELECT sum(salesAmt) FROM sales")
+	if qerr != nil {
+		t.Fatal(qerr)
+	}
+	if got := rows.Data[0][0].(int64); got != 255 {
+		t.Errorf("sum(salesAmt) = %d after failed UPDATE, want 255 (unchanged)", got)
+	}
+}
+
+// TestPointsRegistryClosed keeps the documented fault-point catalog and the
+// registry in sync.
+func TestPointsRegistryClosed(t *testing.T) {
+	want := map[string]bool{
+		chaos.JoinBuild:  true,
+		chaos.AggWorker:  true,
+		chaos.AggMerge:   true,
+		chaos.PivotAlloc: true,
+		chaos.InsertSink: true,
+	}
+	got := chaos.Points()
+	if len(got) != len(want) {
+		t.Fatalf("Points() = %v, want %d points", got, len(want))
+	}
+	for _, p := range got {
+		if !want[p] {
+			t.Errorf("unexpected fault point %q", p)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Arm on an unknown point did not panic")
+		}
+	}()
+	chaos.Arm("engine.no.such.point", chaos.Fault{})
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"repro/internal/leakcheck"
 )
 
 // TestConcurrentPercentageQueries exercises the paper's future-work
@@ -15,6 +17,7 @@ import (
 // naming, catalog access, and per-statement worker pools must not collide,
 // and every worker must see correct results.
 func TestConcurrentPercentageQueries(t *testing.T) {
+	defer leakcheck.Check(t)()
 	p := newSalesPlanner(t)
 	par := func(o Options, workers int) Options {
 		o.Parallelism = workers

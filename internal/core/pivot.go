@@ -1,11 +1,16 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/chaos"
+	"repro/internal/diag"
 	"repro/internal/engine"
 	"repro/internal/expr"
 	"repro/internal/obs"
@@ -36,8 +41,8 @@ func (p *Planner) planHpctHashPivot(plan *Plan, a *analysis, call *expr.AggCall,
 	where := a.where
 	plan.Steps = append(plan.Steps, Step{
 		Purpose: "hash-pivot F into FH (one O(1) column lookup per row)",
-		native: func(eng *engine.Engine, parallelism int, span *obs.Span) error {
-			return runPivot(eng, a.table, fh, groupCols, call, combos, where, true, nil, parallelism, span)
+		native: func(ctx context.Context, eng *engine.Engine, parallelism int, span *obs.Span) error {
+			return runPivot(ctx, eng, a.table, fh, groupCols, call, combos, where, true, nil, parallelism, span)
 		},
 	})
 	p.finishHorizontalPlan(plan, a, groupNames, valueNames, nil, singleHolder(fh, valueNames, nil))
@@ -64,8 +69,8 @@ func (p *Planner) planHaggHashPivot(plan *Plan, a *analysis, call *expr.AggCall,
 	}
 	plan.Steps = append(plan.Steps, Step{
 		Purpose: "hash-pivot F into FH (one O(1) column lookup per row)",
-		native: func(eng *engine.Engine, parallelism int, span *obs.Span) error {
-			return runPivot(eng, a.table, fh, groupCols, call, combos, where, false, deflt, parallelism, span)
+		native: func(ctx context.Context, eng *engine.Engine, parallelism int, span *obs.Span) error {
+			return runPivot(ctx, eng, a.table, fh, groupCols, call, combos, where, false, deflt, parallelism, span)
 		},
 	})
 	p.finishHorizontalPlan(plan, a, groupNames, valueNames, nil, singleHolder(fh, valueNames, nil))
@@ -236,6 +241,11 @@ func pivotWorkers(parallelism, rows int) int {
 	return w
 }
 
+// pivotStride mirrors the engine's governor stride: governed pivot loops
+// check cancellation and budgets once per this many rows, bounding both the
+// hot-path overhead and the rows processed after a cancel.
+const pivotStride = 1024
+
 // runPivot scans F, hashing each row to its group and result column. For
 // percentage mode it also folds the per-group total and divides at emit
 // time, NULLing zero or all-NULL totals like the SQL plans do. With
@@ -245,10 +255,21 @@ func pivotWorkers(parallelism, rows int) int {
 // span, when non-nil, receives the pivot's stage breakdown: a sequential fold
 // span or a concurrent partition fan-out with one child per worker plus a
 // merge span, then the emit span that writes FH.
-func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
+//
+// Lifecycle mirrors the engine's governed aggregation: workers stride-check
+// ctx, group allocations are charged against MaxGroups across all workers, a
+// failing worker's panic is contained into a typed PCT206 error and cancels
+// its siblings, and error selection is deterministic — the lowest-numbered
+// partition's real error wins, sibling-cancel noise is reported only when
+// nothing else failed.
+func runPivot(ctx context.Context, eng *engine.Engine, table, fh string, groupCols []string,
 	call *expr.AggCall, combos []combo, where expr.Expr, pct bool, deflt *value.Value,
 	parallelism int, span *obs.Span) error {
 
+	lim := eng.Limits()
+	if l, ok := engine.LimitsFromContext(ctx); ok {
+		lim = l
+	}
 	src, err := eng.Catalog().Get(table)
 	if err != nil {
 		return err
@@ -303,12 +324,20 @@ func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
 		fn = expr.AggCount
 	}
 
+	// totalGroups counts group allocations across every partition, charged
+	// against MaxGroups. Groups shared across partitions are counted once per
+	// partition — an over-approximation, same budget semantics as the
+	// engine's parallel aggregation.
+	var totalGroups int64
+
 	// scanPart folds the contiguous row range [lo, hi) into a private group
 	// map, returning the encoded keys in local first-appearance order. The
 	// bound expressions (pred, measure) are stateless under Eval and shared
 	// across workers; concurrent Table.Row reads are safe (the engine
-	// serializes writes per statement).
-	scanPart := func(lo, hi int) (map[string]*group, []string, error) {
+	// serializes writes per statement). sctx is the worker's view of the
+	// statement context — the fan-out's cancel context in the parallel case —
+	// checked every pivotStride rows.
+	scanPart := func(sctx context.Context, lo, hi int) (map[string]*group, []string, error) {
 		groups := make(map[string]*group)
 		var order []string
 		var rowBuf []value.Value
@@ -316,6 +345,11 @@ func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
 		keyBuf := make([]byte, 0, 64)
 		byBuf := make([]byte, 0, 64)
 		for r := lo; r < hi; r++ {
+			if (r-lo)%pivotStride == 0 && r > lo {
+				if err := engine.CheckCtx(sctx); err != nil {
+					return nil, nil, err
+				}
+			}
 			rowBuf = src.Row(r, rowBuf)
 			box.vals = rowBuf
 			rv := &box
@@ -334,6 +368,16 @@ func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
 			}
 			g, ok := groups[string(keyBuf)]
 			if !ok {
+				if err := chaos.Hit(chaos.PivotAlloc); err != nil {
+					return nil, nil, err
+				}
+				if n := atomic.AddInt64(&totalGroups, 1); lim.MaxGroups > 0 && n > lim.MaxGroups {
+					return nil, nil, &engine.LimitError{
+						PCTCode:  diag.CodeGroupLimit,
+						Resource: "group",
+						Limit:    lim.MaxGroups,
+					}
+				}
 				g = &group{cells: make([]pivotAcc, len(combos))}
 				for i := range g.cells {
 					g.cells[i].fn = fn
@@ -387,9 +431,10 @@ func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
 	var order []string
 	if workers <= 1 {
 		sp := span.NewChild("pivot fold")
-		groups, order, err = scanPart(0, nRows)
+		groups, order, err = scanPart(ctx, 0, nRows)
 		sp.End()
 		if err != nil {
+			sp.Attr("error", err.Error())
 			return err
 		}
 		sp.SetRows(int64(nRows), int64(len(order)))
@@ -406,6 +451,11 @@ func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
 			fan.Concurrent = true
 			fan.AttrInt("workers", int64(workers))
 		}
+		// Workers run under a shared cancel context: the first failure —
+		// error, contained panic, or limit hit — stops the siblings within
+		// one stride instead of letting them fold to completion.
+		wctx, cancel := context.WithCancel(ctx)
+		defer cancel()
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			lo, hi := w*chunk, (w+1)*chunk
@@ -422,22 +472,54 @@ func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
 				if fan != nil {
 					ws = fan.NewChild(fmt.Sprintf("worker %d/%d", w+1, workers))
 				}
-				parts[w].groups, parts[w].order, parts[w].err = scanPart(lo, hi)
-				ws.End()
-				ws.SetRows(int64(hi-lo), int64(len(parts[w].order)))
+				defer func() {
+					if r := recover(); r != nil {
+						parts[w].err = engine.NewPanicError(fmt.Sprintf("pivot worker %d/%d", w+1, workers), r)
+					}
+					if parts[w].err != nil {
+						ws.Attr("error", parts[w].err.Error())
+						cancel()
+					}
+					ws.End()
+					ws.SetRows(int64(hi-lo), int64(len(parts[w].order)))
+				}()
+				parts[w].groups, parts[w].order, parts[w].err = scanPart(wctx, lo, hi)
 			}(w, lo, hi)
 		}
 		wg.Wait()
 		fan.End()
-		// Merge in ascending partition order: lowest partition's error wins,
-		// and group order reproduces the sequential first-appearance order.
+		// Error selection is deterministic despite the cancel race: the
+		// lowest-numbered partition's real error wins; a sibling's
+		// cancellation is reported only when no real error exists.
+		var firstCancel, realErr error
+		for pi := range parts {
+			err := parts[pi].err
+			if err == nil {
+				continue
+			}
+			if isCancelled(err) {
+				if firstCancel == nil {
+					firstCancel = err
+				}
+				continue
+			}
+			realErr = err
+			break
+		}
+		if realErr == nil {
+			realErr = firstCancel
+		}
+		// Merge in ascending partition order: group order reproduces the
+		// sequential first-appearance order.
 		ms := span.NewChild("merge")
+		if realErr != nil {
+			ms.Attr("error", realErr.Error())
+			ms.End()
+			return realErr
+		}
 		partials := 0
 		for pi := range parts {
 			p := &parts[pi]
-			if p.err != nil {
-				return p.err
-			}
 			partials += len(p.order)
 			for _, k := range p.order {
 				g := p.groups[k]
@@ -459,7 +541,14 @@ func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
 
 	es := span.NewChild("emit " + fh)
 	out := make([]value.Value, 0, len(groupCols)+len(combos))
-	for _, k := range order {
+	for ki, k := range order {
+		if ki > 0 && ki%pivotStride == 0 {
+			if err := engine.CheckCtx(ctx); err != nil {
+				es.Attr("error", err.Error())
+				es.End()
+				return err
+			}
+		}
 		g := groups[k]
 		out = out[:0]
 		out = append(out, g.keyVals...)
@@ -495,10 +584,19 @@ func runPivot(eng *engine.Engine, table, fh string, groupCols []string,
 			out = append(out, v)
 		}
 		if _, err := dst.AppendRow(out); err != nil {
+			es.Attr("error", err.Error())
+			es.End()
 			return err
 		}
 	}
 	es.End()
 	es.SetRows(int64(len(order)), int64(len(order)))
 	return nil
+}
+
+// isCancelled reports whether err is the engine's typed cancellation error —
+// the shape sibling workers fail with after a fan-out cancel.
+func isCancelled(err error) bool {
+	var c *engine.CancelledError
+	return errors.As(err, &c)
 }

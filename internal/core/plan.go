@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
 
+	"repro/internal/diag"
 	"repro/internal/engine"
 	"repro/internal/expr"
 	"repro/internal/obs"
@@ -29,11 +31,13 @@ type Step struct {
 	Purpose string
 	// SQL is the statement text; empty for native steps.
 	SQL string
-	// native, when set, runs instead of SQL. It receives the plan's
-	// parallelism so native steps can partition their scans the same way the
-	// engine's aggregation path does, and the step's trace span (nil when the
-	// plan runs untraced) to hang stage spans from.
-	native func(eng *engine.Engine, parallelism int, span *obs.Span) error
+	// native, when set, runs instead of SQL. It receives the execution
+	// context (cancellation and Limits flow through it exactly as they do
+	// for SQL statements), the plan's parallelism so native steps can
+	// partition their scans the same way the engine's aggregation path does,
+	// and the step's trace span (nil when the plan runs untraced) to hang
+	// stage spans from.
+	native func(ctx context.Context, eng *engine.Engine, parallelism int, span *obs.Span) error
 }
 
 // Plan is a generated evaluation plan for a percentage/horizontal query.
@@ -61,6 +65,10 @@ type Plan struct {
 	// sequential, n > 1 = n workers). It never changes the generated SQL —
 	// only how the engine folds each aggregation.
 	Parallelism int
+	// Limits is the resource budget every step executes under, stamped from
+	// Options.Limits. The zero value defers to the engine-wide defaults
+	// (engine.SetLimits); a non-zero value overrides them for this plan.
+	Limits engine.Limits
 }
 
 // SQL renders every build step as a script.
@@ -186,6 +194,11 @@ type Options struct {
 	// per-worker accumulators in pinned partition order, reproducing the
 	// sequential group order exactly (see internal/difftest).
 	Parallelism int
+	// Limits bounds what the plan's execution may consume (see
+	// engine.Limits). MaxPivotColumns is additionally enforced at plan time,
+	// before any step runs: a horizontal layout wider than the cap fails
+	// planning with PCT204 instead of building an oversized CREATE TABLE.
+	Limits engine.Limits
 }
 
 // DefaultOptions returns the strategies the paper's evaluation found best
@@ -293,9 +306,20 @@ func (p *Planner) Plan(sel *sqlparse.Select, opts Options) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Parallelism is stamped centrally: it applies to every class and never
-	// alters the generated SQL, only how the plan executes.
+	// Parallelism and Limits are stamped centrally: they apply to every
+	// class and never alter the generated SQL, only how the plan executes.
 	plan.Parallelism = opts.Parallelism
+	plan.Limits = opts.Limits
+	// The pivot-width cap is the one limit checkable before execution: the
+	// feedback pass has already counted the result columns, so an oversized
+	// layout fails here instead of mid-evaluation.
+	if lim := opts.Limits; lim.MaxPivotColumns > 0 && plan.N > lim.MaxPivotColumns {
+		return nil, &engine.LimitError{
+			PCTCode:  diag.CodePivotLimit,
+			Resource: "pivot-column",
+			Limit:    int64(lim.MaxPivotColumns),
+		}
+	}
 	return plan, nil
 }
 
@@ -315,7 +339,16 @@ func (p *Planner) PlanSQL(sql string, opts Options) (*Plan, error) {
 // Execute runs the plan's build steps and final select, then drops the
 // plan's temporary tables. The returned result is the user-facing relation.
 func (p *Planner) Execute(plan *Plan) (*engine.Result, error) {
-	return p.executeIn(plan, nil)
+	return p.executeIn(context.Background(), plan, nil)
+}
+
+// ExecuteCtx is Execute under a context: cancelling ctx stops the running
+// step cooperatively with a typed CancelledError, and the plan's Limits (or
+// the engine-wide defaults) are enforced on every step. Cleanup of the
+// plan's temporary tables still runs after a cancelled step — a cancelled
+// plan must not strand its temp tables.
+func (p *Planner) ExecuteCtx(ctx context.Context, plan *Plan) (*engine.Result, error) {
+	return p.executeIn(ctx, plan, nil)
 }
 
 // ExecuteTraced runs the plan like Execute while recording an execution
@@ -325,10 +358,15 @@ func (p *Planner) Execute(plan *Plan) (*engine.Result, error) {
 // statement spans and operator details nested underneath. The trace is
 // returned even when execution fails, annotated with the error.
 func (p *Planner) ExecuteTraced(plan *Plan) (*engine.Result, *obs.Span, error) {
+	return p.ExecuteTracedCtx(context.Background(), plan)
+}
+
+// ExecuteTracedCtx is ExecuteTraced under a context (see ExecuteCtx).
+func (p *Planner) ExecuteTracedCtx(ctx context.Context, plan *Plan) (*engine.Result, *obs.Span, error) {
 	root := obs.NewSpan("plan " + plan.Class.String())
 	root.AttrInt("parallelism", int64(plan.Parallelism))
 	root.AttrInt("steps", int64(len(plan.Steps)))
-	res, err := p.executeIn(plan, root)
+	res, err := p.executeIn(ctx, plan, root)
 	root.End()
 	if err != nil {
 		root.Attr("error", err.Error())
@@ -339,15 +377,25 @@ func (p *Planner) ExecuteTraced(plan *Plan) (*engine.Result, *obs.Span, error) {
 	return res, root, err
 }
 
-func (p *Planner) executeIn(plan *Plan, root *obs.Span) (*engine.Result, error) {
-	res, err := p.executeStepsIn(plan, root)
+// planCtx attaches the plan's Limits to ctx when set, so every step — SQL
+// and native — resolves the same effective budget the plan was stamped with.
+func planCtx(ctx context.Context, plan *Plan) context.Context {
+	if plan.Limits != (engine.Limits{}) {
+		return engine.WithLimits(ctx, plan.Limits)
+	}
+	return ctx
+}
+
+func (p *Planner) executeIn(ctx context.Context, plan *Plan, root *obs.Span) (*engine.Result, error) {
+	ctx = planCtx(ctx, plan)
+	res, err := p.executeStepsIn(ctx, plan, root)
 	if err != nil {
 		p.cleanupIn(plan, root)
 		return nil, err
 	}
 	if plan.FinalSelect != "" {
 		sp := root.NewChild("final select")
-		res, err = p.Eng.ExecSQLIn(plan.FinalSelect, plan.Parallelism, sp)
+		res, err = p.Eng.ExecSQLCtxIn(ctx, plan.FinalSelect, plan.Parallelism, sp)
 		sp.End()
 		if err != nil {
 			sp.Attr("error", err.Error())
@@ -363,17 +411,23 @@ func (p *Planner) executeIn(plan *Plan, root *obs.Span) (*engine.Result, error) 
 // ExecuteSteps runs only the build steps (what the paper times) and leaves
 // the temporary tables in place. Callers must CleanupPlan afterwards.
 func (p *Planner) ExecuteSteps(plan *Plan) (*engine.Result, error) {
-	return p.executeStepsIn(plan, nil)
+	return p.ExecuteStepsCtx(context.Background(), plan)
 }
 
-func (p *Planner) executeStepsIn(plan *Plan, root *obs.Span) (*engine.Result, error) {
+// ExecuteStepsCtx is ExecuteSteps under a context (see ExecuteCtx).
+func (p *Planner) ExecuteStepsCtx(ctx context.Context, plan *Plan) (*engine.Result, error) {
+	return p.executeStepsIn(planCtx(ctx, plan), plan, nil)
+}
+
+func (p *Planner) executeStepsIn(ctx context.Context, plan *Plan, root *obs.Span) (*engine.Result, error) {
 	mPlanExecutions.Inc()
 	var last *engine.Result
-	for _, s := range plan.Steps {
+	for i := range plan.Steps {
+		s := &plan.Steps[i]
 		mPlanSteps.Inc()
 		sp := root.NewChild("step: " + s.Purpose)
 		if s.native != nil {
-			err := s.native(p.Eng, plan.Parallelism, sp)
+			err := runNative(ctx, s, p.Eng, plan.Parallelism, sp)
 			sp.End()
 			if err != nil {
 				sp.Attr("error", err.Error())
@@ -382,7 +436,7 @@ func (p *Planner) executeStepsIn(plan *Plan, root *obs.Span) (*engine.Result, er
 			last = &engine.Result{}
 			continue
 		}
-		res, err := p.Eng.ExecSQLIn(s.SQL, plan.Parallelism, sp)
+		res, err := p.Eng.ExecSQLCtxIn(ctx, s.SQL, plan.Parallelism, sp)
 		sp.End()
 		if err != nil {
 			sp.Attr("error", err.Error())
@@ -391,6 +445,30 @@ func (p *Planner) executeStepsIn(plan *Plan, root *obs.Span) (*engine.Result, er
 		last = res
 	}
 	return last, nil
+}
+
+// runNative runs one native step under the same lifecycle a SQL statement
+// gets from the engine: the per-statement deadline from the effective
+// Limits, and panic containment into a typed PCT206 error so a poisoned
+// native step cannot kill concurrent plan executions.
+func runNative(ctx context.Context, s *Step, eng *engine.Engine, parallelism int, sp *obs.Span) (err error) {
+	lim := eng.Limits()
+	if l, ok := engine.LimitsFromContext(ctx); ok {
+		lim = l
+	}
+	if lim.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, lim.Timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = engine.NewPanicError("step "+s.Purpose, r)
+			// Close the spans the unwind skipped past.
+			sp.EndAll("panic-unwind")
+		}
+	}()
+	return s.native(ctx, eng, parallelism, sp)
 }
 
 // CleanupPlan drops the plan's temporary tables. Errors are ignored: a

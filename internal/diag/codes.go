@@ -78,6 +78,31 @@ const (
 	// CodeStrategy: the cost-based advisor recommends non-default
 	// evaluation strategy knobs for this query.
 	CodeStrategy = "PCT105"
+
+	// PCT2xx are runtime lifecycle codes: they classify how a statement
+	// ended when the query-governance layer stopped it, not what the linter
+	// found in its text. The linter never emits them; the engine's typed
+	// runtime errors carry them so dashboards can aggregate cancellations,
+	// limit hits, and contained panics by code.
+
+	// CodeCancelled: the statement's context was cancelled by the caller.
+	CodeCancelled = "PCT200"
+	// CodeDeadline: the statement exceeded its per-statement deadline.
+	CodeDeadline = "PCT201"
+	// CodeRowLimit: materialized rows exceeded Limits.MaxRows.
+	CodeRowLimit = "PCT202"
+	// CodeGroupLimit: aggregation groups exceeded Limits.MaxGroups.
+	CodeGroupLimit = "PCT203"
+	// CodePivotLimit: horizontal result columns exceeded
+	// Limits.MaxPivotColumns (the paper's "exceeds the maximum number of
+	// columns" failure mode, surfaced as a governed error).
+	CodePivotLimit = "PCT204"
+	// CodeByteBudget: approximate materialized bytes exceeded
+	// Limits.MaxBytes.
+	CodeByteBudget = "PCT205"
+	// CodePanic: a panic inside statement execution was recovered and
+	// contained; the error carries the panic value and stack.
+	CodePanic = "PCT206"
 )
 
 // CodeInfo describes one diagnostic code for the registry.
@@ -90,41 +115,52 @@ type CodeInfo struct {
 	Title string
 	// Note ties the check to the paper's usage rules or failure modes.
 	Note string
+	// Runtime marks lifecycle codes (PCT2xx) attached to typed runtime
+	// errors by the engine's governance layer. The linter never emits them,
+	// so corpus-coverage tests skip them.
+	Runtime bool
 }
 
 // Registry lists every diagnostic code in order. cmd/pctlint -codes prints
 // it; the docs catalogue derives from the same data.
 var Registry = []CodeInfo{
-	{CodeSyntax, Error, "SQL syntax error", "the statement does not parse; nothing can be checked"},
-	{CodeMixedClasses, Error, "Vpct mixed with horizontal aggregations", "combining vertical and horizontal percentage aggregations is future work in the paper"},
-	{CodeHpctWithHagg, Error, "Hpct mixed with other horizontal aggregations", "one transposition layout per statement"},
-	{CodeMultiTable, Error, "percentage query reads more than one table", "the paper defines Vpct/Hpct over a single table or view F; pre-join first"},
-	{CodeHaving, Error, "HAVING with percentage aggregations", "percentages are computed by a generated multi-statement plan; HAVING has no defined slot"},
-	{CodeDistinct, Error, "SELECT DISTINCT with percentage aggregations", "DISTINCT would drop rows after percentages are computed"},
-	{CodeSelectStar, Error, "SELECT * with percentage aggregations", "the select list must name grouping columns and aggregates explicitly"},
-	{CodeGroupByPosition, Error, "invalid GROUP BY position", "a position must index a bare column select item"},
-	{CodeGroupByUnknown, Error, "GROUP BY column not in F", "grouping columns D1..Dk must be columns of F"},
-	{CodeGroupByDuplicate, Error, "duplicate GROUP BY column", "each grouping column may appear once"},
-	{CodeUnknownTable, Error, "unknown table", "F must exist in the catalog"},
-	{CodeNotGrouped, Error, "select column not in GROUP BY", "non-aggregated select items must be grouping columns"},
-	{CodeWindowMix, Error, "window aggregate mixed with percentage aggregation", "OVER(PARTITION BY) is the paper's comparison baseline, not composable with Vpct/Hpct"},
-	{CodeNestedAgg, Error, "percentage aggregation nested in expression", "Vpct/Hpct must be top-level select items"},
-	{CodeBadSelectItem, Error, "select item neither grouping column nor aggregate", "percentage queries follow the GROUP BY select-list rules"},
-	{CodeVpctNoGroupBy, Error, "Vpct without GROUP BY", "Vpct is a two-level aggregation; rule of Section 3.1"},
-	{CodeVpctNoArg, Error, "Vpct without an argument", "Vpct needs a measure expression to total"},
-	{CodeVpctBySubset, Error, "Vpct BY list not a proper subset of GROUP BY", "the BY clause can have as many as k-1 columns (Section 3.1)"},
-	{CodeVpctByUnknown, Error, "Vpct BY column not in GROUP BY", "BY columns select the subgrouping Dj+1..Dk out of the GROUP BY list"},
-	{CodeByRequired, Error, "Hpct/horizontal aggregate without BY", "the BY list defines the transposed columns (Section 3.2)"},
-	{CodeByNotDisjoint, Error, "BY column also in GROUP BY", "Hpct BY columns must be disjoint from the GROUP BY columns (Section 3.2)"},
-	{CodeByUnknown, Error, "BY column not in F", "subgrouping columns must be columns of F"},
-	{CodeByDuplicate, Error, "duplicate BY column", "each subgrouping column may appear once"},
-	{CodeAggNoArg, Error, "aggregate without required argument", "only count(*) may omit the argument"},
-	{CodeUnknownMeasure, Error, "measure references unknown column", "measure expressions resolve against the schema of F"},
-	{CodeDivZeroRisk, Warning, "division-by-zero risk: totals can be zero or NULL", "the paper's Section on correctness: zero totals make percentages NULL"},
-	{CodeMissingRows, Warning, "missing rows: absent grouping combinations", "the paper's missing-rows failure mode; pre-/post-processing treatments apply"},
-	{CodeColumnExplosion, Warning, "Hpct column explosion vs DBMS column limit", "Hpct creates one column per BY combination; beyond the limit the result is partitioned"},
-	{CodeUnorderedResult, Advisory, "result row order not guaranteed", "add ORDER BY on the grouping columns for stable output"},
-	{CodeStrategy, Advisory, "non-default evaluation strategy recommended", "the paper's Section 4 strategy recommendations, applied to live statistics"},
+	{CodeSyntax, Error, "SQL syntax error", "the statement does not parse; nothing can be checked", false},
+	{CodeMixedClasses, Error, "Vpct mixed with horizontal aggregations", "combining vertical and horizontal percentage aggregations is future work in the paper", false},
+	{CodeHpctWithHagg, Error, "Hpct mixed with other horizontal aggregations", "one transposition layout per statement", false},
+	{CodeMultiTable, Error, "percentage query reads more than one table", "the paper defines Vpct/Hpct over a single table or view F; pre-join first", false},
+	{CodeHaving, Error, "HAVING with percentage aggregations", "percentages are computed by a generated multi-statement plan; HAVING has no defined slot", false},
+	{CodeDistinct, Error, "SELECT DISTINCT with percentage aggregations", "DISTINCT would drop rows after percentages are computed", false},
+	{CodeSelectStar, Error, "SELECT * with percentage aggregations", "the select list must name grouping columns and aggregates explicitly", false},
+	{CodeGroupByPosition, Error, "invalid GROUP BY position", "a position must index a bare column select item", false},
+	{CodeGroupByUnknown, Error, "GROUP BY column not in F", "grouping columns D1..Dk must be columns of F", false},
+	{CodeGroupByDuplicate, Error, "duplicate GROUP BY column", "each grouping column may appear once", false},
+	{CodeUnknownTable, Error, "unknown table", "F must exist in the catalog", false},
+	{CodeNotGrouped, Error, "select column not in GROUP BY", "non-aggregated select items must be grouping columns", false},
+	{CodeWindowMix, Error, "window aggregate mixed with percentage aggregation", "OVER(PARTITION BY) is the paper's comparison baseline, not composable with Vpct/Hpct", false},
+	{CodeNestedAgg, Error, "percentage aggregation nested in expression", "Vpct/Hpct must be top-level select items", false},
+	{CodeBadSelectItem, Error, "select item neither grouping column nor aggregate", "percentage queries follow the GROUP BY select-list rules", false},
+	{CodeVpctNoGroupBy, Error, "Vpct without GROUP BY", "Vpct is a two-level aggregation; rule of Section 3.1", false},
+	{CodeVpctNoArg, Error, "Vpct without an argument", "Vpct needs a measure expression to total", false},
+	{CodeVpctBySubset, Error, "Vpct BY list not a proper subset of GROUP BY", "the BY clause can have as many as k-1 columns (Section 3.1)", false},
+	{CodeVpctByUnknown, Error, "Vpct BY column not in GROUP BY", "BY columns select the subgrouping Dj+1..Dk out of the GROUP BY list", false},
+	{CodeByRequired, Error, "Hpct/horizontal aggregate without BY", "the BY list defines the transposed columns (Section 3.2)", false},
+	{CodeByNotDisjoint, Error, "BY column also in GROUP BY", "Hpct BY columns must be disjoint from the GROUP BY columns (Section 3.2)", false},
+	{CodeByUnknown, Error, "BY column not in F", "subgrouping columns must be columns of F", false},
+	{CodeByDuplicate, Error, "duplicate BY column", "each subgrouping column may appear once", false},
+	{CodeAggNoArg, Error, "aggregate without required argument", "only count(*) may omit the argument", false},
+	{CodeUnknownMeasure, Error, "measure references unknown column", "measure expressions resolve against the schema of F", false},
+	{CodeDivZeroRisk, Warning, "division-by-zero risk: totals can be zero or NULL", "the paper's Section on correctness: zero totals make percentages NULL", false},
+	{CodeMissingRows, Warning, "missing rows: absent grouping combinations", "the paper's missing-rows failure mode; pre-/post-processing treatments apply", false},
+	{CodeColumnExplosion, Warning, "Hpct column explosion vs DBMS column limit", "Hpct creates one column per BY combination; beyond the limit the result is partitioned", false},
+	{CodeUnorderedResult, Advisory, "result row order not guaranteed", "add ORDER BY on the grouping columns for stable output", false},
+	{CodeStrategy, Advisory, "non-default evaluation strategy recommended", "the paper's Section 4 strategy recommendations, applied to live statistics", false},
+	{CodeCancelled, Error, "statement cancelled", "the caller cancelled the statement's context; partial work is discarded", true},
+	{CodeDeadline, Error, "statement deadline exceeded", "the per-statement deadline (Limits.Timeout) elapsed mid-execution", true},
+	{CodeRowLimit, Error, "materialized-row limit exceeded", "Limits.MaxRows bounds rows a statement may materialize, instead of exhausting memory", true},
+	{CodeGroupLimit, Error, "group limit exceeded", "Limits.MaxGroups bounds distinct GROUP BY / pivot groups, the other unbounded hash state", true},
+	{CodePivotLimit, Error, "pivot column limit exceeded", "Limits.MaxPivotColumns is a hard cap on horizontal result width — the paper's DBMS column-limit failure mode as a governed error", true},
+	{CodeByteBudget, Error, "byte budget exceeded", "Limits.MaxBytes bounds approximate materialized bytes; parallel aggregation degrades to sequential under pressure before failing", true},
+	{CodePanic, Error, "panic recovered in statement execution", "a worker or dispatch panic is contained into an error carrying the stack, keeping the engine usable", true},
 }
 
 // Lookup returns the registry entry for a code, if known.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/leakcheck"
 	"repro/internal/storage"
 	"repro/internal/value"
 	"repro/internal/workload"
@@ -50,6 +51,7 @@ func goldenPlanner(t *testing.T) *core.Planner {
 // force the partitioned path onto inputs with empty and single-row
 // partitions — the merge edge cases.
 func TestDifferentialGoldenQueries(t *testing.T) {
+	defer leakcheck.Check(t)()
 	p := goldenPlanner(t)
 	cases := []struct {
 		sql  string

@@ -285,7 +285,10 @@ type groupState struct {
 // input (SQL semantics for aggregates without GROUP BY). Output rows follow
 // the first-appearance order of their groups in the input; the parallel path
 // (parallel.go) reproduces exactly this order.
-func hashAggregateSeq(in iterator, keyExprs []expr.Expr, specs []aggSpec) ([][]value.Value, error) {
+// gov, when non-nil, charges group creation against MaxGroups and checks
+// cancellation every govStride input rows (base-table inputs also check in
+// the scan; this covers materialized inputs).
+func hashAggregateSeq(in iterator, keyExprs []expr.Expr, specs []aggSpec, gov *governor) ([][]value.Value, error) {
 	groups := make(map[string]*groupState)
 	var order []string // first-appearance order, deterministic output
 	keyBuf := make([]byte, 0, 64)
@@ -307,6 +310,7 @@ func hashAggregateSeq(in iterator, keyExprs []expr.Expr, specs []aggSpec) ([][]v
 	}
 
 	var box rowBox
+	var seen int
 	for {
 		row, ok, err := in.next()
 		if err != nil {
@@ -314,6 +318,12 @@ func hashAggregateSeq(in iterator, keyExprs []expr.Expr, specs []aggSpec) ([][]v
 		}
 		if !ok {
 			break
+		}
+		seen++
+		if gov != nil && seen%govStride == 0 {
+			if err := gov.check(); err != nil {
+				return nil, err
+			}
 		}
 		box.vals = row
 		rv := &box
@@ -328,6 +338,11 @@ func hashAggregateSeq(in iterator, keyExprs []expr.Expr, specs []aggSpec) ([][]v
 		}
 		gs, ok := groups[string(keyBuf)]
 		if !ok {
+			if gov != nil {
+				if err := gov.addGroups(1); err != nil {
+					return nil, err
+				}
+			}
 			gs, err = newGroup()
 			if err != nil {
 				return nil, err

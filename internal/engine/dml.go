@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/expr"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
@@ -88,6 +89,20 @@ func (e *Engine) execInsert(ins *sqlparse.Insert, ec execCtx) (*Result, error) {
 		return err
 	}
 
+	// Statement atomicity: appends run under a savepoint — the pre-statement
+	// row count — and any exit without commit (error, injected fault, panic
+	// unwinding to the statement recovery) truncates back to it, so a
+	// mid-statement failure leaves the table exactly as it was. This is the
+	// append-shaped complement of the staging-then-swap rewrite DELETE and
+	// UPDATE use: INSERT into a populated table must not copy the table.
+	base := t.NumRows()
+	committed := false
+	defer func() {
+		if !committed {
+			t.TruncateTo(base)
+		}
+	}()
+
 	n := 0
 	if ins.Query != nil {
 		res, err := e.execSelect(ins.Query, ec)
@@ -95,13 +110,27 @@ func (e *Engine) execInsert(ins *sqlparse.Insert, ec execCtx) (*Result, error) {
 			return nil, err
 		}
 		sp := ec.span.NewChild("insert " + ins.Table)
+		defer sp.End()
 		for _, row := range res.Rows {
+			if err := chaos.Hit(chaos.InsertSink); err != nil {
+				return nil, err
+			}
 			if err := appendMapped(row); err != nil {
 				return nil, err
 			}
 			n++
+			if ec.gov != nil && n%govStride == 0 {
+				if err := ec.gov.addRows(govStride); err != nil {
+					return nil, err
+				}
+			}
 		}
-		sp.End()
+		if ec.gov != nil {
+			if err := ec.gov.addRows(int64(n % govStride)); err != nil {
+				return nil, err
+			}
+		}
+		committed = true
 		sp.SetRows(int64(len(res.Rows)), int64(n))
 		return &Result{Affected: n}, nil
 	}
@@ -120,17 +149,23 @@ func (e *Engine) execInsert(ins *sqlparse.Insert, ec execCtx) (*Result, error) {
 			}
 			row[i] = v
 		}
+		if err := chaos.Hit(chaos.InsertSink); err != nil {
+			return nil, err
+		}
 		if err := appendMapped(row); err != nil {
 			return nil, err
 		}
 		n++
 	}
+	committed = true
 	return &Result{Affected: n}, nil
 }
 
 // execDelete removes qualifying rows by rewriting the table without them
-// (the same block-rewrite model as bulk UPDATE).
-func (e *Engine) execDelete(d *sqlparse.Delete) (*Result, error) {
+// (the same block-rewrite model as bulk UPDATE). The rewrite targets a
+// staging clone that is swapped into the catalog only on success, so a
+// mid-statement failure leaves the live table unchanged.
+func (e *Engine) execDelete(d *sqlparse.Delete, ec execCtx) (*Result, error) {
 	t, err := e.cat.Get(d.Table)
 	if err != nil {
 		return nil, err
@@ -143,11 +178,16 @@ func (e *Engine) execDelete(d *sqlparse.Delete) (*Result, error) {
 			return nil, err
 		}
 	}
-	var kept [][]value.Value
+	stage := t.EmptyClone()
 	var buf []value.Value
 	var box rowBox
 	n := 0
 	for r := 0; r < t.NumRows(); r++ {
+		if ec.gov != nil && (r+1)%govStride == 0 {
+			if err := ec.gov.addRows(govStride); err != nil {
+				return nil, err
+			}
+		}
 		buf = t.Row(r, buf)
 		if where != nil {
 			box.vals = buf
@@ -156,25 +196,27 @@ func (e *Engine) execDelete(d *sqlparse.Delete) (*Result, error) {
 				return nil, err
 			}
 			if !v.Truthy() {
-				kept = append(kept, append([]value.Value(nil), buf...))
+				if _, err := stage.AppendRow(buf); err != nil {
+					return nil, err
+				}
 				continue
 			}
 		}
 		n++
 	}
-	t.Truncate()
-	for _, row := range kept {
-		if _, err := t.AppendRow(row); err != nil {
+	if ec.gov != nil {
+		if err := ec.gov.addRows(int64(t.NumRows() % govStride)); err != nil {
 			return nil, err
 		}
 	}
+	e.cat.Put(stage)
 	return &Result{Affected: n}, nil
 }
 
 // execUpdate handles both the single-table form and the cross-table form
 // (UPDATE target FROM other SET … WHERE join), which the paper's
 // update-based Vpct strategy generates.
-func (e *Engine) execUpdate(u *sqlparse.Update) (*Result, error) {
+func (e *Engine) execUpdate(u *sqlparse.Update, ec execCtx) (*Result, error) {
 	t, err := e.cat.Get(u.Table)
 	if err != nil {
 		return nil, err
@@ -186,15 +228,15 @@ func (e *Engine) execUpdate(u *sqlparse.Update) (*Result, error) {
 	targetSch := schemaOf(t, alias)
 
 	if len(u.From) == 0 {
-		return e.updateSingle(t, targetSch, u)
+		return e.updateSingle(t, targetSch, u, ec)
 	}
 	if len(u.From) != 1 {
 		return nil, fmt.Errorf("engine: UPDATE supports at most one FROM table, got %d", len(u.From))
 	}
-	return e.updateJoined(t, targetSch, u)
+	return e.updateJoined(t, targetSch, u, ec)
 }
 
-func (e *Engine) updateSingle(t *storage.Table, sch relSchema, u *sqlparse.Update) (*Result, error) {
+func (e *Engine) updateSingle(t *storage.Table, sch relSchema, u *sqlparse.Update, ec execCtx) (*Result, error) {
 	var where expr.Expr
 	if u.Where != nil {
 		b, err := bindExpr(u.Where, sch)
@@ -220,42 +262,60 @@ func (e *Engine) updateSingle(t *storage.Table, sch relSchema, u *sqlparse.Updat
 		sets[i] = boundSet{col: col, ex: b}
 	}
 
+	// Every row flows into a staging clone — matched rows with assignments
+	// applied, others copied — published only on success, so a failing
+	// assignment halfway through leaves the live table unchanged.
+	stage := t.EmptyClone()
 	n := 0
 	var buf []value.Value
 	var box rowBox
 	newVals := make([]value.Value, len(sets))
 	for r := 0; r < t.NumRows(); r++ {
+		if ec.gov != nil && (r+1)%govStride == 0 {
+			if err := ec.gov.addRows(govStride); err != nil {
+				return nil, err
+			}
+		}
 		buf = t.Row(r, buf)
 		box.vals = buf
 		rv := &box
+		matched := true
 		if where != nil {
 			v, err := where.Eval(rv)
 			if err != nil {
 				return nil, err
 			}
-			if !v.Truthy() {
-				continue
-			}
+			matched = v.Truthy()
 		}
-		// Evaluate every assignment against the pre-update row, then apply.
-		for i, s := range sets {
-			v, err := s.ex.Eval(rv)
-			if err != nil {
-				return nil, err
+		if matched {
+			// Evaluate every assignment against the pre-update row, then
+			// apply.
+			for i, s := range sets {
+				v, err := s.ex.Eval(rv)
+				if err != nil {
+					return nil, err
+				}
+				newVals[i] = v
 			}
-			newVals[i] = v
-		}
-		for i, s := range sets {
-			if err := t.Set(r, s.col, newVals[i]); err != nil {
-				return nil, err
+			for i, s := range sets {
+				buf[s.col] = newVals[i]
 			}
+			n++
 		}
-		n++
+		if _, err := stage.AppendRow(buf); err != nil {
+			return nil, err
+		}
 	}
+	if ec.gov != nil {
+		if err := ec.gov.addRows(int64(t.NumRows() % govStride)); err != nil {
+			return nil, err
+		}
+	}
+	e.cat.Put(stage)
 	return &Result{Affected: n}, nil
 }
 
-func (e *Engine) updateJoined(t *storage.Table, targetSch relSchema, u *sqlparse.Update) (*Result, error) {
+func (e *Engine) updateJoined(t *storage.Table, targetSch relSchema, u *sqlparse.Update, ec execCtx) (*Result, error) {
 	ft, err := e.cat.Get(u.From[0].Name)
 	if err != nil {
 		return nil, err
@@ -326,16 +386,23 @@ func (e *Engine) updateJoined(t *storage.Table, targetSch relSchema, u *sqlparse
 	// retained in a transient journal until the statement completes (the
 	// recovery log every ACID engine writes). This is what makes the
 	// paper's UPDATE-based Vpct strategy pay when |FV| is large, and it is
-	// why the paper recommends INSERT instead.
+	// why the paper recommends INSERT instead. The rewrite lands in a
+	// staging clone swapped into the catalog on success, so the statement
+	// is atomic: a mid-rewrite failure leaves the live table untouched.
+	stage := t.EmptyClone()
 	n := 0
 	var buf []value.Value
 	var box rowBox
 	keyBuf := make([]byte, 0, 32)
 	comb := make([]value.Value, 0, len(combined))
 	newVals := make([]value.Value, len(sets))
-	rewritten := make([][]value.Value, 0, t.NumRows())
 	var journal [][]value.Value
 	for r := 0; r < t.NumRows(); r++ {
+		if ec.gov != nil && (r+1)%govStride == 0 {
+			if err := ec.gov.addRows(govStride); err != nil {
+				return nil, err
+			}
+		}
 		buf = t.Row(r, buf)
 		out := append([]value.Value(nil), buf...)
 		keyBuf = keyBuf[:0]
@@ -382,14 +449,16 @@ func (e *Engine) updateJoined(t *storage.Table, targetSch relSchema, u *sqlparse
 				break // one qualifying match updates the row once
 			}
 		}
-		rewritten = append(rewritten, out)
-	}
-	t.Truncate()
-	for _, row := range rewritten {
-		if _, err := t.AppendRow(row); err != nil {
+		if _, err := stage.AppendRow(out); err != nil {
 			return nil, err
 		}
 	}
+	if ec.gov != nil {
+		if err := ec.gov.addRows(int64(t.NumRows() % govStride)); err != nil {
+			return nil, err
+		}
+	}
+	e.cat.Put(stage)
 	_ = journal // released at statement end, like a transient journal
 	return &Result{Affected: n}, nil
 }

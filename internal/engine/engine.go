@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -25,6 +27,10 @@ type Engine struct {
 	// reconfiguration safely (see trace.go).
 	sink atomic.Pointer[traceSink]
 	slow atomic.Pointer[slowLog]
+	// limits is the engine-wide default resource budget applied to every
+	// statement that does not carry its own via WithLimits (see
+	// lifecycle.go). Atomic for the same reason as par.
+	limits atomic.Pointer[Limits]
 }
 
 // New returns an engine over the catalog. The default parallelism is 1
@@ -59,20 +65,81 @@ func (e *Engine) Execute(stmt sqlparse.Statement) (*Result, error) {
 	return e.ExecuteP(stmt, e.Parallelism())
 }
 
+// ExecuteCtx is Execute under a context: cancelling ctx stops the statement
+// cooperatively with a typed CancelledError, and any Limits carried by ctx
+// (WithLimits) or installed engine-wide (SetLimits) are enforced.
+func (e *Engine) ExecuteCtx(ctx context.Context, stmt sqlparse.Statement) (*Result, error) {
+	return e.ExecuteCtxP(ctx, stmt, e.Parallelism())
+}
+
 // ExecuteP runs one parsed statement with an explicit parallelism that
 // overrides the engine default for this statement only (0 = one worker per
 // CPU, 1 = sequential, n > 1 = n workers). Only aggregation consumes the
 // setting; other operators run as before.
 func (e *Engine) ExecuteP(stmt sqlparse.Statement, parallelism int) (*Result, error) {
+	return e.ExecuteCtxP(context.Background(), stmt, parallelism)
+}
+
+// ExecuteCtxP is ExecuteP under a context (see ExecuteCtx).
+func (e *Engine) ExecuteCtxP(ctx context.Context, stmt sqlparse.Statement, parallelism int) (*Result, error) {
 	var root *obs.Span
 	if e.tracing() {
 		root = obs.NewSpan("statement")
 		root.Attr("sql", stmt.String())
 	}
 	t0 := time.Now()
-	res, err := e.exec(stmt, execCtx{par: parallelism, span: root})
+	res, err := e.runStatement(ctx, stmt, execCtx{par: parallelism, span: root})
 	e.finishStatement(stmt, root, time.Since(t0), err)
 	return res, err
+}
+
+// runStatement executes one statement under full lifecycle governance: it
+// resolves the effective limits, applies the per-statement deadline, builds
+// the governor the long loops check, contains panics from the dispatch
+// itself, and classifies the outcome in metrics. ec.span/ec.par come from
+// the caller; ec.gov is installed here.
+func (e *Engine) runStatement(ctx context.Context, stmt sqlparse.Statement, ec execCtx) (res *Result, err error) {
+	lim := e.effectiveLimits(ctx)
+	if lim.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, lim.Timeout)
+		defer cancel()
+	}
+	if ctx.Done() != nil || !lim.zero() {
+		ec.gov = newGovernor(ctx, lim)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, NewPanicError("statement dispatch", r)
+			// Unwinding skipped the orderly End calls between the panic site
+			// and here; close what it left open so the trace stays well-formed.
+			ec.span.EndAll("panic-unwind")
+		}
+		classifyOutcome(err)
+	}()
+	// A context that died before we started still gets the typed error.
+	if err := ec.gov.check(); err != nil {
+		return nil, err
+	}
+	return e.exec(stmt, ec)
+}
+
+// classifyOutcome bumps the lifecycle metrics for a finished statement.
+// Panics are counted at recovery (the panic may have been contained in a
+// worker, not here).
+func classifyOutcome(err error) {
+	if err == nil {
+		return
+	}
+	var c *CancelledError
+	if errors.As(err, &c) {
+		mCancelled.Inc()
+		return
+	}
+	var l *LimitError
+	if errors.As(err, &l) {
+		mLimitsExceeded.Inc()
+	}
 }
 
 // ExecuteIn runs one parsed statement as a child stage of parent: the
@@ -81,10 +148,15 @@ func (e *Engine) ExecuteP(stmt sqlparse.Statement, parallelism int) (*Result, er
 // their statements inside one plan trace. A nil parent disables tracing for
 // the statement; metrics and the slow-query log still apply.
 func (e *Engine) ExecuteIn(stmt sqlparse.Statement, parallelism int, parent *obs.Span) (*Result, error) {
+	return e.ExecuteCtxIn(context.Background(), stmt, parallelism, parent)
+}
+
+// ExecuteCtxIn is ExecuteIn under a context (see ExecuteCtx).
+func (e *Engine) ExecuteCtxIn(ctx context.Context, stmt sqlparse.Statement, parallelism int, parent *obs.Span) (*Result, error) {
 	sp := parent.NewChild("statement")
 	sp.Attr("sql", stmt.String())
 	t0 := time.Now()
-	res, err := e.exec(stmt, execCtx{par: parallelism, span: sp})
+	res, err := e.runStatement(ctx, stmt, execCtx{par: parallelism, span: sp})
 	d := time.Since(t0)
 	sp.SetDuration(d)
 	if res != nil {
@@ -110,7 +182,7 @@ func (e *Engine) exec(stmt sqlparse.Statement, ec execCtx) (*Result, error) {
 	case *sqlparse.Insert:
 		return e.execInsert(s, ec)
 	case *sqlparse.Update:
-		return e.execUpdate(s)
+		return e.execUpdate(s, ec)
 	case *sqlparse.CreateTable:
 		return e.execCreateTable(s)
 	case *sqlparse.CreateIndex:
@@ -118,7 +190,7 @@ func (e *Engine) exec(stmt sqlparse.Statement, ec execCtx) (*Result, error) {
 	case *sqlparse.DropTable:
 		return e.execDropTable(s)
 	case *sqlparse.Delete:
-		return e.execDelete(s)
+		return e.execDelete(s, ec)
 	case *sqlparse.Explain:
 		return e.execExplain(s, ec)
 	default:
@@ -133,15 +205,25 @@ func (e *Engine) ExecSQL(src string) (*Result, error) {
 	return e.ExecSQLP(src, e.Parallelism())
 }
 
+// ExecSQLCtx is ExecSQL under a context (see ExecuteCtx).
+func (e *Engine) ExecSQLCtx(ctx context.Context, src string) (*Result, error) {
+	return e.ExecSQLCtxP(ctx, src, e.Parallelism())
+}
+
 // ExecSQLP is ExecSQL with an explicit per-script parallelism override.
 func (e *Engine) ExecSQLP(src string, parallelism int) (*Result, error) {
+	return e.ExecSQLCtxP(context.Background(), src, parallelism)
+}
+
+// ExecSQLCtxP is ExecSQLP under a context (see ExecuteCtx).
+func (e *Engine) ExecSQLCtxP(ctx context.Context, src string, parallelism int) (*Result, error) {
 	stmts, err := sqlparse.ParseAll(src)
 	if err != nil {
 		return nil, err
 	}
 	var last *Result
 	for _, s := range stmts {
-		last, err = e.ExecuteP(s, parallelism)
+		last, err = e.ExecuteCtxP(ctx, s, parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("%w\n  in: %s", err, s)
 		}
@@ -154,6 +236,11 @@ func (e *Engine) ExecSQLP(src string, parallelism int) (*Result, error) {
 // span per statement (see ExecuteIn). It returns the last statement's
 // result, like ExecSQLP.
 func (e *Engine) ExecSQLIn(src string, parallelism int, parent *obs.Span) (*Result, error) {
+	return e.ExecSQLCtxIn(context.Background(), src, parallelism, parent)
+}
+
+// ExecSQLCtxIn is ExecSQLIn under a context (see ExecuteCtx).
+func (e *Engine) ExecSQLCtxIn(ctx context.Context, src string, parallelism int, parent *obs.Span) (*Result, error) {
 	ps := parent.NewChild("parse")
 	stmts, err := sqlparse.ParseAll(src)
 	ps.SetRows(-1, int64(len(stmts)))
@@ -163,7 +250,7 @@ func (e *Engine) ExecSQLIn(src string, parallelism int, parent *obs.Span) (*Resu
 	}
 	var last *Result
 	for _, s := range stmts {
-		last, err = e.ExecuteIn(s, parallelism, parent)
+		last, err = e.ExecuteCtxIn(ctx, s, parallelism, parent)
 		if err != nil {
 			return nil, fmt.Errorf("%w\n  in: %s", err, s)
 		}

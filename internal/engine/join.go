@@ -4,6 +4,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/expr"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -145,24 +146,35 @@ type buildSide struct {
 	built     bool
 	buildNs   int64 // wall time of the ad-hoc build, for traces
 	buildRows int64
+	gov       *governor // statement governor; nil when ungoverned
 }
 
 // ensure performs the deferred build work on first probe and records the
-// join-build metrics (EXPLAIN never probes, so it never counts here).
-func (b *buildSide) ensure() {
+// join-build metrics (EXPLAIN never probes, so it never counts here). The
+// build loop is one of the statement's long loops: it checks the governor
+// every govStride rows and charges the hash table against the row budget.
+func (b *buildSide) ensure() error {
 	if b.built {
-		return
+		return nil
 	}
 	b.built = true
+	if err := chaos.Hit(chaos.JoinBuild); err != nil {
+		return err
+	}
 	if b.useIndex {
 		mJoinIndexReuse.Inc()
-		return
+		return nil
 	}
 	t0 := time.Now()
 	key := make([]byte, 0, 32)
 	if b.tab != nil {
 		b.buckets = make(map[string][]int, b.tab.NumRows())
 		for r := 0; r < b.tab.NumRows(); r++ {
+			if b.gov != nil && r > 0 && r%govStride == 0 {
+				if err := b.gov.addRows(govStride); err != nil {
+					return err
+				}
+			}
 			key = key[:0]
 			for _, p := range b.pairs {
 				key = value.AppendKey(key, b.tab.Get(r, p.rightIdx))
@@ -173,6 +185,11 @@ func (b *buildSide) ensure() {
 	} else {
 		b.buckets = make(map[string][]int, len(b.rows))
 		for r, row := range b.rows {
+			if b.gov != nil && r > 0 && r%govStride == 0 {
+				if err := b.gov.addRows(govStride); err != nil {
+					return err
+				}
+			}
 			key = key[:0]
 			for _, p := range b.pairs {
 				key = value.AppendKey(key, row[p.rightIdx])
@@ -181,9 +198,15 @@ func (b *buildSide) ensure() {
 		}
 		b.buildRows = int64(len(b.rows))
 	}
+	if b.gov != nil {
+		if err := b.gov.addRows(b.buildRows % govStride); err != nil {
+			return err
+		}
+	}
 	b.lookupFn = func(k string) []int { return b.buckets[k] }
 	b.buildNs = time.Since(t0).Nanoseconds()
 	mJoinBuilds.Inc()
+	return nil
 }
 
 // hashJoin streams the left (probe) side against a materialized right
@@ -262,7 +285,9 @@ func (j *hashJoin) next() ([]value.Value, bool, error) {
 }
 
 func (j *hashJoin) step() ([]value.Value, bool, error) {
-	j.build.ensure()
+	if err := j.build.ensure(); err != nil {
+		return nil, false, err
+	}
 	for {
 		if len(j.pending) > 0 {
 			r := j.pending[0]
@@ -341,6 +366,7 @@ type nestedLoopJoin struct {
 	seen     bool
 	outBuf   []value.Value
 	stats    *opStats
+	gov      *governor // governs the lazy right-side materialization
 }
 
 func newNestedLoopJoin(left iterator, rightSrc iterator, pred expr.Expr, outer bool) *nestedLoopJoin {
@@ -371,7 +397,7 @@ func (j *nestedLoopJoin) next() ([]value.Value, bool, error) {
 func (j *nestedLoopJoin) step() ([]value.Value, bool, error) {
 	if j.right == nil {
 		t0 := time.Now()
-		m, err := materialize(j.rightSrc)
+		m, err := materialize(j.rightSrc, j.gov)
 		if err != nil {
 			return nil, false, err
 		}

@@ -1,10 +1,13 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/expr"
 	"repro/internal/obs"
 	"repro/internal/value"
@@ -55,7 +58,7 @@ func hashAggregate(in iterator, keyExprs []expr.Expr, specs []aggSpec, ec execCt
 		// The fold drains the pipeline itself, so the operator subtree nests
 		// under the fold span: its cumulative time is part of the fold wall.
 		sp := ec.span.NewChild("fold")
-		out, err := hashAggregateSeq(in, keyExprs, specs)
+		out, err := hashAggregateSeq(in, keyExprs, specs, ec.gov)
 		sp.End()
 		sp.SetRows(-1, int64(len(out)))
 		if sp != nil {
@@ -69,7 +72,7 @@ func hashAggregate(in iterator, keyExprs []expr.Expr, specs []aggSpec, ec execCt
 	// single-threaded drain here is also what keeps concurrent readers off
 	// the storage layer. The drain is where the operator subtree's time is
 	// spent, so it attaches directly under the aggregate span here.
-	input, err := materialize(in)
+	input, err := materialize(in, ec.gov)
 	if err != nil {
 		return nil, err
 	}
@@ -81,17 +84,35 @@ func hashAggregate(in iterator, keyExprs []expr.Expr, specs []aggSpec, ec execCt
 		mAggSeqFallback.Inc()
 		ec.span.Attr("fallback", "sequential (below parallel threshold)")
 		sp := ec.span.NewChild("fold")
-		out, err := hashAggregateSeq(input, keyExprs, specs)
+		out, err := hashAggregateSeq(input, keyExprs, specs, ec.gov)
 		sp.End()
 		sp.SetRows(int64(n), int64(len(out)))
 		mGroupsEmitted.Add(int64(len(out)))
 		return out, err
 	}
+	// Budget-pressure degradation: the parallel path duplicates per-worker
+	// accumulator maps and, worst case, roughly doubles the materialized
+	// footprint. If the remaining byte budget is smaller than the input we
+	// just buffered, folding sequentially is the shape that still fits —
+	// degrade instead of failing mid-fan-out.
+	if rem := ec.gov.bytesRemaining(); rem >= 0 {
+		est := int64(n) * estimateRowBytes(input.rows[0])
+		if rem < est {
+			mAggBudgetFallback.Inc()
+			ec.span.Attr("fallback", "sequential (byte-budget pressure)")
+			sp := ec.span.NewChild("fold")
+			out, err := hashAggregateSeq(input, keyExprs, specs, ec.gov)
+			sp.End()
+			sp.SetRows(int64(n), int64(len(out)))
+			mGroupsEmitted.Add(int64(len(out)))
+			return out, err
+		}
+	}
 	if workers > n {
 		workers = n
 	}
 	mAggParallel.Inc()
-	out, err := hashAggregateParallel(input.rows, keyExprs, specs, workers, ec.span)
+	out, err := hashAggregateParallel(input.rows, keyExprs, specs, workers, ec.span, ec.gov)
 	mGroupsEmitted.Add(int64(len(out)))
 	return out, err
 }
@@ -114,13 +135,21 @@ type partResult struct {
 // aggregatePartition folds one contiguous slice of materialized rows.
 // keyExprs and the spec argument expressions are shared across workers; all
 // bound expression trees in this engine are immutable and stateless under
-// Eval, so concurrent evaluation is safe.
-func aggregatePartition(rows [][]value.Value, keyExprs []expr.Expr, specs []aggSpec) partResult {
+// Eval, so concurrent evaluation is safe. gov is the worker's governor — it
+// shares the statement's counters but watches the fan-out's cancel context,
+// so a sibling's failure stops this fold within one stride.
+func aggregatePartition(rows [][]value.Value, keyExprs []expr.Expr, specs []aggSpec, gov *governor) partResult {
 	res := partResult{groups: make(map[string]*partGroup)}
 	keyBuf := make([]byte, 0, 64)
 	keyVals := make([]value.Value, len(keyExprs))
 	var box rowBox
-	for _, row := range rows {
+	for ri, row := range rows {
+		if gov != nil && ri > 0 && ri%govStride == 0 {
+			if err := gov.check(); err != nil {
+				res.err = err
+				return res
+			}
+		}
 		box.vals = row
 		rv := &box
 		keyBuf = keyBuf[:0]
@@ -135,6 +164,15 @@ func aggregatePartition(rows [][]value.Value, keyExprs []expr.Expr, specs []aggS
 		}
 		gs, ok := res.groups[string(keyBuf)]
 		if !ok {
+			// Group creation is the unbounded allocation; charge it. Groups
+			// shared across partitions are counted once per partition, which
+			// over-approximates — a budget, not an exact census.
+			if gov != nil {
+				if err := gov.addGroups(1); err != nil {
+					res.err = err
+					return res
+				}
+			}
 			gs = &partGroup{
 				keyVals: append([]value.Value(nil), keyVals...),
 				accs:    make([]accumulator, len(specs)),
@@ -175,11 +213,28 @@ func aggregatePartition(rows [][]value.Value, keyExprs []expr.Expr, specs []aggS
 // span, when set, receives a concurrent "partition fan-out" child with one
 // "worker i/N" span per goroutine (rows folded in, groups produced out) and
 // a "merge" span covering the deterministic ascending-order merge.
-func hashAggregateParallel(rows [][]value.Value, keyExprs []expr.Expr, specs []aggSpec, workers int, span *obs.Span) ([][]value.Value, error) {
+//
+// Lifecycle: each worker runs under a cancel context derived from the
+// statement's governor, recovers its own panics into partResult.err, and
+// cancels the siblings on any failure — the first error stops the fan-out
+// within one governor stride instead of letting the other workers fold to
+// completion. Error selection stays deterministic: the lowest-numbered
+// partition's real error wins (so a failing query reports the same error no
+// matter how many workers raced past the failing row), and a sibling's
+// cancellation is reported only when no real error exists.
+func hashAggregateParallel(rows [][]value.Value, keyExprs []expr.Expr, specs []aggSpec, workers int, span *obs.Span, gov *governor) ([][]value.Value, error) {
 	fan := span.NewChild("partition fan-out")
 	if fan != nil {
 		fan.Concurrent = true
 		fan.AttrInt("workers", int64(workers))
+	}
+	cancel := func() {}
+	wgov := gov
+	if gov != nil && gov.ctx != nil {
+		var wctx context.Context
+		wctx, cancel = context.WithCancel(gov.ctx)
+		defer cancel()
+		wgov = gov.withCtx(wctx)
 	}
 	parts := make([]partResult, workers)
 	chunk := (len(rows) + workers - 1) / workers
@@ -200,25 +255,39 @@ func hashAggregateParallel(rows [][]value.Value, keyExprs []expr.Expr, specs []a
 			if fan != nil {
 				ws = fan.NewChild(fmt.Sprintf("worker %d/%d", w+1, workers))
 			}
-			parts[w] = aggregatePartition(rows[lo:hi], keyExprs, specs)
-			ws.End()
-			ws.SetRows(int64(hi-lo), int64(len(parts[w].order)))
+			defer func() {
+				if r := recover(); r != nil {
+					parts[w].err = NewPanicError(fmt.Sprintf("partition worker %d/%d", w+1, workers), r)
+				}
+				if parts[w].err != nil {
+					ws.Attr("error", parts[w].err.Error())
+					cancel()
+				}
+				ws.End()
+				ws.SetRows(int64(hi-lo), int64(len(parts[w].order)))
+			}()
+			if err := chaos.HitN(chaos.AggWorker, w+1); err != nil {
+				parts[w].err = err
+				return
+			}
+			parts[w] = aggregatePartition(rows[lo:hi], keyExprs, specs, wgov)
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	fan.End()
 
-	// Merge in ascending partition order; the lowest partition's error wins
-	// so a failing query reports the same error no matter how many workers
-	// raced past the failing row.
 	ms := span.NewChild("merge")
+	defer ms.End()
+	if err := workerError(parts); err != nil {
+		return nil, err
+	}
+	if err := chaos.Hit(chaos.AggMerge); err != nil {
+		return nil, err
+	}
 	merged := make(map[string]*partGroup)
 	var order []string
 	for pi := range parts {
 		p := &parts[pi]
-		if p.err != nil {
-			return nil, p.err
-		}
 		for _, k := range p.order {
 			g := p.groups[k]
 			tgt, ok := merged[k]
@@ -245,7 +314,28 @@ func hashAggregateParallel(rows [][]value.Value, keyExprs []expr.Expr, specs []a
 		}
 		out = append(out, row)
 	}
-	ms.End()
 	ms.SetRows(int64(len(rows)), int64(len(out)))
 	return out, nil
+}
+
+// workerError selects the error a failed fan-out reports: the
+// lowest-numbered partition's non-cancellation error, falling back to the
+// first cancellation when nothing but sibling-cancel noise remains.
+func workerError(parts []partResult) error {
+	var firstCancel error
+	for pi := range parts {
+		err := parts[pi].err
+		if err == nil {
+			continue
+		}
+		var c *CancelledError
+		if errors.As(err, &c) {
+			if firstCancel == nil {
+				firstCancel = err
+			}
+			continue
+		}
+		return err
+	}
+	return firstCancel
 }

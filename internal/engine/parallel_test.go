@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/expr"
+	"repro/internal/leakcheck"
 	"repro/internal/storage"
 	"repro/internal/value"
 )
@@ -62,6 +63,7 @@ func randAggEngine(t *testing.T, n int, seed int64) *Engine {
 }
 
 func TestParallelAggregationMatchesSequential(t *testing.T) {
+	defer leakcheck.Check(t)()
 	queries := []string{
 		"SELECT g1, g2, sum(a), count(*), count(a), min(a), max(a), avg(a) FROM f GROUP BY g1, g2",
 		"SELECT g1, sum(a), count(DISTINCT b) FROM f GROUP BY g1",
@@ -163,7 +165,8 @@ func TestParallelEmptyInputGlobalGroup(t *testing.T) {
 
 func TestParallelErrorPropagation(t *testing.T) {
 	// A type error deep in one partition must surface as the same error the
-	// sequential path reports.
+	// sequential path reports — and the failed fan-out must reap its workers.
+	defer leakcheck.Check(t)()
 	e := New(storage.NewCatalog())
 	mustExec(t, e, "CREATE TABLE f (s VARCHAR)")
 	tab, _ := e.Catalog().Get("f")

@@ -90,6 +90,9 @@ type tableScan struct {
 	buf     []value.Value
 	counted bool
 	stats   *opStats
+	// gov, when non-nil, gets a cancellation check every govStride rows
+	// (see lifecycle.go); one int test per row otherwise.
+	gov *governor
 }
 
 func newTableScan(t *storage.Table, alias string) *tableScan {
@@ -116,8 +119,16 @@ func (s *tableScan) step() ([]value.Value, bool, error) {
 		if !s.counted {
 			s.counted = true
 			mRowsScanned.Add(int64(s.pos))
+			if s.gov != nil {
+				s.gov.addScanned(int64(s.pos % govStride))
+			}
 		}
 		return nil, false, nil
+	}
+	if s.gov != nil && s.pos > 0 && s.pos%govStride == 0 {
+		if err := s.gov.addScanned(govStride); err != nil {
+			return nil, false, err
+		}
 	}
 	s.buf = s.tab.Row(s.pos, s.buf)
 	s.pos++
@@ -203,17 +214,41 @@ func (m *memRelation) next() ([]value.Value, bool, error) {
 	return r, true, nil
 }
 
-// materialize drains an iterator into a memRelation, copying rows.
-func materialize(it iterator) (*memRelation, error) {
+// materialize drains an iterator into a memRelation, copying rows. A
+// non-nil governor charges every buffered row against the statement's
+// row and byte budgets — materialization is where memory is actually
+// committed, so this is where MaxRows/MaxBytes bite.
+func materialize(it iterator, gov *governor) (*memRelation, error) {
 	out := &memRelation{sch: it.schema()}
+	var pendingBytes int64
 	for {
 		row, ok, err := it.next()
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
+			if gov != nil {
+				if err := gov.addRows(int64(len(out.rows) % govStride)); err != nil {
+					return nil, err
+				}
+				if err := gov.addBytes(pendingBytes); err != nil {
+					return nil, err
+				}
+			}
 			return out, nil
 		}
 		out.rows = append(out.rows, append([]value.Value(nil), row...))
+		if gov != nil {
+			pendingBytes += estimateRowBytes(row)
+			if len(out.rows)%govStride == 0 {
+				if err := gov.addRows(govStride); err != nil {
+					return nil, err
+				}
+				if err := gov.addBytes(pendingBytes); err != nil {
+					return nil, err
+				}
+				pendingBytes = 0
+			}
+		}
 	}
 }

@@ -35,6 +35,7 @@ func (e *Engine) execSelect(sel *sqlparse.Select, ec execCtx) (*Result, error) {
 	if ec.span != nil {
 		instrumentIter(in)
 	}
+	governIter(in, ec.gov)
 	if ec.inspect != nil {
 		ec.inspect.in = in
 	}
@@ -83,14 +84,14 @@ func (e *Engine) execSelect(sel *sqlparse.Select, ec execCtx) (*Result, error) {
 	switch {
 	case hasWindow(items):
 		consumer = ec.span.NewChild("window")
-		rows, err = e.execWindowSelect(sel, items, in)
+		rows, err = e.execWindowSelect(sel, items, in, ec.gov)
 	case len(sel.GroupBy) > 0 || sel.Having != nil || anyAggregate(items):
 		consumer = ec.span.NewChild("aggregate")
 		attachOps = false
-		rows, err = e.execGroupSelect(sel, items, in, execCtx{par: ec.par, span: consumer})
+		rows, err = e.execGroupSelect(sel, items, in, execCtx{par: ec.par, span: consumer, gov: ec.gov})
 	default:
 		consumer = ec.span.NewChild("project")
-		rows, err = e.execPlainSelect(sel, items, in)
+		rows, err = e.execPlainSelect(sel, items, in, ec.gov)
 	}
 	if consumer != nil {
 		consumer.End()
@@ -113,6 +114,8 @@ func (e *Engine) execSelect(sel *sqlparse.Select, ec execCtx) (*Result, error) {
 	if len(sel.OrderBy) > 0 {
 		sp := ec.span.NewChild("sort")
 		if err := orderRows(rows, sel.OrderBy, names); err != nil {
+			sp.Attr("error", err.Error())
+			sp.End()
 			return nil, err
 		}
 		sp.SetRows(int64(len(rows)), int64(len(rows)))
@@ -281,8 +284,10 @@ func hasWindow(items []sqlparse.SelectItem) bool {
 	return found
 }
 
-// execPlainSelect projects items per input row.
-func (e *Engine) execPlainSelect(sel *sqlparse.Select, items []sqlparse.SelectItem, in iterator) ([][]value.Value, error) {
+// execPlainSelect projects items per input row. The result buffer is
+// materialized state, so a non-nil governor charges it against MaxRows and
+// MaxBytes in govStride batches.
+func (e *Engine) execPlainSelect(sel *sqlparse.Select, items []sqlparse.SelectItem, in iterator, gov *governor) ([][]value.Value, error) {
 	bound := make([]expr.Expr, len(items))
 	for i, it := range items {
 		b, err := bindExpr(it.Expr, in.schema())
@@ -293,12 +298,21 @@ func (e *Engine) execPlainSelect(sel *sqlparse.Select, items []sqlparse.SelectIt
 	}
 	var rows [][]value.Value
 	var box rowBox
+	var pendingBytes int64
 	for {
 		row, ok, err := in.next()
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
+			if gov != nil {
+				if err := gov.addRows(int64(len(rows) % govStride)); err != nil {
+					return nil, err
+				}
+				if err := gov.addBytes(pendingBytes); err != nil {
+					return nil, err
+				}
+			}
 			return rows, nil
 		}
 		out := make([]value.Value, len(bound))
@@ -312,6 +326,18 @@ func (e *Engine) execPlainSelect(sel *sqlparse.Select, items []sqlparse.SelectIt
 			out[i] = v
 		}
 		rows = append(rows, out)
+		if gov != nil {
+			pendingBytes += estimateRowBytes(out)
+			if len(rows)%govStride == 0 {
+				if err := gov.addRows(govStride); err != nil {
+					return nil, err
+				}
+				if err := gov.addBytes(pendingBytes); err != nil {
+					return nil, err
+				}
+				pendingBytes = 0
+			}
+		}
 	}
 }
 
@@ -480,7 +506,7 @@ func (e *Engine) execGroupSelect(sel *sqlparse.Select, items []sqlparse.SelectIt
 // paper's OLAP-extension baseline evaluates percentage queries — and why it
 // is expensive: the full detail relation flows through, and DISTINCT
 // collapses it afterwards.
-func (e *Engine) execWindowSelect(sel *sqlparse.Select, items []sqlparse.SelectItem, in iterator) ([][]value.Value, error) {
+func (e *Engine) execWindowSelect(sel *sqlparse.Select, items []sqlparse.SelectItem, in iterator, gov *governor) ([][]value.Value, error) {
 	if len(sel.GroupBy) > 0 || sel.Having != nil {
 		return nil, fmt.Errorf("engine: window aggregates cannot be combined with GROUP BY")
 	}
@@ -536,7 +562,7 @@ func (e *Engine) execWindowSelect(sel *sqlparse.Select, items []sqlparse.SelectI
 		}
 	}
 
-	input, err := materialize(in)
+	input, err := materialize(in, gov)
 	if err != nil {
 		return nil, err
 	}

@@ -23,6 +23,11 @@ import (
 type execCtx struct {
 	par  int
 	span *obs.Span
+	// gov is the statement's lifecycle governor (lifecycle.go): context,
+	// resource budgets, shared progress counters. Nil for ungoverned
+	// statements (background context, no limits); every governed loop
+	// tolerates nil.
+	gov *governor
 	// inspect, when non-nil, asks execSelect to expose its pipeline for
 	// EXPLAIN ANALYZE rendering.
 	inspect *selInspect
@@ -48,6 +53,14 @@ var (
 	mAggSeqFallback = obs.Default.Counter("engine.agg.seq_fallback")
 	mJoinBuilds     = obs.Default.Counter("engine.join.builds")
 	mJoinIndexReuse = obs.Default.Counter("engine.join.index_reuse")
+	// Lifecycle metrics (lifecycle.go): statements stopped by their context,
+	// statements over a resource limit, panics contained into errors, and
+	// parallel aggregations degraded to sequential under byte-budget
+	// pressure.
+	mCancelled         = obs.Default.Counter("engine.cancelled")
+	mLimitsExceeded    = obs.Default.Counter("engine.limits.exceeded")
+	mPanics            = obs.Default.Counter("engine.panics")
+	mAggBudgetFallback = obs.Default.Counter("engine.agg.budget_fallback")
 )
 
 // slowLog is the slow-query log configuration: statements slower than the
@@ -153,7 +166,13 @@ func operatorSpans(it iterator) *obs.Span {
 		applyStats(sp, n.stats)
 		if b := n.build; b != nil && b.built {
 			bs := obs.NewSpan("join build")
-			bs.SetDuration(time.Duration(b.buildNs))
+			// Floor to 1ns: index reuse and failed builds have buildNs==0,
+			// and Duration==0 is the trace invariant for "unclosed".
+			d := time.Duration(b.buildNs)
+			if d <= 0 {
+				d = 1
+			}
+			bs.SetDuration(d)
 			bs.SetRows(b.buildRows, -1)
 			if b.useIndex {
 				bs.Attr("via", "existing index")
@@ -186,7 +205,13 @@ func applyStats(sp *obs.Span, st *opStats) {
 	if st == nil {
 		return
 	}
-	sp.SetDuration(time.Duration(st.ns))
+	// Floor to 1ns: an operator that was never pulled (early error upstream)
+	// has ns==0, and Duration==0 is the trace invariant for "unclosed".
+	d := time.Duration(st.ns)
+	if d <= 0 {
+		d = 1
+	}
+	sp.SetDuration(d)
 	sp.SetRows(-1, st.rows)
 }
 

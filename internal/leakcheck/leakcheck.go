@@ -1,0 +1,47 @@
+// Package leakcheck fails a test that leaks goroutines. The engine's
+// parallel paths spawn short-lived workers per statement; any execution
+// outcome — success, limit error, cancellation, injected panic — must leave
+// the goroutine count where it started, or repeated queries against a
+// long-lived process pile up stuck workers.
+//
+// Usage, first line of a test (or TestMain for a whole suite):
+//
+//	defer leakcheck.Check(t)()
+//
+// The returned func compares the goroutine count against the snapshot taken
+// at the call, polling briefly to let finished goroutines be reaped before
+// declaring a leak.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the current goroutine count and returns a func that fails
+// t if the count has not returned to (at most) the snapshot within a grace
+// period. Poll-with-retries absorbs the scheduler lag between a worker's
+// last line and its exit.
+func Check(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		var after int
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if after > before {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("leaked %d goroutine(s): %d before, %d after\n%s",
+				after-before, before, after, buf[:n])
+		}
+	}
+}

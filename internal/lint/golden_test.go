@@ -79,6 +79,12 @@ func TestCorpusCoversAllCodes(t *testing.T) {
 		}
 	}
 	for _, ci := range diag.Registry {
+		// Runtime codes (PCT2xx lifecycle errors) are raised by the engine
+		// mid-execution, never by static analysis — the linter cannot emit
+		// them, so the corpus does not cover them.
+		if ci.Runtime {
+			continue
+		}
 		if !seen[ci.Code] {
 			t.Errorf("no corpus case emits %s (%s)", ci.Code, ci.Title)
 		}

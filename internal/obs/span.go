@@ -135,6 +135,36 @@ func (s *Span) Find(substr string) *Span {
 	return nil
 }
 
+// Unclosed returns every span in the tree (s included) that was never
+// finished: its Duration is still zero. End and the engine's external timing
+// both stamp a non-zero duration, so a zero-duration span inside a finished
+// trace is a span leak — an early-return path that skipped End. The
+// trace-invariant tests assert the returned slice is empty for every trace,
+// including error and cancellation paths.
+func (s *Span) Unclosed() []*Span {
+	var out []*Span
+	s.Walk(func(sp *Span) {
+		if sp.Duration == 0 {
+			out = append(out, sp)
+		}
+	})
+	return out
+}
+
+// EndAll finishes every unfinished span in the tree, tagging each with
+// truncated=reason. Panic recovery uses it: unwinding skips the orderly
+// End calls between the panic site and the recover, and the unwound spans
+// cannot be closed at their call sites anymore. Orderly error paths must
+// still End their own spans — EndAll is only for unwinding.
+func (s *Span) EndAll(reason string) {
+	s.Walk(func(sp *Span) {
+		if sp.Duration == 0 {
+			sp.Attr("truncated", reason)
+			sp.End()
+		}
+	})
+}
+
 // Walk visits every span in the tree depth-first, s first.
 func (s *Span) Walk(fn func(*Span)) {
 	if s == nil {

@@ -139,6 +139,12 @@ func (t *Table) AppendRow(vals []value.Value) (int, error) {
 
 func (t *Table) truncColumn(i, n int) {
 	c := t.cols[i]
+	// Clear the null bits of the discarded rows: append trusts the bitmap to
+	// be clean past the end, so a stale bit would make a later row at the
+	// same position read as NULL.
+	for r := n; r < c.len(); r++ {
+		c.nulls.clear(r)
+	}
 	switch c.typ {
 	case TypeInt:
 		c.ints = c.ints[:n]
@@ -149,6 +155,51 @@ func (t *Table) truncColumn(i, n int) {
 	case TypeBool:
 		c.bools = c.bools[:n]
 	}
+}
+
+// TruncateTo discards rows n onward, restoring the table to an earlier row
+// count — the rollback half of the engine's statement-atomic INSERT (append
+// under a savepoint, truncate back on failure). Indexes are rebuilt from
+// the surviving rows. A count at or beyond the current size is a no-op.
+func (t *Table) TruncateTo(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n >= t.nrows {
+		return
+	}
+	for i := range t.cols {
+		t.truncColumn(i, n)
+	}
+	t.nrows = n
+	defs := make([][2]any, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		defs = append(defs, [2]any{ix.Name(), ix.Columns()})
+	}
+	t.indexes = nil
+	for _, d := range defs {
+		// Re-create from surviving rows; errors are impossible for existing
+		// columns.
+		_, _ = t.CreateIndex(d[0].(string), d[1].([]string))
+	}
+}
+
+// EmptyClone returns a new zero-row table with the same name, schema,
+// primary key, and (empty) index definitions. It is the staging half of the
+// engine's statement-atomic table rewrites: build the new contents into the
+// clone, then publish it with Catalog.Put on success, so a mid-statement
+// failure leaves the live table untouched.
+func (t *Table) EmptyClone() *Table {
+	c, err := NewTable(t.name, t.schema)
+	if err != nil {
+		// t's schema was validated when t was created.
+		panic("storage: EmptyClone of invalid table: " + err.Error())
+	}
+	c.primaryKey = append([]int(nil), t.primaryKey...)
+	for _, ix := range t.indexes {
+		_, _ = c.CreateIndex(ix.Name(), ix.Columns())
+	}
+	return c
 }
 
 // Get returns the value at (row, col).

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/leakcheck"
 	"repro/internal/obs"
 )
 
@@ -22,6 +23,7 @@ import (
 // re-checks the trace invariants on every collected trace: positive
 // durations and sum-of-sequential-children never exceeding the parent.
 func TestObservabilityUnderConcurrency(t *testing.T) {
+	defer leakcheck.Check(t)()
 	db := Open()
 	if _, err := db.Exec(`CREATE TABLE f (store INTEGER, dweek INTEGER, amt INTEGER)`); err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@
 package pctagg
 
 import (
+	"context"
 	"errors"
 	"io"
 	"time"
@@ -51,8 +52,15 @@ func (db *DB) SetSlowQueryLog(w io.Writer, threshold time.Duration) {
 // invoked). The trace is returned even when the query fails, annotated with
 // the error.
 func (db *DB) QueryTraced(sql string) (*Rows, *Span, error) {
+	return db.QueryTracedCtx(context.Background(), sql)
+}
+
+// QueryTracedCtx is QueryTraced under a context (see QueryCtx). The trace is
+// returned even when the query is cancelled mid-flight, with every span
+// closed.
+func (db *DB) QueryTracedCtx(ctx context.Context, sql string) (*Rows, *Span, error) {
 	root := newQuerySpan(sql)
-	rows, err := db.queryIn(sql, root)
+	rows, err := db.queryIn(ctx, sql, root)
 	finishQuerySpan(root, err)
 	return rows, root, err
 }
@@ -88,17 +96,18 @@ func countQueryClass(class core.QueryClass) {
 	}
 }
 
-// countQueryError bumps the per-diagnostic-code error counter. Planner
-// rejections carry their PCTxxx code (core.CodedError); parse failures map
-// to the linter's syntax code; anything else (runtime failures) lands in
-// query.errors.other.
+// countQueryError bumps the per-diagnostic-code error counter. Any error
+// carrying a stable PCTxxx code counts under it — planner rejections
+// (core.CodedError) and the engine's typed lifecycle errors (cancellation,
+// deadline, limits, contained panics) alike; parse failures map to the
+// linter's syntax code; anything else lands in query.errors.other.
 func countQueryError(err error) {
 	code := "other"
-	var ce *core.CodedError
+	var coded interface{ Code() string }
 	var se *sqlparse.SyntaxError
 	switch {
-	case errors.As(err, &ce):
-		code = ce.Code()
+	case errors.As(err, &coded):
+		code = coded.Code()
 	case errors.As(err, &se):
 		code = diag.CodeSyntax
 	}

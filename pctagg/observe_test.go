@@ -153,8 +153,12 @@ func TestMetricNamesStable(t *testing.T) {
 	pinned := []string{
 		"core.plans",
 		"core.steps",
+		"engine.agg.budget_fallback",
 		"engine.agg.parallel",
 		"engine.agg.seq_fallback",
+		"engine.cancelled",
+		"engine.limits.exceeded",
+		"engine.panics",
 		"engine.errors",
 		"engine.groups.emitted",
 		"engine.join.builds",

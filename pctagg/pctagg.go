@@ -29,6 +29,7 @@
 package pctagg
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -77,6 +78,20 @@ func (db *DB) SetParallelism(p int) {
 // Parallelism returns the configured aggregation parallelism.
 func (db *DB) Parallelism() int { return db.par }
 
+// Limits bounds the resources one statement may consume; the zero value
+// means unlimited. See engine.Limits for the per-field semantics.
+type Limits = engine.Limits
+
+// SetLimits installs database-wide resource limits enforced on every
+// subsequent statement: row/group/byte budgets fail the statement with a
+// typed PCT2xx error instead of exhausting memory, MaxPivotColumns rejects
+// oversized horizontal layouts at plan time, and Timeout applies a
+// per-statement deadline. The zero value removes all limits.
+func (db *DB) SetLimits(l Limits) { db.eng.SetLimits(l) }
+
+// Limits returns the database-wide resource limits.
+func (db *DB) Limits() Limits { return db.eng.Limits() }
+
 // Rows is a query result: column names and row data. Values are plain Go
 // types: nil (SQL NULL), int64, float64, string, bool.
 type Rows struct {
@@ -101,7 +116,14 @@ func (r *Rows) String() string {
 // UPDATE, or queries whose results are discarded) and returns the affected
 // row count of the last statement.
 func (db *DB) Exec(sql string) (int64, error) {
-	res, err := db.eng.ExecSQL(sql)
+	return db.ExecCtx(context.Background(), sql)
+}
+
+// ExecCtx is Exec under a context: cancelling ctx stops the running
+// statement cooperatively with a typed error, leaving its target table
+// unchanged (statements are atomic — they commit fully or not at all).
+func (db *DB) ExecCtx(ctx context.Context, sql string) (int64, error) {
+	res, err := db.eng.ExecSQLCtx(ctx, sql)
 	if err != nil {
 		return 0, err
 	}
@@ -113,11 +135,20 @@ func (db *DB) Exec(sql string) (int64, error) {
 // evaluated with the configured strategies. With a trace sink attached (see
 // SetTraceSink) each call also emits an execution trace.
 func (db *DB) Query(sql string) (*Rows, error) {
+	return db.QueryCtx(context.Background(), sql)
+}
+
+// QueryCtx is Query under a context: cancelling ctx stops the in-flight
+// query cooperatively — scans, joins, folds, and parallel workers all check
+// it — and returns a typed cancellation error (PCT200, or PCT201 past a
+// deadline). Resource limits installed with SetLimits are enforced the same
+// way.
+func (db *DB) QueryCtx(ctx context.Context, sql string) (*Rows, error) {
 	var root *Span
 	if db.sink != nil {
 		root = newQuerySpan(sql)
 	}
-	rows, err := db.queryIn(sql, root)
+	rows, err := db.queryIn(ctx, sql, root)
 	if root != nil {
 		finishQuerySpan(root, err)
 		db.sink(root)
@@ -128,7 +159,7 @@ func (db *DB) Query(sql string) (*Rows, error) {
 // queryIn is the Query body. root, when non-nil, receives the trace: parse
 // and plan spans, then either the engine statement span (standard SQL) or
 // the planner's full plan trace (percentage/horizontal queries).
-func (db *DB) queryIn(sql string, root *Span) (*Rows, error) {
+func (db *DB) queryIn(ctx context.Context, sql string, root *Span) (*Rows, error) {
 	ps := root.NewChild("parse")
 	stmt, err := sqlparse.Parse(sql)
 	ps.End()
@@ -148,7 +179,7 @@ func (db *DB) queryIn(sql string, root *Span) (*Rows, error) {
 			// shows the recorded trace.
 			return db.explainPlanned(ex, root)
 		}
-		res, err := db.eng.ExecuteIn(ex, db.par, root)
+		res, err := db.eng.ExecuteCtxIn(ctx, ex, db.par, root)
 		if err != nil {
 			countQueryError(err)
 			return nil, err
@@ -171,9 +202,9 @@ func (db *DB) queryIn(sql string, root *Span) (*Rows, error) {
 	countQueryClass(class)
 	var res *engine.Result
 	if class == core.ClassStandard {
-		res, err = db.eng.ExecuteIn(sel, db.par, root)
+		res, err = db.eng.ExecuteCtxIn(ctx, sel, db.par, root)
 	} else {
-		res, err = db.queryPlanned(sel, root)
+		res, err = db.queryPlanned(ctx, sel, root)
 	}
 	if err != nil {
 		countQueryError(err)
@@ -204,12 +235,16 @@ func (db *DB) planFor(sel *sqlparse.Select) (*core.Plan, error) {
 		}
 	}
 	opts.Parallelism = db.par
+	// The database-wide limits are stamped on the plan so plan-time checks
+	// (MaxPivotColumns) see them; per-step enforcement resolves the same
+	// limits either way.
+	opts.Limits = db.eng.Limits()
 	return db.planner.Plan(sel, opts)
 }
 
 // queryPlanned evaluates a percentage/horizontal SELECT through the planner,
 // nesting the plan's trace under root when tracing.
-func (db *DB) queryPlanned(sel *sqlparse.Select, root *Span) (*engine.Result, error) {
+func (db *DB) queryPlanned(ctx context.Context, sel *sqlparse.Select, root *Span) (*engine.Result, error) {
 	pls := root.NewChild("plan")
 	plan, err := db.planFor(sel)
 	pls.End()
@@ -217,9 +252,9 @@ func (db *DB) queryPlanned(sel *sqlparse.Select, root *Span) (*engine.Result, er
 		return nil, err
 	}
 	if root == nil {
-		return db.planner.Execute(plan)
+		return db.planner.ExecuteCtx(ctx, plan)
 	}
-	res, planSpan, err := db.planner.ExecuteTraced(plan)
+	res, planSpan, err := db.planner.ExecuteTracedCtx(ctx, plan)
 	root.AddChild(planSpan)
 	return res, err
 }
