@@ -201,6 +201,66 @@ func BenchmarkParallelHpctGOMAXPROCS(b *testing.B) {
 	runHpct(b, core.Options{Parallelism: 0})
 }
 
+// ---- Summary cache: steady-state hits and incremental delta refresh ----
+
+// cacheBenchSuite loads a private suite: the cache benchmarks enable
+// sharing and mutate sales, which must not leak into the shared suite the
+// other benchmarks time.
+func cacheBenchSuite(b *testing.B) *bench.Suite {
+	b.Helper()
+	s, err := bench.NewSuite(bench.SmallConfig(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Ensure("sales"); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+const cacheBenchQuery = "SELECT dweek, monthNo, dept, Vpct(salesAmt BY dept) FROM sales GROUP BY dweek, monthNo, dept"
+
+// BenchmarkCacheHit times the steady state: the summaries are built once
+// before the timer, so every iteration serves both Fk and Fj as clean hits.
+func BenchmarkCacheHit(b *testing.B) {
+	s := cacheBenchSuite(b)
+	opts := core.Options{Vpct: core.VpctOptions{SubkeyIndexes: true}}
+	s.Planner.ShareSummaries(true)
+	defer s.Planner.ShareSummaries(false)
+	if _, err := s.TimeQuery(cacheBenchQuery, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TimeQuery(cacheBenchQuery, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeltaApply times incremental maintenance: each iteration
+// appends one row through the engine (the DML hook records the delta) and
+// re-runs the query, so the refresh rolls up one row and merges it instead
+// of rescanning sales.
+func BenchmarkDeltaApply(b *testing.B) {
+	s := cacheBenchSuite(b)
+	opts := core.Options{Vpct: core.VpctOptions{SubkeyIndexes: true}}
+	s.Planner.ShareSummaries(true)
+	defer s.Planner.ShareSummaries(false)
+	if _, err := s.TimeQuery(cacheBenchQuery, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Eng.ExecSQL("INSERT INTO sales VALUES (0,0,1,1,0,0,0,1,10)"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.TimeQuery(cacheBenchQuery, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---- Ablation: CASE evaluation vs the proposed hash pivot ----
 
 func BenchmarkAblationHpctCASE(b *testing.B) {

@@ -6,6 +6,7 @@
 //	pctbench                       # all tables, medium scale
 //	pctbench -table 4              # only Table 4
 //	pctbench -table parallel       # sequential vs parallel aggregation
+//	pctbench -table cache          # summary cache: cold vs cached vs delta
 //	pctbench -scale small|medium|paper
 //	pctbench -reps 3               # average over repetitions
 //	pctbench -o results.txt        # also write to a file
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	scale := flag.String("scale", "medium", "data scale: small, medium, or paper")
-	table := flag.String("table", "all", "which table to run: 4, 5, 6, h3, ablation, parallel, or all")
+	table := flag.String("table", "all", "which table to run: 4, 5, 6, h3, ablation, update, shared, parallel, cache, or all")
 	reps := flag.Int("reps", 1, "repetitions per measurement (the paper used 5)")
 	out := flag.String("o", "", "also write results to this file")
 	jsonOut := flag.String("json", "", "also write timings to this file as JSON")
@@ -101,6 +102,7 @@ func main() {
 		{"update", s.RunAblationUpdate},
 		{"shared", s.RunAblationShared},
 		{"parallel", s.RunTableParallel},
+		{"cache", s.RunTableCache},
 	}
 	want := strings.ToLower(*table)
 	ran := want == "none" // -table none: only side outputs like -breakdown
@@ -122,7 +124,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "pctbench: unknown table %q (4, 5, 6, h3, ablation, update, parallel, all, none)\n", *table)
+		fmt.Fprintf(os.Stderr, "pctbench: unknown table %q (4, 5, 6, h3, ablation, update, shared, parallel, cache, all, none)\n", *table)
 		os.Exit(2)
 	}
 	if *jsonOut != "" {

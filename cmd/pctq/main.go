@@ -24,6 +24,7 @@
 //	\timing             toggle per-statement wall-time reporting
 //	\trace on|off       print the execution trace after each query
 //	\stats              dump the process metrics registry as JSON
+//	\cache [on|off|flush]  summary cache: show stats, toggle, or flush
 //	\import <table> <file.csv>   load a CSV (header row, schema inferred)
 //	\export <file.csv> <query>   write a query result as CSV
 //	\save <file>        snapshot every table to a file
@@ -89,6 +90,7 @@ type shell struct {
 	db      *pctagg.DB
 	timing  bool
 	trace   bool
+	cache   bool
 	timeout time.Duration
 }
 
@@ -247,6 +249,28 @@ func (sh *shell) meta(cmd string) bool {
 		fmt.Printf("trace %s\n", onOff(sh.trace))
 	case "\\stats":
 		fmt.Println(db.MetricsJSON())
+	case "\\cache":
+		switch {
+		case len(fields) == 1:
+			s := db.SummaryCacheStats()
+			fmt.Printf("summary cache %s\n", onOff(sh.cache))
+			fmt.Printf("hits=%d misses=%d invalidations=%d delta_applied=%d delta_fallback=%d fj_rollups=%d\n",
+				s.Hits, s.Misses, s.Invalidations, s.DeltaApplied, s.DeltaFallback, s.FjRollups)
+		case fields[1] == "on":
+			sh.cache = true
+			db.EnableSummaryCache(true)
+			fmt.Println("summary cache on")
+		case fields[1] == "off":
+			sh.cache = false
+			db.EnableSummaryCache(false)
+			db.FlushSummaries()
+			fmt.Println("summary cache off (summaries flushed)")
+		case fields[1] == "flush":
+			db.FlushSummaries()
+			fmt.Println("summaries flushed")
+		default:
+			fmt.Fprintln(os.Stderr, "usage: \\cache [on|off|flush]")
+		}
 	case "\\dt":
 		for _, t := range db.Tables() {
 			fmt.Println(t)

@@ -47,6 +47,14 @@ const (
 	// InsertSink fires before each row is appended to the staging table of
 	// an INSERT; After addresses the Nth row.
 	InsertSink = "engine.insert.sink"
+	// CacheDelta fires for each delta row re-aggregated during incremental
+	// maintenance of a cached summary; After addresses the Nth row. A fault
+	// here must degrade the cache to a rebuild, never to a stale read.
+	CacheDelta = "core.cache.delta"
+	// CacheMerge fires for each group merged from a delta rollup into a
+	// cached summary; After addresses the Nth group. Same degradation
+	// contract as CacheDelta.
+	CacheMerge = "core.cache.merge"
 )
 
 // points is the closed set of valid fault-point names.
@@ -56,6 +64,8 @@ var points = map[string]bool{
 	AggMerge:   true,
 	PivotAlloc: true,
 	InsertSink: true,
+	CacheDelta: true,
+	CacheMerge: true,
 }
 
 // Fault describes one injected failure. Exactly one of Err and Panic is

@@ -255,6 +255,8 @@ func TestPointsRegistryClosed(t *testing.T) {
 		chaos.AggMerge:   true,
 		chaos.PivotAlloc: true,
 		chaos.InsertSink: true,
+		chaos.CacheDelta: true,
+		chaos.CacheMerge: true,
 	}
 	got := chaos.Points()
 	if len(got) != len(want) {

@@ -1,0 +1,721 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/obs"
+	"repro/internal/value"
+)
+
+// The summary cache turns the paper's batch-evaluation idea (shared Fk/Fj
+// summaries across percentage queries) into a DML-aware materialized cache:
+// entries are stamped with the base table's modification epoch (see
+// internal/storage), an engine DML hook tracks appended row ranges, and
+// distributive aggregates (sum, count, min, max — the classes Gray et al.
+// identify as cheap to maintain) are refreshed by aggregating only the new
+// rows and merging, exactly the way the parallel fold merges per-partition
+// accumulators. Non-distributive summaries (avg, DISTINCT) and in-place
+// mutations (UPDATE/DELETE) invalidate the entry, degrading to a rebuild —
+// the cache may redo work but never serves a stale percentage.
+
+// Cache metrics (see internal/obs). Hits count plans served from a cached
+// summary (clean or via delta); invalidations count entries discarded after
+// DML the delta path cannot cover; delta_fallback counts incremental
+// refreshes that degraded to a rebuild after a fault.
+var (
+	mCacheHits          = obs.Default.Counter("cache.hits")
+	mCacheMisses        = obs.Default.Counter("cache.misses")
+	mCacheInvalidations = obs.Default.Counter("cache.invalidations")
+	mCacheDeltaApplied  = obs.Default.Counter("cache.delta_applied")
+	mCacheDeltaFallback = obs.Default.Counter("cache.delta_fallback")
+	mCacheFjRollups     = obs.Default.Counter("cache.fj_rollup")
+)
+
+// CacheStats is a snapshot of the planner's summary-cache counters.
+type CacheStats struct {
+	// Hits counts plans that reused a cached summary, including ones
+	// refreshed incrementally on the way.
+	Hits int64
+	// Misses counts summaries built (and registered) from scratch.
+	Misses int64
+	// Invalidations counts entries discarded because DML outran the delta
+	// path (UPDATE/DELETE/DROP, non-distributive aggregates, or writes that
+	// bypassed the engine).
+	Invalidations int64
+	// DeltaApplied counts incremental refreshes: aggregate only the
+	// appended rows, merge into the cached summary.
+	DeltaApplied int64
+	// DeltaFallback counts incremental refreshes that degraded to a full
+	// rebuild after a fault mid-delta.
+	DeltaFallback int64
+	// FjRollups counts coarse Fj summaries derived from a cached fine Fk —
+	// the paper's Fj-from-Fk derivation applied across statements.
+	FjRollups int64
+}
+
+// CacheStats returns a snapshot of the summary-cache counters.
+func (p *Planner) CacheStats() CacheStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cstats
+}
+
+// mergeOp says how a summary column combines across disjoint row partitions.
+type mergeOp int
+
+const (
+	mergeAdd mergeOp = iota // sum, count
+	mergeMin
+	mergeMax
+)
+
+// mergeOpFor classifies an aggregate call for incremental maintenance.
+// DISTINCT and avg are not distributive over row partitions, so summaries
+// containing them rebuild on DML instead.
+func mergeOpFor(call *expr.AggCall) (mergeOp, bool) {
+	if call.Distinct {
+		return 0, false
+	}
+	switch call.Fn {
+	case expr.AggSum, expr.AggCount:
+		return mergeAdd, true
+	case expr.AggMin:
+		return mergeMin, true
+	case expr.AggMax:
+		return mergeMax, true
+	default:
+		return 0, false
+	}
+}
+
+// deltaMeta is everything needed to refresh a summary without replanning:
+// the statement shape of its build (re-aggregated over just the delta rows,
+// or over the full base table on rebuild) and the per-column merge ops.
+type deltaMeta struct {
+	base    string // base table F
+	where   string // " WHERE …" or ""
+	groupBy string // " GROUP BY …" or ""
+	selects string // rendered select list of the build INSERT
+	colDefs string // rendered column list of the summary's CREATE TABLE
+	nGroup  int    // leading group-key columns; the rest are aggregates
+	merges  []mergeOp
+}
+
+// summaryEntry is one cached summary. All fields are guarded by the
+// planner's mu; epochs and row counts refer to the base table.
+type summaryEntry struct {
+	key       string
+	table     string
+	baseTable string // lowercased
+	delta     *deltaMeta
+
+	built   bool // the table exists and holds the summary
+	invalid bool // DML outran the delta path; discard on next lookup
+
+	epoch    int64 // base epoch the summary reflects
+	baseRows int   // base row count the summary reflects
+
+	// Pending appended rows [pendFrom, pendTo) not yet folded in;
+	// pendEpoch is the base epoch after the last tracked append.
+	pendFrom, pendTo int
+	pendEpoch        int64
+
+	// gen counts every DML-hook touch of this entry. Build paths that scan
+	// the live base table snapshot it before reading the epoch and refuse
+	// to publish as valid if it moved — a write landing mid-scan may or may
+	// not be in the result, so the entry must not claim to cover it.
+	gen int64
+
+	// capGen/capEpoch/capRows are the snapshot taken by the capture step
+	// before a from-scratch build scans the base table.
+	capGen, capEpoch int64
+	capRows          int
+}
+
+// cacheMode classifies a plan-time cache lookup.
+type cacheMode int
+
+const (
+	cacheOff      cacheMode = iota // sharing disabled: plain temp table
+	cacheMiss                      // build from scratch, then publish
+	cacheHitClean                  // cached table is current: use it as is
+	cacheHitDelta                  // refresh incrementally into a new table
+)
+
+// cacheDMLHook feeds committed DML into the planner's summary cache. It is
+// installed on the engine by ShareSummaries(true).
+type cacheDMLHook struct{ p *Planner }
+
+func (h *cacheDMLHook) OnInsert(table string, from, to int, preEp, postEp int64) {
+	h.p.cacheOnInsert(table, from, to, preEp, postEp)
+}
+func (h *cacheDMLHook) OnMutate(table, op string) { h.p.cacheOnMutate(table, op) }
+
+// cacheOnInsert records a committed append [from, to) against every summary
+// over the table: deltable entries extend their pending range, the rest are
+// invalidated. Runs on the writer's goroutine, post-commit.
+func (p *Planner) cacheOnInsert(table string, from, to int, preEp, postEp int64) {
+	lower := strings.ToLower(table)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.summaries {
+		if e.baseTable != lower {
+			continue
+		}
+		e.gen++
+		if !e.built || e.invalid {
+			continue
+		}
+		if e.delta == nil {
+			p.invalidateLocked(e)
+			continue
+		}
+		// The append is only mergeable if it extends exactly the state the
+		// entry covers: the summary plus any pending range, at the epoch
+		// observed when that coverage was established. A row-count match
+		// alone is not enough — an unhooked write (a direct storage Set, an
+		// in-place rewrite) can leave the count intact while changing rows
+		// the summary already folded, and only the epoch betrays it.
+		covEpoch, covRows := e.epoch, e.baseRows
+		if e.pendTo > e.pendFrom {
+			covEpoch, covRows = e.pendEpoch, e.pendTo
+		}
+		if preEp != covEpoch || from != covRows {
+			p.invalidateLocked(e)
+			continue
+		}
+		if e.pendTo == e.pendFrom {
+			e.pendFrom = from
+		}
+		e.pendTo = to
+		e.pendEpoch = postEp
+	}
+}
+
+// cacheOnMutate invalidates every summary over a table that was updated,
+// deleted from, or dropped — mutations the delta path cannot cover.
+func (p *Planner) cacheOnMutate(table, op string) {
+	_ = op
+	lower := strings.ToLower(table)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.summaries {
+		if e.baseTable != lower {
+			continue
+		}
+		e.gen++
+		if e.built && !e.invalid {
+			p.invalidateLocked(e)
+		}
+	}
+}
+
+func (p *Planner) invalidateLocked(e *summaryEntry) {
+	e.invalid = true
+	p.cstats.Invalidations++
+	mCacheInvalidations.Inc()
+}
+
+// cacheLookup consults the cache at plan time. fresh is the temp-table name
+// the plan would use if it has to build; base is the summary's base table.
+// On cacheMiss the returned entry is provisionally registered — the plan
+// must run a capture step before and a publish step after the build, and
+// cleanup abandons unpublished registrations (an EXPLAINed or failed plan
+// must not poison the cache). On cacheHitDelta the returned entry is the
+// live one; the plan refreshes it into fresh via cacheDeltaStep.
+func (p *Planner) cacheLookup(key, fresh, base string, meta *deltaMeta) (string, cacheMode, *summaryEntry) {
+	// Read the base epoch before taking p.mu: the DML hook takes p.mu while
+	// never holding the catalog lock, and this ordering keeps it that way.
+	var cur int64
+	haveEpoch := false
+	if t, err := p.Eng.Catalog().Get(base); err == nil {
+		cur, haveEpoch = t.Epoch(), true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.shareSummaries {
+		return fresh, cacheOff, nil
+	}
+	if e, ok := p.summaries[key]; ok {
+		if e.built && !e.invalid && haveEpoch {
+			if cur == e.epoch {
+				p.cstats.Hits++
+				mCacheHits.Inc()
+				return e.table, cacheHitClean, e
+			}
+			if e.delta != nil && e.pendTo > e.pendFrom && cur == e.pendEpoch {
+				p.cstats.Hits++
+				mCacheHits.Inc()
+				return fresh, cacheHitDelta, e
+			}
+			// Stale beyond what the delta covers (a write bypassed the
+			// engine, or raced the lookup).
+			p.invalidateLocked(e)
+		}
+		// Discard: unbuilt leftovers from a plan that never executed, or
+		// invalidated entries. Their tables stay on the flush list.
+		delete(p.summaries, key)
+	}
+	p.cstats.Misses++
+	mCacheMisses.Inc()
+	ne := &summaryEntry{key: key, table: fresh, baseTable: strings.ToLower(base), delta: meta}
+	p.summaries[key] = ne
+	p.summaryDrops = append(p.summaryDrops, fresh)
+	return fresh, cacheMiss, ne
+}
+
+// cacheAbandon forgets every provisional registration the plan never
+// published: EXPLAIN plans and failed builds must not leave entries that a
+// later plan would trust. Runs from plan cleanup.
+func (p *Planner) cacheAbandon(plan *Plan) {
+	if len(plan.cacheRegs) == 0 {
+		return
+	}
+	regs := plan.cacheRegs
+	plan.cacheRegs = nil
+	var drops []string
+	p.mu.Lock()
+	for _, e := range regs {
+		if e.built {
+			continue
+		}
+		if cur, ok := p.summaries[e.key]; ok && cur == e {
+			delete(p.summaries, e.key)
+		}
+		drops = append(drops, e.table)
+	}
+	p.mu.Unlock()
+	for _, t := range drops {
+		_, _ = p.Eng.ExecSQL("DROP TABLE IF EXISTS " + t)
+	}
+}
+
+// cacheCaptureStep snapshots the base table's epoch, row count, and the
+// entry's hook generation before a from-scratch build scans it. The publish
+// step compares generations: if DML touched the entry mid-build, the result
+// may or may not contain those rows, so it publishes as invalid.
+func (p *Planner) cacheCaptureStep(e *summaryEntry, base string) Step {
+	return Step{
+		Purpose: "cache: snapshot base-table epoch",
+		native: func(_ context.Context, eng *engine.Engine, _ int, _ *obs.Span) error {
+			p.mu.Lock()
+			gen := e.gen
+			p.mu.Unlock()
+			t, err := eng.Catalog().Get(base)
+			if err != nil {
+				return err
+			}
+			ep, rows := t.Epoch(), t.NumRows()
+			p.mu.Lock()
+			e.capGen, e.capEpoch, e.capRows = gen, ep, rows
+			p.mu.Unlock()
+			return nil
+		},
+	}
+}
+
+// cachePublishStep marks a freshly built summary live.
+func (p *Planner) cachePublishStep(e *summaryEntry, what string) Step {
+	return Step{
+		Purpose: "cache: publish " + what + " summary",
+		native: func(_ context.Context, _ *engine.Engine, _ int, _ *obs.Span) error {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			e.built = true
+			e.epoch = e.capEpoch
+			e.baseRows = e.capRows
+			if e.gen != e.capGen {
+				// DML raced the build scan; don't trust the snapshot.
+				p.invalidateLocked(e)
+			}
+			return nil
+		},
+	}
+}
+
+// cacheHitStep is the no-op marker step a clean cache hit leaves in the
+// plan, so EXPLAIN and traces show where a summary was reused.
+func cacheHitStep(what, table string) Step {
+	return Step{
+		Purpose: "cache: reuse shared " + what + " summary " + table,
+		native: func(context.Context, *engine.Engine, int, *obs.Span) error {
+			return nil
+		},
+	}
+}
+
+// cacheDeltaStep refreshes a cached summary into newT: incrementally when
+// the pending delta still applies at execution time, by copy when another
+// plan already refreshed it, by rebuild otherwise. Either way the step ends
+// with newT holding a correct summary for this plan's later steps, and the
+// entry republished to point at it.
+func (p *Planner) cacheDeltaStep(e *summaryEntry, newT, what string) Step {
+	return Step{
+		Purpose: "cache: refresh " + what + " summary incrementally",
+		native: func(ctx context.Context, eng *engine.Engine, parallelism int, sp *obs.Span) error {
+			return p.applyCacheDelta(ctx, eng, parallelism, sp, e, newT)
+		},
+	}
+}
+
+// cacheStride mirrors the engine's governor stride: native cache loops
+// check cancellation once per this many rows.
+const cacheStride = 1024
+
+// publish modes for cachePublishReplace.
+const (
+	pubPreserve = iota // keep the entry's invalid flag as is
+	pubValid           // mark valid (rebuild that saw no racing DML)
+	pubInvalid         // mark invalid (rebuild raced DML)
+)
+
+// cachePublishReplace points the entry at newT, which reflects the base
+// table at (epoch, rows), trimming any pending delta the refresh consumed.
+// The replaced table is not dropped here — concurrently executing plans may
+// still reference it; FlushSummaries drops everything it ever registered.
+func (p *Planner) cachePublishReplace(e *summaryEntry, newT string, epoch int64, rows int, mode int, applied bool) {
+	p.mu.Lock()
+	if p.summaries[e.key] == e {
+		e.built = true
+		e.table = newT
+		e.epoch = epoch
+		e.baseRows = rows
+		switch mode {
+		case pubValid:
+			e.invalid = false
+		case pubInvalid:
+			if !e.invalid {
+				p.invalidateLocked(e)
+			}
+		}
+		if e.pendTo <= rows {
+			e.pendFrom, e.pendTo, e.pendEpoch = 0, 0, 0
+		} else if e.pendFrom < rows {
+			e.pendFrom = rows
+		}
+	}
+	p.summaryDrops = append(p.summaryDrops, newT)
+	if applied {
+		p.cstats.DeltaApplied++
+	}
+	p.mu.Unlock()
+	if applied {
+		mCacheDeltaApplied.Inc()
+	}
+}
+
+// cacheSnap is an immutable view of an entry taken under p.mu.
+type cacheSnap struct {
+	table     string
+	epoch     int64
+	baseRows  int
+	from, to  int
+	pendEpoch int64
+	live      bool
+}
+
+func (p *Planner) applyCacheDelta(ctx context.Context, eng *engine.Engine, parallelism int, sp *obs.Span, e *summaryEntry, newT string) error {
+	p.mu.Lock()
+	meta := e.delta
+	st := cacheSnap{
+		table: e.table, epoch: e.epoch, baseRows: e.baseRows,
+		from: e.pendFrom, to: e.pendTo, pendEpoch: e.pendEpoch,
+		live: e.built && !e.invalid,
+	}
+	p.mu.Unlock()
+	if meta == nil {
+		return fmt.Errorf("core: cache entry %q has no delta metadata", e.key)
+	}
+	base, err := eng.Catalog().Get(meta.base)
+	if err != nil {
+		return err
+	}
+	cur, curRows := base.Epoch(), base.NumRows()
+
+	if st.live && cur == st.epoch {
+		// Another plan already refreshed the entry; copy its table.
+		return p.cacheCopy(ctx, eng, parallelism, sp, e, meta, st, newT)
+	}
+	if st.live && st.to > st.from && st.from == st.baseRows && cur == st.pendEpoch && st.to <= curRows {
+		err := p.cacheDeltaMerge(ctx, eng, parallelism, sp, e, meta, st, newT)
+		if err == nil {
+			return nil
+		}
+		if isLifecycleErr(err) {
+			return err
+		}
+		// Injected or internal fault mid-delta: degrade to a rebuild. The
+		// entry is untouched (the delta publishes last), so this can never
+		// leave a stale or half-merged summary behind.
+		p.mu.Lock()
+		p.cstats.DeltaFallback++
+		p.mu.Unlock()
+		mCacheDeltaFallback.Inc()
+		if sp != nil {
+			sp.Attr("cache.fallback", err.Error())
+		}
+	}
+	return p.cacheRebuild(ctx, eng, parallelism, sp, e, meta, newT)
+}
+
+// cacheCopy materializes newT as a row-order copy of the current cache
+// table. Row order is preserved, so results are identical to reusing the
+// table directly.
+func (p *Planner) cacheCopy(ctx context.Context, eng *engine.Engine, parallelism int, sp *obs.Span, e *summaryEntry, meta *deltaMeta, st cacheSnap, newT string) error {
+	ok := false
+	defer func() {
+		if !ok {
+			_, _ = eng.ExecSQL("DROP TABLE IF EXISTS " + newT)
+		}
+	}()
+	if _, err := eng.ExecSQLCtxIn(ctx, fmt.Sprintf("CREATE TABLE %s (%s)", newT, meta.colDefs), 1, sp); err != nil {
+		return err
+	}
+	if _, err := eng.ExecSQLCtxIn(ctx, fmt.Sprintf("INSERT INTO %s SELECT * FROM %s", newT, st.table), parallelism, sp); err != nil {
+		return err
+	}
+	p.cachePublishReplace(e, newT, st.epoch, st.baseRows, pubPreserve, false)
+	ok = true
+	return nil
+}
+
+// cacheDeltaMerge refreshes the summary incrementally: copy the appended
+// base rows [st.from, st.to) into a scratch table, re-aggregate them with
+// the summary's own build statement (the scratch table aliased as the base
+// so WHERE and select references resolve), and merge the rollup into a new
+// copy of the cached table with the same distributive merge the parallel
+// fold uses. Existing groups keep their positions and brand-new groups
+// append in first-appearance order, so the result is byte-identical to a
+// cold aggregation over the full table.
+func (p *Planner) cacheDeltaMerge(ctx context.Context, eng *engine.Engine, parallelism int, sp *obs.Span, e *summaryEntry, meta *deltaMeta, st cacheSnap, newT string) error {
+	deltaT := p.temp("cdelta")
+	rollT := p.temp("croll")
+	ok := false
+	defer func() {
+		_, _ = eng.ExecSQL("DROP TABLE IF EXISTS " + deltaT)
+		_, _ = eng.ExecSQL("DROP TABLE IF EXISTS " + rollT)
+		if !ok {
+			_, _ = eng.ExecSQL("DROP TABLE IF EXISTS " + newT)
+		}
+	}()
+
+	// 1. Snapshot the delta rows. The base table only ever grows under the
+	// hook's watch (anything else invalidates), so [from, to) is stable.
+	base, err := eng.Catalog().Get(meta.base)
+	if err != nil {
+		return err
+	}
+	bsch := base.Schema()
+	defs := make([]string, len(bsch))
+	for i, c := range bsch {
+		defs[i] = colDef(c.Name, c.Type)
+	}
+	if _, err := eng.ExecSQLCtxIn(ctx, fmt.Sprintf("CREATE TABLE %s (%s)", deltaT, strings.Join(defs, ", ")), 1, sp); err != nil {
+		return err
+	}
+	dst, err := eng.Catalog().Get(deltaT)
+	if err != nil {
+		return err
+	}
+	var rowBuf []value.Value
+	for r := st.from; r < st.to; r++ {
+		if (r-st.from)%cacheStride == 0 {
+			if err := engine.CheckCtx(ctx); err != nil {
+				return err
+			}
+		}
+		if err := chaos.HitN(chaos.CacheDelta, r-st.from+1); err != nil {
+			return err
+		}
+		rowBuf = base.Row(r, rowBuf)
+		if _, err := dst.AppendRow(rowBuf); err != nil {
+			return err
+		}
+	}
+
+	// 2. Re-aggregate just the delta, governed like any statement.
+	if _, err := eng.ExecSQLCtxIn(ctx, fmt.Sprintf("CREATE TABLE %s (%s)", rollT, meta.colDefs), 1, sp); err != nil {
+		return err
+	}
+	rollSQL := fmt.Sprintf("INSERT INTO %s SELECT %s FROM %s %s%s%s",
+		rollT, meta.selects, deltaT, quoteIdent(meta.base), meta.where, meta.groupBy)
+	if _, err := eng.ExecSQLCtxIn(ctx, rollSQL, parallelism, sp); err != nil {
+		return err
+	}
+
+	// 3. Merge into a new copy. Copy-on-write keeps concurrent plans that
+	// hold the old table name safe; the old table is dropped at flush.
+	old, err := eng.Catalog().Get(st.table)
+	if err != nil {
+		return err
+	}
+	roll, err := eng.Catalog().Get(rollT)
+	if err != nil {
+		return err
+	}
+	n := meta.nGroup
+	merged := make([][]value.Value, 0, old.NumRows()+roll.NumRows())
+	pos := make(map[string]int, old.NumRows())
+	for r := 0; r < old.NumRows(); r++ {
+		if r%cacheStride == 0 {
+			if err := engine.CheckCtx(ctx); err != nil {
+				return err
+			}
+		}
+		row := old.Row(r, nil)
+		pos[value.EncodeKeyString(row[:n]...)] = len(merged)
+		merged = append(merged, row)
+	}
+	for r := 0; r < roll.NumRows(); r++ {
+		if err := chaos.HitN(chaos.CacheMerge, r+1); err != nil {
+			return err
+		}
+		row := roll.Row(r, nil)
+		key := value.EncodeKeyString(row[:n]...)
+		if i, exists := pos[key]; exists {
+			at := merged[i]
+			for c := n; c < len(row); c++ {
+				at[c] = mergeValues(meta.merges[c-n], at[c], row[c])
+			}
+			continue
+		}
+		pos[key] = len(merged)
+		merged = append(merged, row)
+	}
+	if _, err := eng.ExecSQLCtxIn(ctx, fmt.Sprintf("CREATE TABLE %s (%s)", newT, meta.colDefs), 1, sp); err != nil {
+		return err
+	}
+	out, err := eng.Catalog().Get(newT)
+	if err != nil {
+		return err
+	}
+	for i, row := range merged {
+		if i%cacheStride == 0 {
+			if err := engine.CheckCtx(ctx); err != nil {
+				return err
+			}
+		}
+		if _, err := out.AppendRow(row); err != nil {
+			return err
+		}
+	}
+
+	// 4. Publish. newT reflects the base at the captured pending epoch;
+	// appends that landed during the merge stay pending and chain off it.
+	p.cachePublishReplace(e, newT, st.pendEpoch, st.to, pubPreserve, true)
+	ok = true
+	if sp != nil {
+		sp.AttrInt("cache.delta_rows", int64(st.to-st.from))
+		sp.AttrInt("cache.merged_groups", int64(roll.NumRows()))
+	}
+	return nil
+}
+
+// cacheRebuild recomputes the summary from the live base table — the
+// degradation path for non-distributive summaries, UPDATE/DELETE, writes
+// that bypassed the hook, and faults mid-delta.
+func (p *Planner) cacheRebuild(ctx context.Context, eng *engine.Engine, parallelism int, sp *obs.Span, e *summaryEntry, meta *deltaMeta, newT string) error {
+	ok := false
+	defer func() {
+		if !ok {
+			_, _ = eng.ExecSQL("DROP TABLE IF EXISTS " + newT)
+		}
+	}()
+	p.mu.Lock()
+	gen0 := e.gen
+	p.mu.Unlock()
+	base, err := eng.Catalog().Get(meta.base)
+	if err != nil {
+		return err
+	}
+	preEpoch, preRows := base.Epoch(), base.NumRows()
+	if _, err := eng.ExecSQLCtxIn(ctx, fmt.Sprintf("CREATE TABLE %s (%s)", newT, meta.colDefs), 1, sp); err != nil {
+		return err
+	}
+	buildSQL := fmt.Sprintf("INSERT INTO %s SELECT %s FROM %s%s%s",
+		newT, meta.selects, meta.base, meta.where, meta.groupBy)
+	if _, err := eng.ExecSQLCtxIn(ctx, buildSQL, parallelism, sp); err != nil {
+		return err
+	}
+	mode := pubValid
+	p.mu.Lock()
+	raced := e.gen != gen0
+	p.mu.Unlock()
+	if raced {
+		// DML landed while the rebuild scanned; the result is correct for
+		// this plan but may not match the stamped epoch.
+		mode = pubInvalid
+	}
+	p.cachePublishReplace(e, newT, preEpoch, preRows, mode, false)
+	ok = true
+	return nil
+}
+
+// mergeValues combines one aggregate cell across two disjoint row
+// partitions, mirroring the engine's distributive fold: NULL is the
+// identity, integer sums stay integers (so merged results are bit-identical
+// to a cold aggregation), mixed numeric types demote to float.
+func mergeValues(op mergeOp, a, b value.Value) value.Value {
+	if a.IsNull() {
+		return b
+	}
+	if b.IsNull() {
+		return a
+	}
+	switch op {
+	case mergeAdd:
+		if a.Kind() == value.KindInt && b.Kind() == value.KindInt {
+			return value.NewInt(a.Int() + b.Int())
+		}
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		return value.NewFloat(af + bf)
+	case mergeMin:
+		if lessValue(b, a) {
+			return b
+		}
+		return a
+	default: // mergeMax
+		if lessValue(a, b) {
+			return b
+		}
+		return a
+	}
+}
+
+// lessValue orders two non-NULL values the way min/max do: numerics
+// numerically, strings lexically, bools false-first.
+func lessValue(a, b value.Value) bool {
+	if a.Kind() == value.KindInt && b.Kind() == value.KindInt {
+		return a.Int() < b.Int()
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		return af < bf
+	}
+	if a.Kind() == value.KindString && b.Kind() == value.KindString {
+		return a.Str() < b.Str()
+	}
+	if a.Kind() == value.KindBool && b.Kind() == value.KindBool {
+		return !a.Bool() && b.Bool()
+	}
+	return a.String() < b.String()
+}
+
+// isLifecycleErr reports whether err is cancellation, a budget, or a
+// contained panic — outcomes that must propagate to the caller rather than
+// trigger a cache rebuild (rebuilding would dodge the user's cancel).
+func isLifecycleErr(err error) bool {
+	var ce *engine.CancelledError
+	var le *engine.LimitError
+	var pe *engine.PanicError
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.As(err, &ce) || errors.As(err, &le) || errors.As(err, &pe)
+}

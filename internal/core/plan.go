@@ -69,6 +69,10 @@ type Plan struct {
 	// Options.Limits. The zero value defers to the engine-wide defaults
 	// (engine.SetLimits); a non-zero value overrides them for this plan.
 	Limits engine.Limits
+	// cacheRegs are summary-cache entries this plan registered
+	// provisionally at plan time; cleanup abandons any it never published
+	// (see cacheAbandon).
+	cacheRegs []*summaryEntry
 }
 
 // SQL renders every build step as a script.
@@ -113,11 +117,15 @@ type Planner struct {
 	// Shared summaries (the paper's future-work item "a set of percentage
 	// queries on the same table may be efficiently evaluated using shared
 	// summaries"): when enabled, structurally identical Fk/Fj aggregates
-	// are computed once and reused across plans. Shared tables are dropped
-	// by FlushSummaries, not by per-plan cleanup.
+	// are computed once and reused across plans. Entries are stamped with
+	// the base table's modification epoch and maintained through the
+	// engine's DML hook — appends refresh distributive summaries
+	// incrementally, everything else invalidates (see cache.go). Cache
+	// tables are dropped by FlushSummaries, not by per-plan cleanup.
 	shareSummaries bool
-	summaries      map[string]string // structural key → table name
+	summaries      map[string]*summaryEntry // structural key → entry
 	summaryDrops   []string
+	cstats         CacheStats
 }
 
 // NewPlanner returns a planner over the engine with default limits.
@@ -125,49 +133,41 @@ func NewPlanner(eng *engine.Engine) *Planner {
 	return &Planner{Eng: eng, MaxColumns: 2048, TempPrefix: "pct"}
 }
 
-// ShareSummaries toggles summary sharing across plans. While enabled,
+// ShareSummaries toggles the materialized summary cache. While enabled,
 // plans reference cached Fk/Fj tables where a structurally identical one
-// was already built by an earlier executed plan; call FlushSummaries when
-// the query batch is done. Sharing assumes sequential plan execution: a
-// later plan's cache hit relies on the earlier plan having built the
-// table.
+// was already built by an earlier executed plan, and a DML hook installed
+// on the engine keeps entries honest: appended rows are folded in
+// incrementally (distributive aggregates only), any other mutation forces
+// a rebuild — a cached summary is never served stale. Call FlushSummaries
+// when the query batch is done. A plan's cache hit is bound at plan time:
+// only one planner's cache may be live per engine.
 func (p *Planner) ShareSummaries(on bool) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.shareSummaries = on
 	if on && p.summaries == nil {
-		p.summaries = make(map[string]string)
+		p.summaries = make(map[string]*summaryEntry)
+	}
+	p.mu.Unlock()
+	if p.Eng != nil {
+		if on {
+			p.Eng.SetDMLHook(&cacheDMLHook{p: p})
+		} else {
+			p.Eng.SetDMLHook(nil)
+		}
 	}
 }
 
-// FlushSummaries drops every cached shared summary table.
+// FlushSummaries drops every table the summary cache ever registered —
+// live entries and the retired copies incremental refreshes replaced.
 func (p *Planner) FlushSummaries() {
 	p.mu.Lock()
 	drops := p.summaryDrops
 	p.summaryDrops = nil
-	p.summaries = map[string]string{}
+	p.summaries = map[string]*summaryEntry{}
 	p.mu.Unlock()
 	for _, t := range drops {
 		_, _ = p.Eng.ExecSQL("DROP TABLE IF EXISTS " + t)
 	}
-}
-
-// sharedSummary consults the summary cache: if a table for key exists, its
-// name is returned with hit=true and the caller skips generating build
-// steps; otherwise the caller's proposed name is registered and the plan's
-// cleanup responsibility transfers to FlushSummaries.
-func (p *Planner) sharedSummary(key, name string) (table string, hit bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if !p.shareSummaries {
-		return name, false
-	}
-	if t, ok := p.summaries[key]; ok {
-		return t, true
-	}
-	p.summaries[key] = name
-	p.summaryDrops = append(p.summaryDrops, name)
-	return name, false
 }
 
 // temp returns a fresh temporary table name. Safe for concurrent planning
@@ -478,6 +478,7 @@ func (p *Planner) CleanupPlan(plan *Plan) {
 }
 
 func (p *Planner) cleanupIn(plan *Plan, root *obs.Span) {
+	p.cacheAbandon(plan)
 	if len(plan.Cleanup) == 0 {
 		return
 	}

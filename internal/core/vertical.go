@@ -123,20 +123,65 @@ func (p *Planner) planVertical(a *analysis, opts VpctOptions) (*Plan, error) {
 	}
 	fkKey := fmt.Sprintf("fk|%s|%s|%s|%s", a.table, whereSuffix(a.where),
 		joinIdents(a.groupCols), strings.Join(fkSelect, ","))
-	fkShared := false
+	// Delta metadata makes the cached Fk incrementally maintainable: every
+	// aggregate column must be distributive (the measure sums always are;
+	// extra terms may not be — avg or DISTINCT keep meta nil, so DML
+	// rebuilds instead).
+	var fkMeta *deltaMeta
 	if shareable {
-		fk, fkShared = p.sharedSummary(fkKey, fk)
+		merges := make([]mergeOp, 0, len(measureOrder)+len(extraAggs))
+		for range measureOrder {
+			merges = append(merges, mergeAdd)
+		}
+		deltable := true
+		for _, idx := range extraAggs {
+			op, ok := mergeOpFor(a.items[idx].agg)
+			if !ok {
+				deltable = false
+				break
+			}
+			merges = append(merges, op)
+		}
+		if deltable {
+			fkMeta = &deltaMeta{
+				base:    a.table,
+				where:   whereSuffix(a.where),
+				groupBy: " GROUP BY " + joinIdents(a.groupCols),
+				selects: strings.Join(fkSelect, ", "),
+				colDefs: strings.Join(fkCols, ", "),
+				nGroup:  len(a.groupCols),
+				merges:  merges,
+			}
+		}
+	}
+	fkMode := cacheOff
+	var fkReg *summaryEntry
+	if shareable {
+		fk, fkMode, fkReg = p.cacheLookup(fkKey, fk, a.table, fkMeta)
 	} else {
 		plan.Cleanup = append(plan.Cleanup, Step{Purpose: "drop Fk", SQL: "DROP TABLE IF EXISTS " + fk})
 	}
-	if !fkShared {
+	switch fkMode {
+	case cacheHitClean:
+		plan.Steps = append(plan.Steps, cacheHitStep("Fk", fk))
+	case cacheHitDelta:
+		plan.Steps = append(plan.Steps, p.cacheDeltaStep(fkReg, fk, "Fk"))
+	default:
+		if fkMode == cacheMiss {
+			plan.cacheRegs = append(plan.cacheRegs, fkReg)
+			plan.Steps = append(plan.Steps, p.cacheCaptureStep(fkReg, a.table))
+		}
 		plan.Steps = append(plan.Steps,
 			Step{Purpose: "create Fk", SQL: fmt.Sprintf("CREATE TABLE %s (%s)", fk, strings.Join(fkCols, ", "))},
 			Step{Purpose: "compute fine aggregate Fk from F",
 				SQL: fmt.Sprintf("INSERT INTO %s SELECT %s FROM %s%s GROUP BY %s",
 					fk, strings.Join(fkSelect, ", "), a.table, whereSuffix(a.where), joinIdents(a.groupCols))},
 		)
+		if fkMode == cacheMiss {
+			plan.Steps = append(plan.Steps, p.cachePublishStep(fkReg, "Fk"))
+		}
 	}
+	fkFromCache := fkMode == cacheHitClean || fkMode == cacheHitDelta
 
 	// ---- Fj per term: the coarse totals over D1..Dj ----
 	// With several terms the Fj aggregates form a lattice: a term whose
@@ -198,9 +243,30 @@ func (p *Planner) planVertical(a *analysis, opts VpctOptions) (*Plan, error) {
 		fjSelect = append(fjSelect, sourceMeasure)
 
 		fjKey := fmt.Sprintf("fj|%s|%s|%s|%s|%v", fkKey, joinIdents(t.totalsCols), t.measure.String(), sourceMeasure, opts.FjFromF)
-		fjShared := false
+		// Fj's delta always re-aggregates the base rows directly (sum is
+		// distributive over any partition of F), whatever source the build
+		// itself reads from.
+		var fjMeta *deltaMeta
 		if shareable {
-			t.fjTable, fjShared = p.sharedSummary(fjKey, t.fjTable)
+			var fjDeltaSel []string
+			for _, g := range t.totalsCols {
+				fjDeltaSel = append(fjDeltaSel, quoteIdent(g))
+			}
+			fjDeltaSel = append(fjDeltaSel, "sum("+t.measure.String()+")")
+			fjMeta = &deltaMeta{
+				base:    a.table,
+				where:   whereSuffix(a.where),
+				groupBy: groupClause,
+				selects: strings.Join(fjDeltaSel, ", "),
+				colDefs: strings.Join(fjCols, ", "),
+				nGroup:  len(t.totalsCols),
+				merges:  []mergeOp{mergeAdd},
+			}
+		}
+		fjMode := cacheOff
+		var fjReg *summaryEntry
+		if shareable {
+			t.fjTable, fjMode, fjReg = p.cacheLookup(fjKey, t.fjTable, a.table, fjMeta)
 		} else {
 			plan.Cleanup = append(plan.Cleanup, Step{Purpose: "drop Fj", SQL: "DROP TABLE IF EXISTS " + t.fjTable})
 		}
@@ -208,7 +274,24 @@ func (p *Planner) planVertical(a *analysis, opts VpctOptions) (*Plan, error) {
 		if source == a.table {
 			whereClause = whereSuffix(a.where)
 		}
-		if !fjShared {
+		switch fjMode {
+		case cacheHitClean:
+			plan.Steps = append(plan.Steps, cacheHitStep("Fj", t.fjTable))
+		case cacheHitDelta:
+			plan.Steps = append(plan.Steps, p.cacheDeltaStep(fjReg, t.fjTable, "Fj"))
+		default:
+			if fjMode == cacheMiss {
+				plan.cacheRegs = append(plan.cacheRegs, fjReg)
+				plan.Steps = append(plan.Steps, p.cacheCaptureStep(fjReg, a.table))
+				if fkFromCache && source == fk {
+					// The paper's Fj-from-Fk derivation applied across
+					// statements: a fresh Fj rolled up from a cached Fk.
+					p.mu.Lock()
+					p.cstats.FjRollups++
+					p.mu.Unlock()
+					mCacheFjRollups.Inc()
+				}
+			}
 			plan.Steps = append(plan.Steps,
 				Step{Purpose: fmt.Sprintf("create Fj for term %d", ti+1),
 					SQL: fmt.Sprintf("CREATE TABLE %s (%s)", t.fjTable, strings.Join(fjCols, ", "))},
@@ -216,10 +299,20 @@ func (p *Planner) planVertical(a *analysis, opts VpctOptions) (*Plan, error) {
 					SQL: fmt.Sprintf("INSERT INTO %s SELECT %s FROM %s%s%s",
 						t.fjTable, strings.Join(fjSelect, ", "), source, whereClause, groupClause)},
 			)
+			if fjMode == cacheMiss {
+				plan.Steps = append(plan.Steps, p.cachePublishStep(fjReg, "Fj"))
+			}
 			if opts.SubkeyIndexes && len(t.totalsCols) > 0 {
+				// A clean-hit Fk already carries its subkey index from the
+				// plan that built it; re-indexing it every query would pile
+				// up duplicates.
+				if fkMode != cacheHitClean {
+					plan.Steps = append(plan.Steps,
+						Step{Purpose: "index Fk on the common subkey",
+							SQL: fmt.Sprintf("CREATE INDEX %s ON %s (%s)", p.temp("ixk"), fk, joinIdents(t.totalsCols))},
+					)
+				}
 				plan.Steps = append(plan.Steps,
-					Step{Purpose: "index Fk on the common subkey",
-						SQL: fmt.Sprintf("CREATE INDEX %s ON %s (%s)", p.temp("ixk"), fk, joinIdents(t.totalsCols))},
 					Step{Purpose: "index Fj on the common subkey",
 						SQL: fmt.Sprintf("CREATE INDEX %s ON %s (%s)", p.temp("ixj"), t.fjTable, joinIdents(t.totalsCols))},
 				)

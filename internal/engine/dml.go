@@ -40,12 +40,17 @@ func (e *Engine) execCreateIndex(ci *sqlparse.CreateIndex) (*Result, error) {
 // execDropTable removes a table.
 func (e *Engine) execDropTable(dt *sqlparse.DropTable) (*Result, error) {
 	if dt.IfExists {
+		existed := e.cat.Has(dt.Name)
 		e.cat.DropIfExists(dt.Name)
+		if existed {
+			e.notifyMutate(dt.Name, "drop")
+		}
 		return &Result{}, nil
 	}
 	if err := e.cat.Drop(dt.Name); err != nil {
 		return nil, err
 	}
+	e.notifyMutate(dt.Name, "drop")
 	return &Result{}, nil
 }
 
@@ -96,6 +101,7 @@ func (e *Engine) execInsert(ins *sqlparse.Insert, ec execCtx) (*Result, error) {
 	// append-shaped complement of the staging-then-swap rewrite DELETE and
 	// UPDATE use: INSERT into a populated table must not copy the table.
 	base := t.NumRows()
+	preEp := t.Epoch()
 	committed := false
 	defer func() {
 		if !committed {
@@ -132,6 +138,10 @@ func (e *Engine) execInsert(ins *sqlparse.Insert, ec execCtx) (*Result, error) {
 		}
 		committed = true
 		sp.SetRows(int64(len(res.Rows)), int64(n))
+		// Delta capture: the committed statement appended exactly rows
+		// [base, base+n) — the range an incremental cache can re-aggregate
+		// instead of rescanning the table.
+		e.notifyInsert(ins.Table, base, base+n, preEp, t.Epoch())
 		return &Result{Affected: n}, nil
 	}
 
@@ -158,6 +168,7 @@ func (e *Engine) execInsert(ins *sqlparse.Insert, ec execCtx) (*Result, error) {
 		n++
 	}
 	committed = true
+	e.notifyInsert(ins.Table, base, base+n, preEp, t.Epoch())
 	return &Result{Affected: n}, nil
 }
 
@@ -210,6 +221,7 @@ func (e *Engine) execDelete(d *sqlparse.Delete, ec execCtx) (*Result, error) {
 		}
 	}
 	e.cat.Put(stage)
+	e.notifyMutate(d.Table, "delete")
 	return &Result{Affected: n}, nil
 }
 
@@ -312,6 +324,7 @@ func (e *Engine) updateSingle(t *storage.Table, sch relSchema, u *sqlparse.Updat
 		}
 	}
 	e.cat.Put(stage)
+	e.notifyMutate(u.Table, "update")
 	return &Result{Affected: n}, nil
 }
 
@@ -459,6 +472,7 @@ func (e *Engine) updateJoined(t *storage.Table, targetSch relSchema, u *sqlparse
 		}
 	}
 	e.cat.Put(stage)
+	e.notifyMutate(u.Table, "update")
 	_ = journal // released at statement end, like a transient journal
 	return &Result{Affected: n}, nil
 }

@@ -31,6 +31,60 @@ type Engine struct {
 	// statement that does not carry its own via WithLimits (see
 	// lifecycle.go). Atomic for the same reason as par.
 	limits atomic.Pointer[Limits]
+	// dml is the installed DMLHook (nil = none). Atomic so installing or
+	// removing the hook races safely with statements in flight; the hook
+	// itself is invoked synchronously on the writer's goroutine.
+	dml atomic.Pointer[dmlHookBox]
+}
+
+// DMLHook observes committed data mutations, the raw signal a derived-state
+// cache (the planner's summary cache) needs to invalidate or incrementally
+// maintain itself. Hooks fire after the statement commits — a rolled-back
+// statement is invisible — and on the statement's own goroutine, so an
+// implementation must be cheap and must not call back into the engine's
+// write path.
+type DMLHook interface {
+	// OnInsert reports a committed append of rows [from, to) to table: the
+	// appended range is the statement's delta, addressable by row id until
+	// the next mutation. preEpoch is the table's modification epoch before
+	// the first appended row and postEpoch the epoch after commit, so an
+	// incremental consumer can prove the delta extends exactly the state it
+	// last observed — any unhooked write in between (a direct storage
+	// mutation, an in-place update) moves preEpoch past what the consumer
+	// covered and must force a rebuild instead of a merge.
+	OnInsert(table string, from, to int, preEpoch, postEpoch int64)
+	// OnMutate reports a committed mutation that is not a pure append:
+	// op is "update", "delete", or "drop". No delta is available; derived
+	// state over the table must rebuild.
+	OnMutate(table string, op string)
+}
+
+// dmlHookBox wraps the interface so a nil hook can be stored atomically.
+type dmlHookBox struct{ h DMLHook }
+
+// SetDMLHook installs (or, with nil, removes) the engine's DML hook.
+// At most one hook is active at a time; the last call wins.
+func (e *Engine) SetDMLHook(h DMLHook) {
+	if h == nil {
+		e.dml.Store(nil)
+		return
+	}
+	e.dml.Store(&dmlHookBox{h: h})
+}
+
+// notifyInsert fires the hook for a committed append of rows [from, to).
+// Empty appends are suppressed: they change nothing a cache could observe.
+func (e *Engine) notifyInsert(table string, from, to int, preEpoch, postEpoch int64) {
+	if b := e.dml.Load(); b != nil && to > from {
+		b.h.OnInsert(table, from, to, preEpoch, postEpoch)
+	}
+}
+
+// notifyMutate fires the hook for a committed non-append mutation.
+func (e *Engine) notifyMutate(table, op string) {
+	if b := e.dml.Load(); b != nil {
+		b.h.OnMutate(table, op)
+	}
 }
 
 // New returns an engine over the catalog. The default parallelism is 1

@@ -155,11 +155,11 @@ func TestRegistryJSONIsValid(t *testing.T) {
 	if err := json.Unmarshal([]byte(r.JSON()), &doc); err != nil {
 		t.Fatalf("JSON() is not valid JSON: %v\n%s", err, r.JSON())
 	}
-	if doc["x.count"].(float64) != 3 {
+	if doc["x.count"].(float64) != 3 { // floateq:ok small int exact in float64
 		t.Errorf("x.count = %v", doc["x.count"])
 	}
 	hist := doc["x.ns"].(map[string]any)
-	if hist["count"].(float64) != 1 {
+	if hist["count"].(float64) != 1 { // floateq:ok small int exact in float64
 		t.Errorf("histogram count = %v", hist["count"])
 	}
 }
@@ -187,7 +187,7 @@ func TestRecordingAllocatesNothing(t *testing.T) {
 		h.Observe(12345)
 		g.Set(2)
 	})
-	if allocs != 0 {
+	if allocs != 0 { // floateq:ok exact zero sentinel
 		t.Errorf("metric recording allocates %.1f per op, want 0", allocs)
 	}
 }

@@ -3,10 +3,18 @@ package storage
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/index"
 	"repro/internal/value"
 )
+
+// epochClock is the process-wide modification clock: every mutation of any
+// table stamps the table with a fresh tick. Because ticks are globally
+// monotonic — never reused across tables — a cache entry keyed by (table,
+// epoch) can never be aliased by a drop-and-recreate or a staging-swap: the
+// replacement table necessarily carries a newer epoch.
+var epochClock atomic.Int64
 
 // ColumnDef declares one column of a table schema.
 type ColumnDef struct {
@@ -57,6 +65,12 @@ type Table struct {
 	indexes []*index.Index
 	// primaryKey holds the positions of primary-key columns, if declared.
 	primaryKey []int
+	// epoch is the table's position on the global modification clock: it
+	// advances on every row mutation (append, set, truncate) and at creation.
+	// Readers that cached derived state (the planner's summary cache) compare
+	// it to decide whether their snapshot is still current. Atomic so
+	// concurrent readers may poll it while the serialized writer advances it.
+	epoch atomic.Int64
 }
 
 // NewTable creates an empty table with the given schema.
@@ -74,12 +88,23 @@ func NewTable(name string, schema Schema) (*Table, error) {
 		seen[lower] = true
 		cols[i] = newColumn(def.Type)
 	}
-	return &Table{
+	t := &Table{
 		name:   name,
 		schema: append(Schema(nil), schema...),
 		cols:   cols,
-	}, nil
+	}
+	t.bumpEpoch()
+	return t, nil
 }
+
+// Epoch returns the table's last-modification tick on the global clock.
+// Two reads returning the same value bracket a span with no row mutations;
+// a table created later (including a staging clone swapped in under the
+// same name) always reports a strictly greater epoch.
+func (t *Table) Epoch() int64 { return t.epoch.Load() }
+
+// bumpEpoch advances the table to a fresh tick of the global clock.
+func (t *Table) bumpEpoch() { t.epoch.Store(epochClock.Add(1)) }
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
@@ -134,6 +159,7 @@ func (t *Table) AppendRow(vals []value.Value) (int, error) {
 	for _, ix := range t.indexes {
 		ix.Add(t.indexKey(ix, rid), rid)
 	}
+	t.bumpEpoch()
 	return rid, nil
 }
 
@@ -172,6 +198,7 @@ func (t *Table) TruncateTo(n int) {
 		t.truncColumn(i, n)
 	}
 	t.nrows = n
+	t.bumpEpoch()
 	defs := make([][2]any, 0, len(t.indexes))
 	for _, ix := range t.indexes {
 		defs = append(defs, [2]any{ix.Name(), ix.Columns()})
@@ -245,6 +272,7 @@ func (t *Table) Set(row, col int, v value.Value) error {
 	for _, ix := range touched {
 		ix.Add(t.indexKey(ix, row), row)
 	}
+	t.bumpEpoch()
 	return nil
 }
 
@@ -317,6 +345,7 @@ func (t *Table) Truncate() {
 		t.cols[i] = newColumn(t.schema[i].Type)
 	}
 	t.nrows = 0
+	t.bumpEpoch()
 	names := make([][2]any, 0, len(t.indexes))
 	for _, ix := range t.indexes {
 		names = append(names, [2]any{ix.Name(), ix.Columns()})

@@ -1,0 +1,128 @@
+package pctagg
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// cacheWorkloadDML is the writer's deterministic statement sequence: mostly
+// inserts (the incremental path), with periodic updates and deletes (the
+// invalidation path).
+func cacheWorkloadDML(writes int) []string {
+	stmts := make([]string, 0, writes)
+	for i := 0; i < writes; i++ {
+		switch {
+		case i%11 == 10:
+			stmts = append(stmts, fmt.Sprintf("UPDATE f SET amt = amt + %d WHERE store = %d", i%5, i%20))
+		case i%17 == 16:
+			stmts = append(stmts, fmt.Sprintf("DELETE FROM f WHERE store = %d AND dweek = %d", i%20, i%7))
+		default:
+			stmts = append(stmts, fmt.Sprintf("INSERT INTO f VALUES (%d, %d, %d)", i%20, i%7, 1+i%100))
+		}
+	}
+	return stmts
+}
+
+func cacheWorkloadDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open()
+	if _, err := db.Exec(`CREATE TABLE f (store INTEGER, dweek INTEGER, amt INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]any, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		rows = append(rows, []any{i % 20, i % 7, 1 + i%100})
+	}
+	if err := db.InsertRows("f", rows); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestCacheUnderConcurrentDML races query submitters against a DML writer
+// with the summary cache enabled. The engine's storage is single-writer, so
+// an RWMutex serializes statements against queries the way an embedding
+// application would; what races freely is everything the cache adds —
+// epoch reads, hook bookkeeping, lookup/publish, the stats — across
+// goroutines, which the -race shard checks. Correctness: every concurrent
+// query must succeed, and once the writer quiesces the cached answer must
+// equal a cold replay of the same statement sequence.
+func TestCacheUnderConcurrentDML(t *testing.T) {
+	defer leakcheck.Check(t)()
+	db := cacheWorkloadDB(t)
+	db.EnableSummaryCache(true)
+	const q = "SELECT store, dweek, Vpct(amt BY dweek) FROM f GROUP BY store, dweek"
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+
+	dml := cacheWorkloadDML(40)
+	var rw sync.RWMutex
+	const readers, iters = 4, 25
+	errs := make(chan error, readers*iters+len(dml))
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rw.RLock()
+				_, err := db.Query(q)
+				rw.RUnlock()
+				if err != nil {
+					errs <- fmt.Errorf("reader %d iter %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, stmt := range dml {
+			rw.Lock()
+			_, err := db.Exec(stmt)
+			rw.Unlock()
+			if err != nil {
+				errs <- fmt.Errorf("writer stmt %d %s: %v", i, stmt, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiesced: the cached answer must match a cold replay bit for bit.
+	got, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := cacheWorkloadDB(t)
+	for _, stmt := range dml {
+		if _, err := cold.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := cold.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Data, want.Data) {
+		t.Fatalf("cached result diverges from cold replay after concurrent DML:\n%v\nwant\n%v", got.Data, want.Data)
+	}
+
+	s := db.SummaryCacheStats()
+	if s.Hits == 0 || s.Misses == 0 {
+		t.Errorf("workload did not exercise both hit and miss paths: %+v", s)
+	}
+	if s.Invalidations == 0 {
+		t.Errorf("updates and deletes ran but nothing invalidated: %+v", s)
+	}
+}

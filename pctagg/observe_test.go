@@ -151,6 +151,12 @@ func TestMetricNamesStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	pinned := []string{
+		"cache.delta_applied",
+		"cache.delta_fallback",
+		"cache.fj_rollup",
+		"cache.hits",
+		"cache.invalidations",
+		"cache.misses",
 		"core.plans",
 		"core.steps",
 		"engine.agg.budget_fallback",

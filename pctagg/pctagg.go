@@ -398,13 +398,27 @@ func (db *DB) Tables() []string { return db.eng.Catalog().Names() }
 // Section 4 recommendations, overriding SetStrategies.
 func (db *DB) AutoStrategy(on bool) { db.auto = on }
 
-// ShareSummaries toggles summary sharing across queries: while enabled,
+// ShareSummaries toggles the materialized summary cache: while enabled,
 // structurally identical intermediate aggregates (the Fk/Fj tables) are
 // computed once and reused by later percentage queries — the paper's
-// "shared summaries" idea for query batches. Call FlushSummaries when the
-// batch is done (or to pick up data changes: shared summaries are
-// snapshots and do not observe later inserts into the base table).
+// "shared summaries" idea for query batches. The cache is DML-aware:
+// INSERTs through the engine refresh distributive summaries incrementally
+// (aggregate only the new rows, merge), UPDATE/DELETE/DROP invalidate and
+// rebuild — a cached summary is never served stale. Call FlushSummaries
+// when the batch is done to reclaim the cache tables.
 func (db *DB) ShareSummaries(on bool) { db.planner.ShareSummaries(on) }
+
+// EnableSummaryCache is ShareSummaries under the name the cache deserves
+// now that it maintains itself through DML.
+func (db *DB) EnableSummaryCache(on bool) { db.ShareSummaries(on) }
+
+// CacheStats is a snapshot of the summary cache's counters — hits, misses,
+// invalidations, incremental refreshes (and their fault fallbacks), and
+// Fj-from-cached-Fk rollups.
+type CacheStats = core.CacheStats
+
+// SummaryCacheStats returns a snapshot of the summary cache's counters.
+func (db *DB) SummaryCacheStats() CacheStats { return db.planner.CacheStats() }
 
 // FlushSummaries drops every cached shared summary.
 func (db *DB) FlushSummaries() { db.planner.FlushSummaries() }
