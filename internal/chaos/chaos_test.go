@@ -272,5 +272,5 @@ func TestPointsRegistryClosed(t *testing.T) {
 			t.Error("Arm on an unknown point did not panic")
 		}
 	}()
-	chaos.Arm("engine.no.such.point", chaos.Fault{})
+	chaos.Arm("engine.no.such.point", chaos.Fault{}) // pctvet:ok negative test: Arm must reject unknown point names
 }

@@ -1,0 +1,271 @@
+// Interval sets: the abstract domain of the linter's dataflow-aware WHERE
+// analysis (see static.go). An intset is a normalized union of disjoint
+// intervals over one column's value domain — numbers or strings, compared
+// with the engine's own value.Compare so the analysis agrees with what the
+// executor would do. INTEGER columns use a discrete domain: endpoints are
+// tightened to closed integral bounds at construction (x > 1 becomes
+// x >= 2), so "x > 1 AND x < 2" is provably empty.
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// ivClass is the value class an interval set ranges over. Sets of
+// different classes never mix; the analysis keeps one class per column.
+type ivClass uint8
+
+const (
+	clsNum ivClass = iota // INTEGER / REAL, compared numerically
+	clsStr                // VARCHAR, compared lexicographically
+)
+
+// ivl is one interval. Endpoints are finite values unless loInf/hiInf;
+// loOpen/hiOpen exclude the endpoint. Discrete sets only carry closed
+// integral endpoints.
+type ivl struct {
+	lo, hi         value.Value
+	loInf, hiInf   bool
+	loOpen, hiOpen bool
+}
+
+// intset is a normalized (sorted, disjoint, maximally merged) union of
+// intervals.
+type intset struct {
+	class    ivClass
+	discrete bool
+	ivls     []ivl
+}
+
+func fullSet(class ivClass, discrete bool) *intset {
+	return &intset{class: class, discrete: discrete, ivls: []ivl{{loInf: true, hiInf: true}}}
+}
+
+func emptySet(class ivClass, discrete bool) *intset {
+	return &intset{class: class, discrete: discrete}
+}
+
+func pointSet(class ivClass, discrete bool, v value.Value) *intset {
+	s := &intset{class: class, discrete: discrete, ivls: []ivl{{lo: v, hi: v}}}
+	return s.norm()
+}
+
+// rangeSet builds the set of column values satisfying "col op v" for a
+// comparison operator. It returns nil when the pair cannot be modeled
+// (discrete tightening would overflow int64).
+func rangeSet(class ivClass, discrete bool, op string, v value.Value) *intset {
+	if discrete {
+		return discreteRange(op, v)
+	}
+	var iv ivl
+	switch op {
+	case "=":
+		iv = ivl{lo: v, hi: v}
+	case "<":
+		iv = ivl{loInf: true, hi: v, hiOpen: true}
+	case "<=":
+		iv = ivl{loInf: true, hi: v}
+	case ">":
+		iv = ivl{lo: v, loOpen: true, hiInf: true}
+	case ">=":
+		iv = ivl{lo: v, hiInf: true}
+	case "<>", "!=":
+		return pointSet(class, discrete, v).complement()
+	default:
+		return nil
+	}
+	s := &intset{class: class, discrete: discrete, ivls: []ivl{iv}}
+	return s.norm()
+}
+
+// discreteRange tightens "col op v" to closed integral bounds for an
+// INTEGER column; v may be an integer or a float literal.
+func discreteRange(op string, v value.Value) *intset {
+	f, ok := v.AsFloat()
+	if !ok || math.Abs(f) >= 1<<62 {
+		return nil // unmodelable: not numeric, or tightening could overflow
+	}
+	integral := f == math.Trunc(f) // floateq:ok integrality test is exact by design
+	s := &intset{class: clsNum, discrete: true}
+	switch op {
+	case "=":
+		if !integral {
+			return s // an INTEGER column never equals a fractional literal
+		}
+		s.ivls = []ivl{{lo: value.NewInt(int64(f)), hi: value.NewInt(int64(f))}}
+	case "<>", "!=":
+		if !integral {
+			return fullSet(clsNum, true)
+		}
+		return pointSet(clsNum, true, value.NewInt(int64(f))).complement()
+	case "<":
+		s.ivls = []ivl{{loInf: true, hi: value.NewInt(int64(math.Ceil(f)) - 1)}}
+	case "<=":
+		s.ivls = []ivl{{loInf: true, hi: value.NewInt(int64(math.Floor(f)))}}
+	case ">":
+		s.ivls = []ivl{{lo: value.NewInt(int64(math.Floor(f)) + 1), hiInf: true}}
+	case ">=":
+		s.ivls = []ivl{{lo: value.NewInt(int64(math.Ceil(f))), hiInf: true}}
+	default:
+		return nil
+	}
+	return s.norm()
+}
+
+func (s *intset) isEmpty() bool { return len(s.ivls) == 0 }
+
+func (s *intset) isFull() bool {
+	return len(s.ivls) == 1 && s.ivls[0].loInf && s.ivls[0].hiInf
+}
+
+// emptyIvl reports whether the interval contains no values.
+func emptyIvl(iv ivl) bool {
+	if iv.loInf || iv.hiInf {
+		return false
+	}
+	c := value.Compare(iv.lo, iv.hi)
+	return c > 0 || (c == 0 && (iv.loOpen || iv.hiOpen))
+}
+
+// loBefore reports whether a's lower endpoint starts before b's (a closed
+// endpoint starts before an open one at the same value).
+func loBefore(a, b ivl) bool {
+	switch {
+	case a.loInf:
+		return !b.loInf
+	case b.loInf:
+		return false
+	}
+	c := value.Compare(a.lo, b.lo)
+	if c != 0 {
+		return c < 0
+	}
+	return !a.loOpen && b.loOpen
+}
+
+// hiBefore reports whether a's upper endpoint ends before b's (an open
+// endpoint ends before a closed one at the same value).
+func hiBefore(a, b ivl) bool {
+	switch {
+	case a.hiInf:
+		return false
+	case b.hiInf:
+		return true
+	}
+	c := value.Compare(a.hi, b.hi)
+	if c != 0 {
+		return c < 0
+	}
+	return a.hiOpen && !b.hiOpen
+}
+
+// connected reports whether b (which starts at or after a) overlaps or is
+// adjacent to a, so the two merge into one interval.
+func (s *intset) connected(a, b ivl) bool {
+	if a.hiInf || b.loInf {
+		return true
+	}
+	c := value.Compare(a.hi, b.lo)
+	switch {
+	case c > 0:
+		return true
+	case c == 0:
+		return !(a.hiOpen && b.loOpen)
+	}
+	// Discrete adjacency: [.., n] and [n+1, ..] cover every integer.
+	if s.discrete && !a.hiOpen && !b.loOpen && a.hi.Int() != math.MaxInt64 {
+		return b.lo.Int() == a.hi.Int()+1
+	}
+	return false
+}
+
+// norm sorts, drops empty intervals, and merges connected ones.
+func (s *intset) norm() *intset {
+	kept := s.ivls[:0:0]
+	for _, iv := range s.ivls {
+		if !emptyIvl(iv) {
+			kept = append(kept, iv)
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return loBefore(kept[i], kept[j]) })
+	out := &intset{class: s.class, discrete: s.discrete}
+	for _, iv := range kept {
+		if n := len(out.ivls); n > 0 && out.connected(out.ivls[n-1], iv) {
+			if hiBefore(out.ivls[n-1], iv) {
+				out.ivls[n-1].hi, out.ivls[n-1].hiInf, out.ivls[n-1].hiOpen = iv.hi, iv.hiInf, iv.hiOpen
+			}
+			continue
+		}
+		out.ivls = append(out.ivls, iv)
+	}
+	return out
+}
+
+// union returns s ∪ o.
+func (s *intset) union(o *intset) *intset {
+	merged := &intset{class: s.class, discrete: s.discrete,
+		ivls: append(append([]ivl{}, s.ivls...), o.ivls...)}
+	return merged.norm()
+}
+
+// intersect returns s ∩ o by pairwise interval intersection.
+func (s *intset) intersect(o *intset) *intset {
+	out := &intset{class: s.class, discrete: s.discrete}
+	for _, a := range s.ivls {
+		for _, b := range o.ivls {
+			iv := a
+			if loBefore(iv, b) {
+				iv.lo, iv.loInf, iv.loOpen = b.lo, b.loInf, b.loOpen
+			}
+			if hiBefore(b, iv) {
+				iv.hi, iv.hiInf, iv.hiOpen = b.hi, b.hiInf, b.hiOpen
+			}
+			out.ivls = append(out.ivls, iv)
+		}
+	}
+	return out.norm()
+}
+
+// complement returns the set of values not in s.
+func (s *intset) complement() *intset {
+	out := &intset{class: s.class, discrete: s.discrete}
+	cur := ivl{loInf: true} // the gap being built, starting at -inf
+	closed := false         // set reaches +inf: no trailing gap
+	for _, iv := range s.ivls {
+		if !iv.loInf && !(s.discrete && iv.lo.Int() == math.MinInt64) {
+			g := cur
+			if s.discrete {
+				g.hi = value.NewInt(iv.lo.Int() - 1)
+			} else {
+				g.hi, g.hiOpen = iv.lo, !iv.loOpen
+			}
+			out.ivls = append(out.ivls, g)
+		}
+		if iv.hiInf {
+			closed = true
+			break
+		}
+		if s.discrete {
+			if iv.hi.Int() == math.MaxInt64 {
+				closed = true
+				break
+			}
+			cur = ivl{lo: value.NewInt(iv.hi.Int() + 1)}
+		} else {
+			cur = ivl{lo: iv.hi, loOpen: !iv.hiOpen}
+		}
+	}
+	if !closed {
+		cur.hiInf = true
+		out.ivls = append(out.ivls, cur)
+	}
+	return out.norm()
+}
+
+// subsetOf reports s ⊆ o.
+func (s *intset) subsetOf(o *intset) bool {
+	return s.intersect(o.complement()).isEmpty()
+}

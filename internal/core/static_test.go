@@ -1,0 +1,212 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// iv is a test helper building one interval from closed numeric bounds.
+func numSet(t *testing.T, discrete bool, op string, v float64) *intset {
+	t.Helper()
+	s := rangeSet(clsNum, discrete, op, value.NewFloat(v))
+	if s == nil {
+		t.Fatalf("rangeSet(%s, %v) not modelable", op, v)
+	}
+	return s
+}
+
+func TestIntsetAlgebra(t *testing.T) {
+	// (x > 10) ∩ (x < 5) = ∅ for reals.
+	if s := numSet(t, false, ">", 10).intersect(numSet(t, false, "<", 5)); !s.isEmpty() {
+		t.Errorf("x>10 ∩ x<5 = %+v, want empty", s.ivls)
+	}
+	// (x > 1) ∩ (x < 2) is nonempty for reals but empty for integers.
+	if s := numSet(t, false, ">", 1).intersect(numSet(t, false, "<", 2)); s.isEmpty() {
+		t.Error("real (1,2) came out empty")
+	}
+	if s := numSet(t, true, ">", 1).intersect(numSet(t, true, "<", 2)); !s.isEmpty() {
+		t.Errorf("integer (1,2) = %+v, want empty", s.ivls)
+	}
+	// (x <= 0) ∪ (x > 0) covers the reals; with integers, (x <= 0) ∪ (x >= 1)
+	// merges by adjacency.
+	if s := numSet(t, false, "<=", 0).union(numSet(t, false, ">", 0)); !s.isFull() {
+		t.Errorf("x<=0 ∪ x>0 = %+v, want full", s.ivls)
+	}
+	if s := numSet(t, true, "<=", 0).union(numSet(t, true, ">=", 1)); !s.isFull() {
+		t.Errorf("int x<=0 ∪ x>=1 = %+v, want full", s.ivls)
+	}
+	// Complement round-trips: ¬¬S = S on a point set.
+	p := pointSet(clsNum, false, value.NewInt(7))
+	if got := p.complement().complement(); got.isEmpty() || !got.subsetOf(p) || !p.subsetOf(got) {
+		t.Errorf("¬¬{7} = %+v, want {7}", got.ivls)
+	}
+	// x <> 7 is the complement of the point.
+	ne := rangeSet(clsNum, false, "<>", value.NewInt(7))
+	if ne.subsetOf(p) || !p.complement().subsetOf(ne) || !ne.subsetOf(p.complement()) {
+		t.Errorf("x<>7 = %+v, want complement of {7}", ne.ivls)
+	}
+	// Discrete equality against a fractional literal is empty.
+	if s := numSet(t, true, "=", 2.5); !s.isEmpty() {
+		t.Errorf("int x=2.5 = %+v, want empty", s.ivls)
+	}
+	// Subset: [0,0] ⊆ {0} and [0,1] ⊄ {0}.
+	zero := pointSet(clsNum, true, value.NewInt(0))
+	if !numSet(t, true, "=", 0).subsetOf(zero) {
+		t.Error("{0} ⊄ {0}")
+	}
+	if numSet(t, true, ">=", 0).intersect(numSet(t, true, "<=", 1)).subsetOf(zero) {
+		t.Error("[0,1] ⊆ {0}")
+	}
+	// String sets: 'a' < x < 'b' is nonempty, x < 'a' AND x > 'b' is empty.
+	lo := rangeSet(clsStr, false, ">", value.NewString("a"))
+	hi := rangeSet(clsStr, false, "<", value.NewString("b"))
+	if lo.intersect(hi).isEmpty() {
+		t.Error("('a','b') came out empty")
+	}
+	if rangeSet(clsStr, false, "<", value.NewString("a")).intersect(
+		rangeSet(clsStr, false, ">", value.NewString("b"))).isEmpty() == false {
+		t.Error("x<'a' ∩ x>'b' not empty")
+	}
+}
+
+// analyzeOne parses a single SELECT and runs the static checks under the
+// given schema.
+func analyzeOne(t *testing.T, src string, schema storage.Schema) []diag.Diagnostic {
+	t.Helper()
+	stmts, err := sqlparse.ParseAll(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	sel, ok := stmts[0].(*sqlparse.Select)
+	if !ok {
+		t.Fatalf("%q is not a SELECT", src)
+	}
+	return Analyze(sel, schema)
+}
+
+func codesOf(ds []diag.Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Code
+	}
+	return out
+}
+
+func hasCode(ds []diag.Diagnostic, code string) bool {
+	for _, d := range ds {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAnalyzeStatic(t *testing.T) {
+	schema := storage.Schema{
+		{Name: "g", Type: storage.TypeInt},
+		{Name: "d", Type: storage.TypeString},
+		{Name: "m", Type: storage.TypeInt},
+		{Name: "r", Type: storage.TypeFloat},
+	}
+	cases := []struct {
+		name string
+		sql  string
+		want []string // codes that must appear
+		ban  []string // codes that must not appear
+	}{
+		{"range contradiction", "SELECT count(*) FROM f WHERE m > 100 AND m < 50",
+			[]string{"PCT106"}, nil},
+		{"integer gap contradiction", "SELECT count(*) FROM f WHERE m > 1 AND m < 2",
+			[]string{"PCT106"}, nil},
+		{"real gap satisfiable", "SELECT count(*) FROM f WHERE r > 1 AND r < 2",
+			nil, []string{"PCT106"}},
+		{"null comparison never true", "SELECT count(*) FROM f WHERE m = NULL",
+			[]string{"PCT106"}, nil},
+		{"is-null vs equality", "SELECT count(*) FROM f WHERE m IS NULL AND m = 5",
+			[]string{"PCT106"}, nil},
+		{"empty between", "SELECT count(*) FROM f WHERE m BETWEEN 5 AND 1",
+			[]string{"PCT106"}, nil},
+		{"not-in with null element", "SELECT count(*) FROM f WHERE m NOT IN (1, NULL)",
+			[]string{"PCT106"}, nil},
+		{"in vs disjoint range", "SELECT count(*) FROM f WHERE d IN ('a', 'b') AND d > 'c'",
+			[]string{"PCT106"}, nil},
+		{"tautology full range", "SELECT count(*) FROM f WHERE (m <= 0 OR m > 0) AND g = 1",
+			[]string{"PCT107"}, []string{"PCT106"}},
+		{"tautology constant", "SELECT count(*) FROM f WHERE 1 = 1 AND g = 1",
+			[]string{"PCT107"}, nil},
+		{"is not null is intentional", "SELECT count(*) FROM f WHERE m IS NOT NULL",
+			nil, []string{"PCT107"}},
+		{"real constraint no tautology", "SELECT count(*) FROM f WHERE m <= 0 OR m > 10",
+			nil, []string{"PCT106", "PCT107"}},
+		{"zero denominator", "SELECT g, Vpct(m BY d) FROM f WHERE m = 0 GROUP BY g, d",
+			[]string{"PCT108"}, nil},
+		{"zero range denominator", "SELECT g, Vpct(m BY d) FROM f WHERE m >= 0 AND m <= 0 GROUP BY g, d",
+			[]string{"PCT108"}, nil},
+		{"constant zero denominator", "SELECT g, Vpct(0 BY d) FROM f GROUP BY g, d",
+			[]string{"PCT108"}, nil},
+		{"nonzero denominator", "SELECT g, Vpct(m BY d) FROM f WHERE m >= 0 GROUP BY g, d",
+			nil, []string{"PCT108"}},
+		{"type mismatch string col", "SELECT count(*) FROM f WHERE d > 7",
+			[]string{"PCT109"}, nil},
+		{"type mismatch int col", "SELECT count(*) FROM f WHERE m = 'oops'",
+			[]string{"PCT109"}, nil},
+		{"matched types", "SELECT count(*) FROM f WHERE d > '7' AND m = 3",
+			nil, []string{"PCT109"}},
+		{"vpct by duplicate", "SELECT g, d, Vpct(m BY d, d) FROM f GROUP BY g, d",
+			[]string{"PCT110"}, nil},
+		{"vpct by distinct", "SELECT g, d, Vpct(m BY d) FROM f GROUP BY g, d",
+			nil, []string{"PCT110"}},
+		{"not of range", "SELECT count(*) FROM f WHERE NOT (m < 10) AND m < 5",
+			[]string{"PCT106"}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := analyzeOne(t, tc.sql, schema)
+			for _, w := range tc.want {
+				if !hasCode(ds, w) {
+					t.Errorf("missing %s in %v", w, codesOf(ds))
+				}
+			}
+			for _, b := range tc.ban {
+				if hasCode(ds, b) {
+					t.Errorf("unexpected %s in %v", b, codesOf(ds))
+				}
+			}
+		})
+	}
+}
+
+// TestAnalyzeWithoutSchema exercises the schema-less degradation: classes
+// are inferred from literals, conflicting classes poison the column, and
+// PCT109 stays silent (no declared types to contradict).
+func TestAnalyzeWithoutSchema(t *testing.T) {
+	ds := analyzeOne(t, "SELECT count(*) FROM f WHERE x > 100 AND x < 50", nil)
+	if !hasCode(ds, "PCT106") {
+		t.Errorf("schema-less contradiction missed: %v", codesOf(ds))
+	}
+	ds = analyzeOne(t, "SELECT count(*) FROM f WHERE x > 100 AND x < 'a'", nil)
+	if hasCode(ds, "PCT106") || hasCode(ds, "PCT109") {
+		t.Errorf("poisoned column produced findings: %v", codesOf(ds))
+	}
+}
+
+// TestAnalyzeDeterministic pins the output order of a query producing
+// several findings.
+func TestAnalyzeDeterministic(t *testing.T) {
+	schema := storage.Schema{{Name: "a", Type: storage.TypeInt}, {Name: "b", Type: storage.TypeInt}}
+	sql := "SELECT count(*) FROM f WHERE a > 5 AND a < 2 AND b > 9 AND b < 3"
+	first := strings.Join(codesOf(analyzeOne(t, sql, schema)), ",")
+	for i := 0; i < 5; i++ {
+		if got := strings.Join(codesOf(analyzeOne(t, sql, schema)), ","); got != first {
+			t.Fatalf("run %d: %s != %s", i, got, first)
+		}
+	}
+	if first != "PCT106,PCT106" {
+		t.Errorf("codes = %s, want PCT106,PCT106 (both columns flagged)", first)
+	}
+}

@@ -78,6 +78,22 @@ const (
 	// CodeStrategy: the cost-based advisor recommends non-default
 	// evaluation strategy knobs for this query.
 	CodeStrategy = "PCT105"
+	// CodeContradiction: interval analysis proves the WHERE predicate set
+	// unsatisfiable — the query returns no rows.
+	CodeContradiction = "PCT106"
+	// CodeTautology: a WHERE predicate is always true (or true for every
+	// non-NULL value), so it constrains nothing.
+	CodeTautology = "PCT107"
+	// CodeZeroDenominator: the WHERE clause pins a Vpct/Hpct measure to
+	// zero, so the percentage denominator is provably zero — the static
+	// sharpening of PCT101.
+	CodeZeroDenominator = "PCT108"
+	// CodeCmpTypeMismatch: a comparison mixes incompatible types; mixed
+	// kinds order by type tag, so the predicate never matches on value.
+	CodeCmpTypeMismatch = "PCT109"
+	// CodeVpctByDuplicate: duplicate dimension in a Vpct BY list (PCT022
+	// covers horizontal BY lists as an error).
+	CodeVpctByDuplicate = "PCT110"
 
 	// PCT2xx are runtime lifecycle codes: they classify how a statement
 	// ended when the query-governance layer stopped it, not what the linter
@@ -154,6 +170,11 @@ var Registry = []CodeInfo{
 	{CodeColumnExplosion, Warning, "Hpct column explosion vs DBMS column limit", "Hpct creates one column per BY combination; beyond the limit the result is partitioned", false},
 	{CodeUnorderedResult, Advisory, "result row order not guaranteed", "add ORDER BY on the grouping columns for stable output", false},
 	{CodeStrategy, Advisory, "non-default evaluation strategy recommended", "the paper's Section 4 strategy recommendations, applied to live statistics", false},
+	{CodeContradiction, Warning, "contradictory WHERE predicates (query returns no rows)", "interval analysis over the WHERE clause proves the predicate set unsatisfiable", false},
+	{CodeTautology, Advisory, "tautological WHERE predicate (constrains nothing)", "the predicate accepts every value (or every non-NULL value); state the intent directly or drop it", false},
+	{CodeZeroDenominator, Warning, "percentage denominator provably zero", "the WHERE clause pins the measure to 0, so every percentage is NULL — the static sharpening of PCT101", false},
+	{CodeCmpTypeMismatch, Warning, "comparison between incompatible types", "mixed-kind values order by type tag, not content, so the predicate never matches on value", false},
+	{CodeVpctByDuplicate, Warning, "duplicate Vpct BY dimension", "the duplicate changes nothing and usually means a different column was intended; PCT022 covers horizontal BY lists", false},
 	{CodeCancelled, Error, "statement cancelled", "the caller cancelled the statement's context; partial work is discarded", true},
 	{CodeDeadline, Error, "statement deadline exceeded", "the per-statement deadline (Limits.Timeout) elapsed mid-execution", true},
 	{CodeRowLimit, Error, "materialized-row limit exceeded", "Limits.MaxRows bounds rows a statement may materialize, instead of exhausting memory", true},

@@ -288,6 +288,7 @@ func (j *hashJoin) step() ([]value.Value, bool, error) {
 	if err := j.build.ensure(); err != nil {
 		return nil, false, err
 	}
+	// pctvet:ok each iteration dequeues a match or pulls left.next(), governed at the scan leaf
 	for {
 		if len(j.pending) > 0 {
 			r := j.pending[0]
@@ -416,6 +417,14 @@ func (j *nestedLoopJoin) step() ([]value.Value, bool, error) {
 			j.seen = false
 		}
 		for j.rpos < len(j.right.rows) {
+			// The probe side polls only per left row; with |R| inner
+			// iterations per probe the product can dwarf the scan stride,
+			// so poll here too.
+			if j.rpos%govStride == 0 {
+				if err := j.gov.check(); err != nil {
+					return nil, false, err
+				}
+			}
 			r := j.right.rows[j.rpos]
 			j.rpos++
 			j.outBuf = append(append(j.outBuf[:0], j.cur...), r...)

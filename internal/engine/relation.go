@@ -174,6 +174,7 @@ func (f *filterIter) next() ([]value.Value, bool, error) {
 }
 
 func (f *filterIter) step() ([]value.Value, bool, error) {
+	// pctvet:ok every iteration pulls child.next(), governed at the scan leaf by addScanned
 	for {
 		row, ok, err := f.child.next()
 		if !ok || err != nil {

@@ -107,7 +107,11 @@ func (e *Engine) execSelect(sel *sqlparse.Select, ec execCtx) (*Result, error) {
 	if sel.Distinct {
 		sp := ec.span.NewChild("distinct")
 		before := len(rows)
-		rows = distinctRows(rows)
+		rows, err = distinctRows(rows, ec.gov)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
 		sp.SetRows(int64(before), int64(len(rows)))
 		sp.End()
 	}
@@ -123,6 +127,7 @@ func (e *Engine) execSelect(sel *sqlparse.Select, ec execCtx) (*Result, error) {
 	}
 	if hidden > 0 {
 		names = names[:len(names)-hidden]
+		// pctvet:ok O(1) reslice per row of an already-governed result
 		for i := range rows {
 			rows[i] = rows[i][:len(names)]
 		}
@@ -475,7 +480,12 @@ func (e *Engine) execGroupSelect(sel *sqlparse.Select, items []sqlparse.SelectIt
 
 	var rows [][]value.Value
 	var box rowBox
-	for _, g := range groupRows {
+	for gi, g := range groupRows {
+		if gi%govStride == 0 {
+			if err := ec.gov.check(); err != nil {
+				return nil, err
+			}
+		}
 		box.vals = g
 		rv := &box
 		if having != nil {
@@ -573,7 +583,7 @@ func (e *Engine) execWindowSelect(sel *sqlparse.Select, items []sqlparse.SelectI
 	// the cost profile the paper's OLAP-extension baseline pays: one sort
 	// of the full input per distinct window.
 	for _, ws := range specs {
-		if err := evalWindowSorted(ws.call, ws.arg, ws.partIdx, input.rows, &ws.results); err != nil {
+		if err := evalWindowSorted(ws.call, ws.arg, ws.partIdx, input.rows, gov, &ws.results); err != nil {
 			return nil, err
 		}
 	}
@@ -603,6 +613,11 @@ func (e *Engine) execWindowSelect(sel *sqlparse.Select, items []sqlparse.SelectI
 	ext := make([]value.Value, 0, w+len(specs))
 	var box rowBox
 	for ri, row := range input.rows {
+		if ri%govStride == 0 {
+			if err := gov.check(); err != nil {
+				return nil, err
+			}
+		}
 		ext = ext[:0]
 		ext = append(ext, row...)
 		for _, ws := range specs {
@@ -627,12 +642,17 @@ func (e *Engine) execWindowSelect(sel *sqlparse.Select, items []sqlparse.SelectI
 // row indexes by the encoded partition key, folds each equal-key run with
 // a fresh accumulator, and writes the run's result to every row in it.
 func evalWindowSorted(call *expr.AggCall, arg expr.Expr, partIdx []int,
-	rows [][]value.Value, out *[]value.Value) error {
+	rows [][]value.Value, gov *governor, out *[]value.Value) error {
 
 	n := len(rows)
 	keys := make([]string, n)
 	buf := make([]byte, 0, 64)
 	for i, row := range rows {
+		if i%govStride == 0 {
+			if err := gov.check(); err != nil {
+				return err
+			}
+		}
 		buf = buf[:0]
 		for _, pi := range partIdx {
 			buf = value.AppendKey(buf, row[pi])
@@ -679,12 +699,19 @@ func evalWindowSorted(call *expr.AggCall, arg expr.Expr, partIdx []int,
 	return nil
 }
 
-// distinctRows deduplicates rows preserving first-appearance order.
-func distinctRows(rows [][]value.Value) [][]value.Value {
+// distinctRows deduplicates rows preserving first-appearance order,
+// polling the governor every govStride rows so DISTINCT over a large
+// result stays cancellable.
+func distinctRows(rows [][]value.Value, gov *governor) ([][]value.Value, error) {
 	seen := make(map[string]struct{}, len(rows))
 	out := rows[:0]
 	buf := make([]byte, 0, 64)
-	for _, r := range rows {
+	for i, r := range rows {
+		if i%govStride == 0 {
+			if err := gov.check(); err != nil {
+				return nil, err
+			}
+		}
 		buf = buf[:0]
 		for _, v := range r {
 			buf = value.AppendKey(buf, v)
@@ -695,7 +722,7 @@ func distinctRows(rows [][]value.Value) [][]value.Value {
 		seen[string(buf)] = struct{}{}
 		out = append(out, r)
 	}
-	return out
+	return out, nil
 }
 
 // orderRows sorts rows by the ORDER BY keys, resolving names against the

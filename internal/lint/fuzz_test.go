@@ -21,6 +21,11 @@ func FuzzLint(f *testing.F) {
 	f.Add("SELECT a, Vpct(amt BY b) FROM f GROUP BY a, b")
 	f.Add("SELECT a, Hpct(amt BY b) FROM f GROUP BY a")
 	f.Add("SELECT ,;;( FROM")
+	// Seeds aimed at the static WHERE analysis (PCT106-PCT110).
+	f.Add("SELECT a FROM f WHERE amt > 100 AND amt < 50 AND a = 1")
+	f.Add("SELECT a FROM f WHERE (amt <= 0 OR amt > 0) AND amt IN (1, NULL) AND b BETWEEN 'a' AND NULL")
+	f.Add("SELECT a FROM f WHERE NOT (amt <> 5) AND amt NOT IN (5, 6) OR b > 7")
+	f.Add("SELECT a, Vpct(0 BY b, b) FROM f WHERE amt = 0 GROUP BY a, b")
 	f.Fuzz(func(t *testing.T, src string) {
 		l := newLinter()
 		_, _ = l.Planner.Eng.ExecSQL("CREATE TABLE f (a INTEGER, b VARCHAR, amt INTEGER)")

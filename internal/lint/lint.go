@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/sqlparse"
+	"repro/internal/storage"
 )
 
 // Diagnostic is re-exported so callers need not import internal/diag.
@@ -142,21 +143,50 @@ func syntaxDiagnostic(err error) Diagnostic {
 }
 
 // LintSelect checks one SELECT. Error-class findings come from the
-// planner's collecting analysis; when the query is structurally valid the
+// planner's collecting analysis; the static dataflow checks (core.Analyze,
+// PCT106–PCT110) run on every statement — standard SELECTs included —
+// and when the query is a structurally valid percentage query the
 // data-aware warning and advisory checks run on top. The result is sorted
-// by source position.
+// by source position, then code, so repeated runs render identically.
 func (l *Linter) LintSelect(sel *sqlparse.Select) []Diagnostic {
 	shape, ds := l.Planner.Check(sel)
+	static := core.Analyze(sel, l.schemaFor(sel, shape))
+	ds = append(ds, static...)
 	if diag.HasErrors(ds) || shape == nil || shape.Class == core.ClassStandard {
+		diag.Sort(ds)
 		return ds
 	}
-	ds = append(ds, l.checkDivZero(shape)...)
+	// PCT108 statically proves what PCT101 would measure: suppress the
+	// weaker data-aware finding for the same aggregate term.
+	proven := map[diag.Span]bool{}
+	for _, d := range static {
+		if d.Code == diag.CodeZeroDenominator {
+			proven[d.Span] = true
+		}
+	}
+	ds = append(ds, l.checkDivZero(shape, proven)...)
 	ds = append(ds, l.checkMissingRows(shape)...)
 	ds = append(ds, l.checkColumnExplosion(shape)...)
 	ds = append(ds, l.checkOrdering(shape)...)
 	ds = append(ds, l.checkStrategy(sel, shape)...)
 	diag.Sort(ds)
 	return ds
+}
+
+// schemaFor resolves the schema of F for the static checks: the checked
+// shape's schema when analysis got that far, else a direct catalog lookup
+// (standard SELECTs never populate a shape), else nil — the static
+// analysis degrades gracefully without declared types.
+func (l *Linter) schemaFor(sel *sqlparse.Select, shape *core.QueryShape) storage.Schema {
+	if shape != nil && len(shape.Schema) > 0 {
+		return shape.Schema
+	}
+	if len(sel.From) == 1 {
+		if tab, err := l.Planner.Eng.Catalog().Get(sel.From[0].Table.Name); err == nil {
+			return tab.Schema()
+		}
+	}
+	return nil
 }
 
 // count runs SELECT count(*) FROM table with the given " WHERE …" suffix.
@@ -181,12 +211,13 @@ func andWhere(whereSQL, cond string) string {
 // non-positive on some rows, a super-group total can come out zero or
 // NULL, and the paper's division-by-zero treatment makes those percentages
 // NULL. The probe is a count over live data, deduplicated per measure
-// expression.
-func (l *Linter) checkDivZero(shape *core.QueryShape) []Diagnostic {
+// expression. Terms whose zero denominator PCT108 already proved
+// statically are skipped.
+func (l *Linter) checkDivZero(shape *core.QueryShape, proven map[diag.Span]bool) []Diagnostic {
 	var out []Diagnostic
 	seen := map[string]bool{}
 	for _, t := range shape.Aggs {
-		if !t.Pct || t.Call.Arg == nil {
+		if !t.Pct || t.Call.Arg == nil || proven[t.Span] {
 			continue
 		}
 		arg := t.Call.Arg.String()

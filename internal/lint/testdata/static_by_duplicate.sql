@@ -1,0 +1,12 @@
+-- Duplicate Vpct BY dimension (PCT110): repeating a column in the BY list
+-- does not change the subgrouping and usually means a different column was
+-- intended. PCT022 catches this for horizontal BY lists; this is the
+-- vertical counterpart. The second query is the near-miss.
+CREATE TABLE mix (a VARCHAR, b INTEGER, c VARCHAR, m INTEGER);
+INSERT INTO mix VALUES
+  ('x', 1, 'p', 10), ('x', 1, 'q', 20), ('x', 2, 'p', 30), ('x', 2, 'q', 40),
+  ('y', 1, 'p', 15), ('y', 1, 'q', 25), ('y', 2, 'p', 35), ('y', 2, 'q', 45);
+SELECT a, b, c, Vpct(m BY c, c)
+FROM mix GROUP BY a, b, c ORDER BY a, b, c;
+SELECT a, b, c, Vpct(m BY c)
+FROM mix GROUP BY a, b, c ORDER BY a, b, c;

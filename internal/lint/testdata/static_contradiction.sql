@@ -1,0 +1,16 @@
+-- Contradictory WHERE predicates (PCT106): interval analysis proves the
+-- predicate set unsatisfiable, so the query returns no rows. The second
+-- query is the near-miss: the ranges overlap, so no finding.
+CREATE TABLE sales (region VARCHAR, quarter INTEGER, amt INTEGER);
+INSERT INTO sales VALUES
+  ('East', 1, 60), ('East', 2, 70), ('East', 3, 80), ('East', 4, 90),
+  ('West', 1, 65), ('West', 2, 75), ('West', 3, 85), ('West', 4, 95);
+SELECT region, count(*)
+FROM sales WHERE amt > 100 AND amt < 50
+GROUP BY region ORDER BY region;
+SELECT region, count(*)
+FROM sales WHERE amt > 50 AND amt < 100
+GROUP BY region ORDER BY region;
+SELECT region, count(*)
+FROM sales WHERE quarter > 1 AND quarter < 2
+GROUP BY region ORDER BY region;

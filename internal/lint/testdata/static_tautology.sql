@@ -1,0 +1,17 @@
+-- Tautological WHERE predicates (PCT107): the disjunction covers every
+-- integer, so it only filters NULLs; the constant comparison filters
+-- nothing at all. The last query is the near-miss: its disjunction leaves
+-- a real gap, so no finding.
+CREATE TABLE sales (region VARCHAR, quarter INTEGER, amt INTEGER);
+INSERT INTO sales VALUES
+  ('East', 1, 60), ('East', 2, 70), ('East', 3, 80), ('East', 4, 90),
+  ('West', 1, 65), ('West', 2, 75), ('West', 3, 85), ('West', 4, 95);
+SELECT region, count(*)
+FROM sales WHERE (amt <= 0 OR amt > 0) AND quarter >= 1
+GROUP BY region ORDER BY region;
+SELECT region, count(*)
+FROM sales WHERE 1 = 1 AND quarter >= 1
+GROUP BY region ORDER BY region;
+SELECT region, count(*)
+FROM sales WHERE amt <= 0 OR amt > 70
+GROUP BY region ORDER BY region;

@@ -1,0 +1,12 @@
+-- Type-mismatched comparison (PCT109): sku is VARCHAR, and mixed-kind
+-- values order by type tag rather than content, so comparing it with an
+-- integer literal never matches on value. The second query is the
+-- near-miss: the literal is a string, so the comparison is meaningful.
+CREATE TABLE inv (sku VARCHAR, qty INTEGER);
+INSERT INTO inv VALUES ('7', 10), ('8', 20), ('9', 30);
+SELECT sku, count(*)
+FROM inv WHERE sku > 7
+GROUP BY sku ORDER BY sku;
+SELECT sku, count(*)
+FROM inv WHERE sku > '7'
+GROUP BY sku ORDER BY sku;

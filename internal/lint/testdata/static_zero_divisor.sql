@@ -1,0 +1,14 @@
+-- Statically provable zero denominator (PCT108): the WHERE clause pins the
+-- measure to 0 on every qualifying row, so the Vpct denominator is
+-- identically zero before any data is consulted; the data-driven PCT101 is
+-- suppressed for that term. The second query is the near-miss: amt >= 0
+-- does not pin the value, so only the data-driven PCT101 fires.
+CREATE TABLE ledger (region VARCHAR, quarter INTEGER, amt INTEGER);
+INSERT INTO ledger VALUES
+  ('East', 1, 10), ('East', 2, 0), ('West', 1, 15), ('West', 2, 0);
+SELECT region, quarter, Vpct(amt BY quarter)
+FROM ledger WHERE amt = 0
+GROUP BY region, quarter ORDER BY region, quarter;
+SELECT region, quarter, Vpct(amt BY quarter)
+FROM ledger WHERE amt >= 0
+GROUP BY region, quarter ORDER BY region, quarter;

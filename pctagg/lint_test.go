@@ -55,6 +55,28 @@ INSERT INTO f VALUES ('East', 1, 10), ('East', 2, 20), ('West', 1, 15), ('West',
 	}
 }
 
+// TestLintStaticAnalysis round-trips one of the interval-analysis codes
+// through the public API: a contradictory WHERE must surface as PCT106
+// with a position, and the satisfiable near-miss must stay clean.
+func TestLintStaticAnalysis(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec(`CREATE TABLE f (region VARCHAR, quarter INTEGER, amt INTEGER);
+INSERT INTO f VALUES ('East', 1, 10), ('East', 2, 20), ('West', 1, 15), ('West', 2, 25)`); err != nil {
+		t.Fatal(err)
+	}
+	ds := db.Lint(`SELECT region, count(*) FROM f WHERE amt > 100 AND amt < 50 GROUP BY region ORDER BY region`)
+	if len(ds) != 1 || ds[0].Code != "PCT106" || ds[0].Severity != "warning" {
+		t.Fatalf("want one PCT106 warning, got %+v", ds)
+	}
+	if ds[0].Line == 0 || ds[0].Col == 0 {
+		t.Fatalf("PCT106 has no position: %+v", ds[0])
+	}
+	ds = db.Lint(`SELECT region, count(*) FROM f WHERE amt > 50 AND amt < 100 GROUP BY region ORDER BY region`)
+	if len(ds) != 0 {
+		t.Fatalf("satisfiable near-miss produced findings: %+v", ds)
+	}
+}
+
 func TestLintSyntaxError(t *testing.T) {
 	db := Open()
 	ds := db.Lint(`SELECT FROM`)

@@ -6,12 +6,12 @@
 // should compare with a tolerance or against the value package's
 // comparators).
 //
-// The analyzer is built on go/parser + go/types only — no external
-// modules — with a loader that type-checks the repro module's packages
-// recursively from the filesystem and delegates the standard library to
-// the source importer. It checks every package under the module root,
-// including in-package _test.go files; external _test packages are checked
-// as their own units.
+// The analyzer is built on the shared tools/internal/loadpkg loader —
+// go/parser + go/types only, no external modules — which type-checks the
+// repro module's packages recursively from the filesystem and delegates
+// the standard library to the source importer. It checks every package
+// under the module root, including in-package _test.go files; external
+// _test packages are checked as their own units.
 //
 // Usage:
 //
@@ -24,73 +24,14 @@ package main
 import (
 	"fmt"
 	"go/ast"
-	"go/importer"
-	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
 	"sort"
-	"strings"
+
+	"repro/tools/internal/loadpkg"
 )
-
-// loader resolves imports: module-internal packages are parsed and
-// type-checked from the filesystem (recursively), everything else is
-// delegated to the standard-library source importer.
-type loader struct {
-	fset    *token.FileSet
-	std     types.Importer
-	pkgs    map[string]*types.Package
-	modRoot string
-	modPath string
-}
-
-func (l *loader) dirOf(path string) string {
-	return filepath.Join(l.modRoot, strings.TrimPrefix(path, l.modPath))
-}
-
-// parseDir parses the non-test (or only in-package test) Go files of a
-// directory, split by suffix.
-func (l *loader) parseDir(dir string, tests bool) ([]*ast.File, error) {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var files []*ast.File
-	for _, e := range ents {
-		name := e.Name()
-		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") != tests {
-			continue
-		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-	}
-	return files, nil
-}
-
-// Import implements types.Importer.
-func (l *loader) Import(path string) (*types.Package, error) {
-	if p, ok := l.pkgs[path]; ok {
-		return p, nil
-	}
-	if path != l.modPath && !strings.HasPrefix(path, l.modPath+"/") {
-		return l.std.Import(path)
-	}
-	files, err := l.parseDir(l.dirOf(path), false)
-	if err != nil {
-		return nil, err
-	}
-	conf := types.Config{Importer: l}
-	pkg, err := conf.Check(path, l.fset, files, nil)
-	if err != nil {
-		return nil, err
-	}
-	l.pkgs[path] = pkg
-	return pkg, nil
-}
 
 // finding is one flagged comparison.
 type finding struct {
@@ -103,34 +44,20 @@ func main() {
 	if len(os.Args) > 1 {
 		root = os.Args[1]
 	}
-	modRoot, modPath, err := findModule(root)
+	l, err := loadpkg.New(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "floateq:", err)
+		os.Exit(2)
+	}
+	units, err := l.Load()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "floateq:", err)
 		os.Exit(2)
 	}
 
-	fset := token.NewFileSet()
-	l := &loader{
-		fset:    fset,
-		std:     importer.ForCompiler(fset, "source", nil),
-		pkgs:    map[string]*types.Package{},
-		modRoot: modRoot,
-		modPath: modPath,
-	}
-
 	var findings []finding
-	for _, dir := range packageDirs(modRoot) {
-		rel, _ := filepath.Rel(modRoot, dir)
-		impPath := modPath
-		if rel != "." {
-			impPath = modPath + "/" + filepath.ToSlash(rel)
-		}
-		fs, err := checkDir(l, impPath, dir)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "floateq: %s: %v\n", impPath, err)
-			os.Exit(2)
-		}
-		findings = append(findings, fs...)
+	for _, u := range units {
+		findings = append(findings, scan(l.Fset, u.Files, u.Info)...)
 	}
 
 	sort.Slice(findings, func(i, j int) bool {
@@ -142,7 +69,7 @@ func main() {
 	})
 	for _, f := range findings {
 		rel := f.pos.Filename
-		if r, err := filepath.Rel(modRoot, rel); err == nil {
+		if r, err := filepath.Rel(l.ModRoot(), rel); err == nil {
 			rel = r
 		}
 		fmt.Printf("%s:%d:%d: %s\n", rel, f.pos.Line, f.pos.Column, f.msg)
@@ -150,108 +77,6 @@ func main() {
 	if len(findings) > 0 {
 		os.Exit(1)
 	}
-}
-
-// findModule locates the enclosing go.mod and reads the module path.
-func findModule(start string) (root, path string, err error) {
-	dir, err := filepath.Abs(start)
-	if err != nil {
-		return "", "", err
-	}
-	for {
-		b, err := os.ReadFile(filepath.Join(dir, "go.mod"))
-		if err == nil {
-			for _, line := range strings.Split(string(b), "\n") {
-				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
-					return dir, strings.TrimSpace(rest), nil
-				}
-			}
-			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
-		}
-		parent := filepath.Dir(dir)
-		if parent == dir {
-			return "", "", fmt.Errorf("no go.mod found above %s", start)
-		}
-		dir = parent
-	}
-}
-
-// packageDirs lists every directory under root holding Go files, skipping
-// hidden directories and testdata.
-func packageDirs(root string) []string {
-	var dirs []string
-	filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return nil
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if strings.HasSuffix(d.Name(), ".go") {
-			dir := filepath.Dir(path)
-			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
-				dirs = append(dirs, dir)
-			}
-		}
-		return nil
-	})
-	return dirs
-}
-
-// checkDir type-checks one directory — the regular package merged with its
-// in-package test files, plus (separately) an external _test package if
-// present — and scans the result for float equality comparisons.
-func checkDir(l *loader, impPath, dir string) ([]finding, error) {
-	base, err := l.parseDir(dir, false)
-	if err != nil {
-		return nil, err
-	}
-	testFiles, err := l.parseDir(dir, true)
-	if err != nil {
-		return nil, err
-	}
-	if len(base) == 0 && len(testFiles) == 0 {
-		return nil, nil
-	}
-
-	// Split test files into in-package and external (package foo_test).
-	baseName := ""
-	if len(base) > 0 {
-		baseName = base[0].Name.Name
-	}
-	var inPkg, external []*ast.File
-	for _, f := range testFiles {
-		if baseName != "" && f.Name.Name == baseName {
-			inPkg = append(inPkg, f)
-		} else {
-			external = append(external, f)
-		}
-	}
-
-	var findings []finding
-	check := func(path string, files []*ast.File) error {
-		if len(files) == 0 {
-			return nil
-		}
-		info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
-		conf := types.Config{Importer: l}
-		if _, err := conf.Check(path, l.fset, files, info); err != nil {
-			return err
-		}
-		findings = append(findings, scan(l.fset, files, info)...)
-		return nil
-	}
-	if err := check(impPath, append(append([]*ast.File{}, base...), inPkg...)); err != nil {
-		return nil, err
-	}
-	if err := check(impPath+"_test", external); err != nil {
-		return nil, err
-	}
-	return findings, nil
 }
 
 // isFloat reports whether a type is (or has underlying) floating point or
@@ -264,31 +89,13 @@ func isFloat(t types.Type) bool {
 	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
 }
 
-// waivedLines collects the lines carrying a "floateq:ok" comment per file.
-func waivedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
-	out := map[string]map[int]bool{}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if strings.Contains(c.Text, "floateq:ok") {
-					p := fset.Position(c.Pos())
-					if out[p.Filename] == nil {
-						out[p.Filename] = map[int]bool{}
-					}
-					out[p.Filename][p.Line] = true
-				}
-			}
-		}
-	}
-	return out
-}
-
 // scan walks the files for == / != with float operands, and switch
 // statements whose tag is a float (each case is an implicit equality).
 func scan(fset *token.FileSet, files []*ast.File, info *types.Info) []finding {
-	waived := waivedLines(fset, files)
+	waived := loadpkg.Waivers(fset, files, "floateq:ok")
 	skip := func(pos token.Position) bool {
-		return waived[pos.Filename] != nil && waived[pos.Filename][pos.Line]
+		_, ok := waived[pos.Filename][pos.Line]
+		return ok
 	}
 	var out []finding
 	for _, f := range files {

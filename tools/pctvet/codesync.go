@@ -1,0 +1,251 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/tools/internal/loadpkg"
+)
+
+// codesync keeps the PCT diagnostic-code catalogue consistent across its
+// four homes: the constants in internal/diag, the diag.Registry table, the
+// README code table, and the call sites that emit the codes. For every
+// declared code it checks:
+//
+//   - registered: the code appears in diag.Registry (pctlint -codes and
+//     the docs catalogue derive from it);
+//   - documented: the code appears in the README table, alone or inside a
+//     PCTxxx–PCTyyy range;
+//   - alive: something outside internal/diag references the constant or
+//     spells the code in a string literal (tests count — a code nothing
+//     emits or asserts is dead weight).
+//
+// In the other direction it flags registry entries and README rows naming
+// undeclared codes, and any Go string literal spelling a PCTxxx that was
+// never declared (a typo like PCT107 vs PCT170 would otherwise assert
+// against a code that cannot occur).
+func codesync(p *pass) []finding {
+	diagUnit := findDiagUnit(p)
+	if diagUnit == nil {
+		return []finding{{analyzer: "codesync", msg: "internal/diag package not found in module"}}
+	}
+
+	declared := declaredCodes(p, diagUnit) // code → declaration position
+	registered := registeredCodes(p, diagUnit)
+	documented, docFindings := readmeCodes(p, declared)
+	used := usedCodes(p, declared)
+
+	var out []finding
+	out = append(out, docFindings...)
+	for code, pos := range declared {
+		if _, ok := registered[code]; !ok {
+			out = append(out, finding{"codesync", pos,
+				fmt.Sprintf("code %s is declared but missing from diag.Registry; add a CodeInfo row", code)})
+		}
+		if !documented[code] {
+			out = append(out, finding{"codesync", pos,
+				fmt.Sprintf("code %s is declared but not documented in the README code table", code)})
+		}
+		if !used[code] {
+			out = append(out, finding{"codesync", pos,
+				fmt.Sprintf("code %s is declared but never emitted or asserted outside internal/diag (dead code)", code)})
+		}
+	}
+	for code, pos := range registered {
+		if _, ok := declared[code]; !ok {
+			out = append(out, finding{"codesync", pos,
+				fmt.Sprintf("diag.Registry entry %s does not correspond to a declared code constant", code)})
+		}
+	}
+	out = append(out, strayLiterals(p, declared)...)
+	return out
+}
+
+// codeShape matches one diagnostic code.
+var codeShape = regexp.MustCompile(`^PCT[0-9]{3}$`)
+
+// codeSub extracts code spellings out of longer strings.
+var codeSub = regexp.MustCompile(`PCT[0-9]{3}`)
+
+// readmeRange matches "PCT001–PCT024"-style ranges, tolerating backticks
+// and hyphen/en-dash/em-dash.
+var readmeRange = regexp.MustCompile("PCT([0-9]{3})`?\\s*[–—-]\\s*`?PCT([0-9]{3})")
+
+// findDiagUnit returns the internal/diag base unit.
+func findDiagUnit(p *pass) *loadpkg.Unit {
+	for _, u := range p.units {
+		if hasSuffixPath(u, "internal/diag") {
+			return u
+		}
+	}
+	return nil
+}
+
+// declaredCodes maps each PCTxxx constant value in diag to its position.
+func declaredCodes(p *pass, u *loadpkg.Unit) map[string]token.Position {
+	out := map[string]token.Position{}
+	for _, name := range u.Pkg.Scope().Names() {
+		c, ok := u.Pkg.Scope().Lookup(name).(*types.Const)
+		if !ok || c.Val().Kind() != constant.String {
+			continue
+		}
+		v := constant.StringVal(c.Val())
+		if codeShape.MatchString(v) {
+			out[v] = p.posOf(c.Pos())
+		}
+	}
+	return out
+}
+
+// registeredCodes maps each code appearing as the first element of a
+// diag.Registry CodeInfo literal to the literal's position.
+func registeredCodes(p *pass, u *loadpkg.Unit) map[string]token.Position {
+	out := map[string]token.Position{}
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "Registry" {
+				return true
+			}
+			for _, v := range vs.Values {
+				cl, ok := v.(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, el := range cl.Elts {
+					row, ok := el.(*ast.CompositeLit)
+					if !ok || len(row.Elts) == 0 {
+						continue
+					}
+					first := row.Elts[0]
+					if kv, ok := first.(*ast.KeyValueExpr); ok {
+						first = kv.Value
+					}
+					tv, ok := u.Info.Types[first]
+					if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+						continue
+					}
+					out[constant.StringVal(tv.Value)] = p.posOf(first.Pos())
+				}
+			}
+			return false
+		})
+	}
+	return out
+}
+
+// readmeCodes scans README.md for documented codes (singles and ranges)
+// and flags documented-but-undeclared ones.
+func readmeCodes(p *pass, declared map[string]token.Position) (map[string]bool, []finding) {
+	path := filepath.Join(p.modRoot, "README.md")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, []finding{{analyzer: "codesync", msg: "cannot read README.md: " + err.Error()}}
+	}
+	documented := map[string]bool{}
+	var out []finding
+	for i, line := range strings.Split(string(b), "\n") {
+		// Only table rows document codes; prose mentions don't count as
+		// catalogue entries (but don't get flagged either).
+		isRow := strings.HasPrefix(strings.TrimSpace(line), "|")
+		mention := map[string]bool{}
+		for _, m := range readmeRange.FindAllStringSubmatch(line, -1) {
+			lo, _ := strconv.Atoi(m[1])
+			hi, _ := strconv.Atoi(m[2])
+			for c := lo; c <= hi; c++ {
+				mention[fmt.Sprintf("PCT%03d", c)] = true
+			}
+		}
+		for _, m := range codeSub.FindAllString(line, -1) {
+			mention[m] = true
+		}
+		for code := range mention {
+			if isRow {
+				documented[code] = true
+				if _, ok := declared[code]; !ok {
+					out = append(out, finding{"codesync",
+						token.Position{Filename: path, Line: i + 1, Column: 1},
+						fmt.Sprintf("README documents %s but internal/diag declares no such code", code)})
+				}
+			}
+		}
+	}
+	return documented, out
+}
+
+// usedCodes marks codes referenced outside internal/diag, via the diag
+// constants or spelled inside string literals.
+func usedCodes(p *pass, declared map[string]token.Position) map[string]bool {
+	used := map[string]bool{}
+	for _, u := range p.units {
+		if hasSuffixPath(u, "internal/diag") {
+			continue
+		}
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.Ident:
+					c, ok := u.Info.Uses[x].(*types.Const)
+					if !ok || c.Pkg() == nil || pkgBase(c.Pkg()) != "diag" {
+						return true
+					}
+					if c.Val().Kind() == constant.String {
+						if v := constant.StringVal(c.Val()); codeShape.MatchString(v) {
+							used[v] = true
+						}
+					}
+				case *ast.BasicLit:
+					if x.Kind != token.STRING {
+						return true
+					}
+					if s, err := strconv.Unquote(x.Value); err == nil {
+						for _, code := range codeSub.FindAllString(s, -1) {
+							used[code] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return used
+}
+
+// strayLiterals flags Go string literals spelling a PCTxxx code that was
+// never declared.
+func strayLiterals(p *pass, declared map[string]token.Position) []finding {
+	var out []finding
+	for _, u := range p.units {
+		if strings.HasSuffix(strings.TrimSuffix(u.ImportPath, "_test"), "internal/diag") {
+			continue
+		}
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				for _, code := range codeSub.FindAllString(s, -1) {
+					if _, ok := declared[code]; !ok {
+						out = append(out, finding{"codesync", p.posOf(lit.Pos()),
+							fmt.Sprintf("string literal spells %s, which internal/diag does not declare; fix the typo or waive with // pctvet:ok <reason>", code)})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/internal/loadpkg"
+)
+
+// ctxloop enforces the governance convention from the lifecycle layer:
+// row and partition loops in internal/engine and internal/core must poll
+// the governor or the context, so a cancelled or over-budget statement
+// stops within a bounded number of rows (DESIGN.md, "Robustness &
+// resource governance"). A loop counts as a row loop when it ranges over
+// a row collection ([][]value.Value, however named) or drains a row
+// iterator (a next/Next method returning []value.Value). A loop counts as
+// polling when its body — directly or through a call to a function that
+// itself polls — checks the governor (check/addScanned/addRows/addBytes/
+// addGroups on a governor), calls ctx.Err(), or calls CheckCtx.
+func ctxloop(p *pass) []finding {
+	target := func(u *loadpkg.Unit) bool {
+		return hasSuffixPath(u, "internal/engine") || hasSuffixPath(u, "internal/core")
+	}
+	polling := pollingFuncs(p)
+
+	var out []finding
+	for _, u := range p.units {
+		if !target(u) {
+			continue
+		}
+		for _, f := range u.Files {
+			if p.isTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				body, kind := rowLoop(u.Info, n)
+				if body == nil {
+					return true
+				}
+				if pollsInside(u.Info, body, polling) {
+					return true
+				}
+				out = append(out, finding{
+					analyzer: "ctxloop",
+					pos:      p.posOf(n.Pos()),
+					msg: kind + " does not poll the governor or ctx; stride-check with gov.check/addRows " +
+						"(engine) or engine.CheckCtx (core) so cancellation stops it, or waive with // pctvet:ok <reason>",
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// rowLoop reports whether n is a loop over rows: its body and a short
+// description, or nil.
+func rowLoop(info *types.Info, n ast.Node) (*ast.BlockStmt, string) {
+	switch l := n.(type) {
+	case *ast.RangeStmt:
+		if isRowSlice(info.Types[l.X].Type) {
+			return l.Body, "row loop (range over rows)"
+		}
+		if drainsIterator(info, l.Body) {
+			return l.Body, "row loop (iterator drain)"
+		}
+	case *ast.ForStmt:
+		if drainsIterator(info, l.Body) {
+			return l.Body, "row loop (iterator drain)"
+		}
+	}
+	return nil, ""
+}
+
+// isRowSlice reports whether t is a slice/array of rows, where a row is a
+// []value.Value (possibly behind named types).
+func isRowSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	elem := elemOf(t)
+	if elem == nil {
+		return false
+	}
+	row, ok := elem.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isNamedType(row.Elem(), "value", "Value")
+}
+
+// elemOf returns the element type of a slice or array, or nil.
+func elemOf(t types.Type) types.Type {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	}
+	return nil
+}
+
+// drainsIterator reports whether the loop body calls a next/Next method
+// whose first result is a row ([]value.Value).
+func drainsIterator(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		fn := calleeOf(info, call)
+		if fn == nil || (fn.Name() != "next" && fn.Name() != "Next") {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Results().Len() == 0 {
+			return true
+		}
+		first, ok := sig.Results().At(0).Type().Underlying().(*types.Slice)
+		if ok && isNamedType(first.Elem(), "value", "Value") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// directPoll reports whether the call checks the governor or the context.
+func directPoll(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return false
+	}
+	name := fn.Name()
+	if name == "CheckCtx" {
+		return true
+	}
+	recv := recvType(fn)
+	if recv == nil {
+		return false
+	}
+	switch name {
+	case "check", "addScanned", "addRows", "addBytes", "addGroups":
+		return namedName(recv) == "governor"
+	case "Err":
+		return isNamedType(recv, "context", "Context")
+	}
+	return false
+}
+
+// namedName returns the bare name of a named type behind a pointer, or "".
+func namedName(t types.Type) string {
+	if n, ok := deref(t).(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// pollingFuncs computes the set of module functions that poll the
+// governor or context, directly or transitively through calls to other
+// polling module functions.
+func pollingFuncs(p *pass) map[*types.Func]bool {
+	type fn struct {
+		obj  *types.Func
+		body *ast.BlockStmt
+		info *types.Info
+	}
+	var fns []fn
+	for _, u := range p.units {
+		for _, f := range u.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := u.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fns = append(fns, fn{obj: obj, body: fd.Body, info: u.Info})
+			}
+		}
+	}
+
+	polling := map[*types.Func]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			if polling[f.obj] {
+				continue
+			}
+			hit := false
+			ast.Inspect(f.body, func(n ast.Node) bool {
+				if hit {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if directPoll(f.info, call) {
+					hit = true
+					return false
+				}
+				if callee := calleeOf(f.info, call); callee != nil && polling[callee] {
+					hit = true
+					return false
+				}
+				return true
+			})
+			if hit {
+				polling[f.obj] = true
+				changed = true
+			}
+		}
+	}
+	return polling
+}
+
+// pollsInside reports whether the loop body contains a direct poll or a
+// call to a polling function.
+func pollsInside(info *types.Info, body *ast.BlockStmt, polling map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if directPoll(info, call) {
+			found = true
+			return false
+		}
+		if callee := calleeOf(info, call); callee != nil && polling[callee] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ctxpass flags context drops: a function that holds a context.Context
+// parameter but calls a callee Foo when a sibling FooCtx — same receiver
+// type or same package, first parameter context.Context — exists. Calling
+// the plain variant from context-carrying code silently severs the
+// cancellation chain (the plain variants exist only for context-free
+// entry points). The fix is to call the ...Ctx variant; intentional
+// detaches are waived with // pctvet:ok <reason>.
+//
+// Calls inside defer statements (directly or in a deferred closure) are
+// exempt: deferred cleanup must run even after the context is cancelled,
+// so detaching there is the convention, not a bug.
+func ctxpass(p *pass) []finding {
+	var out []finding
+	for _, u := range p.units {
+		for _, f := range u.Files {
+			if p.isTestFile(f.Pos()) {
+				continue
+			}
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !holdsContext(u.Info, fd) {
+					continue
+				}
+				out = append(out, scanCtxCalls(p, u.Info, fd.Body)...)
+			}
+		}
+	}
+	return out
+}
+
+// holdsContext reports whether the function declares a context.Context
+// parameter.
+func holdsContext(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if isNamedType(info.Types[field.Type].Type, "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// scanCtxCalls walks a context-holding body for calls whose callee has an
+// unused ...Ctx sibling.
+func scanCtxCalls(p *pass, info *types.Info, body *ast.BlockStmt) []finding {
+	var out []finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return false // deferred cleanup runs detached by design
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil {
+			return true
+		}
+		sibling := ctxSibling(fn)
+		if sibling == nil {
+			return true
+		}
+		out = append(out, finding{
+			analyzer: "ctxpass",
+			pos:      p.posOf(call.Pos()),
+			msg: fmt.Sprintf("call to %s drops the context this function holds; call %s with the ctx, or waive with // pctvet:ok <reason>",
+				fn.Name(), sibling.Name()),
+		})
+		return true
+	})
+	return out
+}
+
+// ctxSibling returns the callee's ...Ctx variant — a function or method
+// named <callee>Ctx whose first parameter is context.Context — or nil.
+// Callees that already take a context anywhere, or are themselves a Ctx
+// variant, have no sibling to prefer.
+func ctxSibling(fn *types.Func) *types.Func {
+	name := fn.Name()
+	if len(name) >= 3 && name[len(name)-3:] == "Ctx" {
+		return nil
+	}
+	if takesContext(fn) {
+		return nil
+	}
+	var obj types.Object
+	if recv := recvType(fn); recv != nil {
+		obj, _, _ = types.LookupFieldOrMethod(recv, true, fn.Pkg(), name+"Ctx")
+	} else if fn.Pkg() != nil {
+		obj = fn.Pkg().Scope().Lookup(name + "Ctx")
+	}
+	sib, ok := obj.(*types.Func)
+	if !ok || !firstParamIsContext(sib) {
+		return nil
+	}
+	return sib
+}
+
+// takesContext reports whether any parameter of fn is a context.Context.
+func takesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isNamedType(sig.Params().At(i).Type(), "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// firstParamIsContext reports whether fn's first parameter is a
+// context.Context.
+func firstParamIsContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return isNamedType(sig.Params().At(0).Type(), "context", "Context")
+}

@@ -1,0 +1,303 @@
+// Command pctvet is the engine's own vet: a multi-analyzer that enforces
+// the cross-cutting conventions the codebase's correctness rests on. The
+// SQL linter (cmd/pctlint) checks percentage queries against the paper's
+// usage rules; pctvet checks the Go code that implements the engine
+// against its own invariants:
+//
+//	ctxloop     row/partition loops in internal/engine and internal/core
+//	            must poll the governor or ctx, so cancellation and budgets
+//	            stop a statement within a bounded number of rows
+//	spanend     every started obs.Span is ended on all return paths (defer,
+//	            an End on each path, or ownership transfer), so traces never
+//	            leak unclosed spans
+//	ctxpass     a function holding a context.Context must not call a callee
+//	            that has a ...Ctx variant without passing the context
+//	metricname  metric and chaos-point string literals must match the
+//	            registered name sets, catching typos the stability tests
+//	            would only pin after the fact
+//	codesync    PCT diagnostic codes stay in sync: every constant in
+//	            internal/diag is registered, documented in the README code
+//	            table, and used somewhere; no stray PCTxxx literals
+//
+// Like tools/floateq it is stdlib-only, built on the shared
+// tools/internal/loadpkg loader (go/parser + go/types; the standard
+// library comes from the source importer).
+//
+// Usage:
+//
+//	go run ./tools/pctvet [flags] [dir]   # dir defaults to the module root (cwd)
+//
+// Flags:
+//
+//	-only a,b   run only the named analyzers
+//	-list       print the analyzer names and exit
+//
+// A finding is waived with a "// pctvet:ok <reason>" comment on the
+// offending line; the reason is mandatory — a bare marker keeps the
+// finding. Exit status: 0 clean, 1 findings, 2 load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/tools/internal/loadpkg"
+)
+
+// finding is one analyzer report.
+type finding struct {
+	analyzer string
+	pos      token.Position
+	msg      string
+}
+
+// pass is the loaded module handed to every analyzer.
+type pass struct {
+	fset    *token.FileSet
+	units   []*loadpkg.Unit
+	modRoot string
+}
+
+// analyzer is one named check over the loaded module.
+type analyzer struct {
+	name string
+	doc  string
+	run  func(*pass) []finding
+}
+
+// analyzers lists every check, in the order findings group.
+var analyzers = []analyzer{
+	{"ctxloop", "row/partition loops in internal/engine and internal/core must poll the governor or ctx", ctxloop},
+	{"spanend", "every started obs.Span must be ended on all return paths", spanend},
+	{"ctxpass", "a function holding a context.Context must pass it to ...Ctx-capable callees", ctxpass},
+	{"metricname", "metric and chaos-point string literals must match the registered name sets", metricname},
+	{"codesync", "PCT diagnostic codes: declared ↔ registered ↔ documented ↔ used", codesync},
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pctvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "print analyzer names and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s  %s\n", a.name, a.doc)
+		}
+		return 0
+	}
+	root := "."
+	if fs.NArg() > 0 {
+		root = fs.Arg(0)
+	}
+
+	selected, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, "pctvet:", err)
+		return 2
+	}
+
+	l, err := loadpkg.New(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "pctvet:", err)
+		return 2
+	}
+	units, err := l.Load()
+	if err != nil {
+		fmt.Fprintln(stderr, "pctvet:", err)
+		return 2
+	}
+	p := &pass{fset: l.Fset, units: units, modRoot: l.ModRoot()}
+
+	findings := collect(p, selected)
+	for _, f := range findings {
+		rel := f.pos.Filename
+		if r, err := filepath.Rel(l.ModRoot(), rel); err == nil {
+			rel = r
+		}
+		if f.pos.Line > 0 {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel, f.pos.Line, f.pos.Column, f.analyzer, f.msg)
+		} else {
+			fmt.Fprintf(stdout, "%s: %s: %s\n", rel, f.analyzer, f.msg)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -only flag to a subset of analyzers.
+func selectAnalyzers(only string) ([]analyzer, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := map[string]analyzer{}
+	for _, a := range analyzers {
+		byName[a.name] = a
+	}
+	var out []analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// collect runs the analyzers, applies waivers, and sorts the surviving
+// findings by (file, line, col, analyzer).
+func collect(p *pass, selected []analyzer) []finding {
+	waived := p.waivers()
+	var out []finding
+	for _, a := range selected {
+		for _, f := range a.run(p) {
+			// A waiver comment counts on the finding's own line (trailing)
+			// or on the line directly above it.
+			reason, ok := waived[f.pos.Filename][f.pos.Line]
+			if !ok {
+				reason, ok = waived[f.pos.Filename][f.pos.Line-1]
+			}
+			if ok {
+				if reason != "" {
+					continue
+				}
+				f.msg += " (pctvet:ok waiver needs a reason)"
+			}
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.analyzer < b.analyzer
+	})
+	return out
+}
+
+// waivers collects every "pctvet:ok" line across the module.
+func (p *pass) waivers() map[string]map[int]string {
+	out := map[string]map[int]string{}
+	for _, u := range p.units {
+		for file, lines := range loadpkg.Waivers(p.fset, u.Files, "pctvet:ok") {
+			if out[file] == nil {
+				out[file] = map[int]string{}
+			}
+			for line, reason := range lines {
+				out[file][line] = reason
+			}
+		}
+	}
+	return out
+}
+
+// ----- shared type/AST helpers -----
+
+// isTestFile reports whether pos is inside a _test.go file.
+func (p *pass) isTestFile(pos token.Pos) bool {
+	return loadpkg.IsTestFile(p.fset, pos)
+}
+
+// pkgBase returns the base element of a package path ("repro/internal/obs"
+// → "obs"), or "" for a nil package.
+func pkgBase(pkg *types.Package) string {
+	if pkg == nil {
+		return ""
+	}
+	path := pkg.Path()
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// deref strips one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// isNamedType reports whether t (possibly behind a pointer) is the named
+// type name declared in a package whose base name is pkg.
+func isNamedType(t types.Type, pkg, name string) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == name && pkgBase(n.Obj().Pkg()) == pkg
+}
+
+// calleeOf resolves the called function or method of a call expression,
+// or nil for indirect calls and conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fn].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fn.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// recvType returns the receiver type of a method, or nil for a plain
+// function.
+func recvType(f *types.Func) types.Type {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// hasSuffixPath reports whether the unit's import path is path or ends in
+// "/"+path.
+func hasSuffixPath(u *loadpkg.Unit, path string) bool {
+	return u.ImportPath == path || strings.HasSuffix(u.ImportPath, "/"+path)
+}
+
+// posOf converts a token.Pos into a position.
+func (p *pass) posOf(pos token.Pos) token.Position { return p.fset.Position(pos) }
+
+// relPos renders a position with the filename relative to the module root,
+// for use inside finding messages.
+func (p *pass) relPos(pos token.Pos) string {
+	q := p.posOf(pos)
+	if r, err := filepath.Rel(p.modRoot, q.Filename); err == nil {
+		q.Filename = r
+	}
+	return q.String()
+}

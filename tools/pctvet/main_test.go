@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the corpus golden file")
+
+// runCorpus runs the analyzers over the golden corpus module.
+func runCorpus(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(append(args, filepath.Join("testdata", "corpus")), &out, &errb)
+	if errb.Len() > 0 {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+	return out.String(), code
+}
+
+// TestCorpusGolden pins the full analyzer output over the corpus module.
+func TestCorpusGolden(t *testing.T) {
+	got, code := runCorpus(t)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (corpus has deliberate findings)\noutput:\n%s", code, got)
+	}
+	golden := filepath.Join("testdata", "corpus.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("corpus output mismatch (run with -update to rebless)\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestEveryAnalyzerFires demands at least one corpus finding per analyzer:
+// an analyzer that cannot fire proves nothing.
+func TestEveryAnalyzerFires(t *testing.T) {
+	got, _ := runCorpus(t)
+	for _, a := range analyzers {
+		if !strings.Contains(got, " "+a.name+": ") {
+			t.Errorf("analyzer %s produced no corpus finding:\n%s", a.name, got)
+		}
+	}
+}
+
+// TestWaivers verifies both waiver behaviors on the corpus: a reasoned
+// waiver suppresses, a bare one survives annotated.
+func TestWaivers(t *testing.T) {
+	got, _ := runCorpus(t)
+	if strings.Contains(got, "scanWaived") || strings.Contains(got, "corpus: bounded copy") {
+		t.Errorf("reasoned waiver did not suppress its finding:\n%s", got)
+	}
+	if !strings.Contains(got, "(pctvet:ok waiver needs a reason)") {
+		t.Errorf("bare waiver finding missing its annotation:\n%s", got)
+	}
+}
+
+// TestDeterministic runs the corpus twice and demands identical output.
+func TestDeterministic(t *testing.T) {
+	a, _ := runCorpus(t)
+	b, _ := runCorpus(t)
+	if a != b {
+		t.Errorf("two runs disagree\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}
+
+// TestOnlyFlag restricts the run to one analyzer.
+func TestOnlyFlag(t *testing.T) {
+	got, code := runCorpus(t, "-only", "ctxloop")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	for _, a := range analyzers {
+		hit := strings.Contains(got, " "+a.name+": ")
+		if a.name == "ctxloop" && !hit {
+			t.Errorf("-only ctxloop produced no ctxloop findings:\n%s", got)
+		}
+		if a.name != "ctxloop" && hit {
+			t.Errorf("-only ctxloop leaked %s findings:\n%s", a.name, got)
+		}
+	}
+}
+
+// TestUnknownAnalyzer exercises the flag error path.
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "nosuch", "testdata/corpus"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr = %q, want unknown-analyzer error", errb.String())
+	}
+}
+
+// TestList prints the analyzer table.
+func TestList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, a := range analyzers {
+		if !strings.Contains(out.String(), a.name) {
+			t.Errorf("-list output missing %s:\n%s", a.name, out.String())
+		}
+	}
+}

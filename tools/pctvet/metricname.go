@@ -1,0 +1,186 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// metricname keeps observability names honest. Metric names are registered
+// once, in production var blocks (obs.Default.Counter("engine.statements")
+// …); chaos fault points are package-level constants in internal/chaos.
+// Everywhere else — stability tests, dashboards' guard tests, \metrics
+// assertions — names appear as string literals, and a typo there silently
+// reads a zero-valued metric instead of failing. The analyzer:
+//
+//   - collects the registered name set: literal (or literal-prefix) args
+//     of Counter/Gauge/Histogram registrations in non-test files, plus the
+//     chaos point constants;
+//   - flags any string literal shaped like a metric name
+//     (engine.*/core.*/cache.*/query.*) that is not in that set — test
+//     files included, they are the point;
+//   - flags raw literals passed to chaos.Arm/Hit/HitN: call sites must use
+//     the chaos constants so a renamed point cannot detach its tests.
+//
+// Span attribute keys (sp.Attr("cache.fallback", …)) are a separate
+// namespace and exempt.
+func metricname(p *pass) []finding {
+	known, prefixes := registeredNames(p)
+
+	var out []finding
+	for _, u := range p.units {
+		inChaos := hasSuffixPath(u, "internal/chaos")
+		for _, f := range u.Files {
+			exempt := exemptLits(u.Info, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && !inChaos {
+					out = append(out, checkChaosCall(p, u.Info, call)...)
+				}
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING || exempt[lit] {
+					return true
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil || !metricShape.MatchString(s) {
+					return true
+				}
+				if known[s] {
+					return true
+				}
+				for _, pre := range prefixes {
+					if strings.HasPrefix(s, pre) && len(s) > len(pre) {
+						return true
+					}
+				}
+				out = append(out, finding{
+					analyzer: "metricname",
+					pos:      p.posOf(lit.Pos()),
+					msg: fmt.Sprintf("%q is not a registered metric or chaos point name; "+
+						"fix the typo, register it, or waive with // pctvet:ok <reason>", s),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// metricShape matches the dotted names the engine's registries use.
+var metricShape = regexp.MustCompile(`^(engine|core|cache|query)(\.[A-Za-z0-9_]+)+$`)
+
+// registeredNames builds the known name set: metric registrations in
+// non-test files (a literal arg registers the name; a "lit" + expr arg
+// registers a dynamic prefix) and the chaos point constants.
+func registeredNames(p *pass) (map[string]bool, []string) {
+	known := map[string]bool{}
+	var prefixes []string
+	for _, u := range p.units {
+		for _, f := range u.Files {
+			if p.isTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				fn := calleeOf(u.Info, call)
+				if fn == nil || !isRegistration(fn) {
+					return true
+				}
+				switch arg := ast.Unparen(call.Args[0]).(type) {
+				case *ast.BasicLit:
+					if s, err := strconv.Unquote(arg.Value); err == nil {
+						known[s] = true
+					}
+				case *ast.BinaryExpr:
+					if arg.Op == token.ADD {
+						if lit, ok := ast.Unparen(arg.X).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+							if s, err := strconv.Unquote(lit.Value); err == nil {
+								prefixes = append(prefixes, s)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		if hasSuffixPath(u, "internal/chaos") {
+			for _, name := range u.Pkg.Scope().Names() {
+				c, ok := u.Pkg.Scope().Lookup(name).(*types.Const)
+				if !ok || c.Val().Kind() != constant.String {
+					continue
+				}
+				known[constant.StringVal(c.Val())] = true
+			}
+		}
+	}
+	return known, prefixes
+}
+
+// isRegistration reports whether fn is Registry.Counter/Gauge/Histogram
+// from the obs package.
+func isRegistration(fn *types.Func) bool {
+	switch fn.Name() {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return false
+	}
+	return isNamedType(recvType(fn), "obs", "Registry")
+}
+
+// exemptLits collects string literals that are span-attribute keys: first
+// args of Attr* methods on obs.Span.
+func exemptLits(info *types.Info, f *ast.File) map[*ast.BasicLit]bool {
+	out := map[*ast.BasicLit]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil || !strings.HasPrefix(fn.Name(), "Attr") {
+			return true
+		}
+		if !isNamedType(recvType(fn), "obs", "Span") {
+			return true
+		}
+		if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok {
+			out[lit] = true
+		}
+		return true
+	})
+	return out
+}
+
+// checkChaosCall flags chaos.Arm/Hit/HitN calls whose point argument is a
+// raw string literal instead of a chaos constant.
+func checkChaosCall(p *pass, info *types.Info, call *ast.CallExpr) []finding {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || pkgBase(fn.Pkg()) != "chaos" {
+		return nil
+	}
+	switch fn.Name() {
+	case "Arm", "Hit", "HitN":
+	default:
+		return nil
+	}
+	if len(call.Args) == 0 {
+		return nil
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil
+	}
+	return []finding{{
+		analyzer: "metricname",
+		pos:      p.posOf(lit.Pos()),
+		msg: fmt.Sprintf("chaos.%s called with a raw point literal; use the chaos package constant "+
+			"so renames cannot detach this call, or waive with // pctvet:ok <reason>", fn.Name()),
+	}}
+}

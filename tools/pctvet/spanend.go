@@ -1,0 +1,643 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// spanend enforces the tracing invariant behind obs.Span.Unclosed: every
+// span a function starts (obs.NewSpan / parent.NewChild) must be ended on
+// all return paths. A span counts as handled when:
+//
+//   - a defer ends it (defer sp.End(), defer sp.EndAll(...), or a deferred
+//     closure that references sp.End / sp.EndAll), which covers every exit;
+//   - every path from the creation to a return (and to the function's end)
+//     passes an sp.End() / sp.EndAll(...) call; or
+//   - ownership escapes: sp is returned, passed to another call, stored
+//     into a variable, field or composite literal, or captured by a
+//     non-deferred closure — the receiver is then responsible for it.
+//
+// The walk is path-sensitive over if/switch/select/for statements but
+// syntactic: it does not evaluate conditions. Panic paths are exempt (the
+// engine's containment calls EndAll("panic-unwind") while unwinding).
+func spanend(p *pass) []finding {
+	var out []finding
+	for _, u := range p.units {
+		if hasSuffixPath(u, "internal/obs") {
+			continue // the span implementation itself manages lifetimes
+		}
+		for _, f := range u.Files {
+			if p.isTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					body = fn.Body
+				case *ast.FuncLit:
+					body = fn.Body
+				}
+				if body == nil {
+					return true
+				}
+				for _, c := range spanCreations(u.Info, body) {
+					out = append(out, checkSpanPaths(p, u.Info, body, c)...)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// creation is one "sp := x.NewChild(...)" (or NewSpan) assignment directly
+// inside the function body fn (not inside a nested function literal).
+type creation struct {
+	name *ast.Ident      // the span variable
+	stmt *ast.AssignStmt // the creating statement
+}
+
+// spanCreations finds span-creating assignments in body, skipping nested
+// function literals (they are analyzed as their own functions).
+func spanCreations(info *types.Info, body *ast.BlockStmt) []creation {
+	var out []creation
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil || (fn.Name() != "NewSpan" && fn.Name() != "NewChild") {
+			return true
+		}
+		if !isNamedType(info.Types[as.Rhs[0]].Type, "obs", "Span") {
+			return true
+		}
+		out = append(out, creation{name: id, stmt: as})
+		return true
+	})
+	return out
+}
+
+// spanState tracks one span variable along a path.
+type spanState int
+
+const (
+	stLive spanState = iota // started, not yet ended or escaped
+	stDone                  // ended, covered by a defer, or escaped
+)
+
+// meet merges the states of two joining paths: the span is only safe when
+// it is safe on both.
+func meet(a, b spanState) spanState {
+	if a == stDone && b == stDone {
+		return stDone
+	}
+	return stLive
+}
+
+// pathCheck walks statements tracking one span variable.
+type pathCheck struct {
+	p    *pass
+	info *types.Info
+	c    creation
+	out  []finding
+}
+
+// checkSpanPaths verifies one creation: every path from the creating
+// statement to a function exit must End the span, hand it off, or be
+// covered by a defer.
+func checkSpanPaths(p *pass, info *types.Info, body *ast.BlockStmt, c creation) []finding {
+	pc := &pathCheck{p: p, info: info, c: c}
+	st, terminated, found := pc.walkFrom(body.List)
+	if found && !terminated && st == stLive {
+		pc.reportAt(c.stmt, "span is still unfinished when the function returns")
+	}
+	return pc.out
+}
+
+// reportAt records a finding at pos.
+func (pc *pathCheck) reportAt(n ast.Node, msg string) {
+	pc.out = append(pc.out, finding{
+		analyzer: "spanend",
+		pos:      pc.p.posOf(n.Pos()),
+		msg: "span " + pc.c.name.Name + " started at " +
+			pc.p.relPos(pc.c.stmt.Pos()) + ": " + msg +
+			"; End it on this path, defer its End, or waive with // pctvet:ok <reason>",
+	})
+}
+
+// walkFrom processes a statement list that may contain the creation.
+// Before the creation is found, statements are only searched; after it,
+// the span is tracked. Returns the outgoing state, whether the path
+// terminated (return/panic/branch), and whether the creation was seen.
+func (pc *pathCheck) walkFrom(stmts []ast.Stmt) (spanState, bool, bool) {
+	st := stDone // irrelevant until found
+	found := false
+	for _, s := range stmts {
+		if !found {
+			if s == ast.Stmt(pc.c.stmt) {
+				found = true
+				st = stLive
+				continue
+			}
+			if inner, ok := containsStmt(s, pc.c.stmt); ok {
+				var term bool
+				st, term = pc.enterContaining(s, inner)
+				found = true
+				if term {
+					return st, true, true
+				}
+				continue
+			}
+			continue
+		}
+		var term bool
+		st, term = pc.step(s, st)
+		if term {
+			return st, true, true
+		}
+	}
+	return st, false, found
+}
+
+// containsStmt reports whether stmt contains target (strictly inside).
+func containsStmt(stmt ast.Stmt, target *ast.AssignStmt) (ast.Stmt, bool) {
+	if stmt == ast.Stmt(target) {
+		return stmt, true
+	}
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if n == ast.Node(target) {
+			found = true
+		}
+		return !found
+	})
+	return stmt, found
+}
+
+// enterContaining descends into the compound statement holding the
+// creation, tracks the span along the branch that creates it, and returns
+// the state at the compound statement's exit. Exclusive sibling branches
+// never see the span, so only the creating branch contributes.
+func (pc *pathCheck) enterContaining(s ast.Stmt, _ ast.Stmt) (spanState, bool) {
+	switch n := s.(type) {
+	case *ast.BlockStmt:
+		st, term, _ := pc.walkFrom(n.List)
+		return st, term
+	case *ast.IfStmt:
+		if _, ok := containsStmt(blockOrEmpty(n.Body), pc.c.stmt); ok {
+			st, term, _ := pc.walkFrom(n.Body.List)
+			return st, term
+		}
+		if n.Else != nil {
+			if inner, ok := containsStmt(n.Else, pc.c.stmt); ok {
+				return pc.enterContaining(n.Else, inner)
+			}
+		}
+		if n.Init != nil {
+			if _, ok := containsStmt(n.Init, pc.c.stmt); ok {
+				// created in the init clause: track through both branches
+				stT, termT := pc.walkBranch(n.Body.List, stLive)
+				stE, termE := stLive, false
+				if n.Else != nil {
+					stE, termE = pc.branchStmt(n.Else, stLive)
+				}
+				return pc.mergeBranches(stLive, n.Else != nil, stT, termT, stE, termE)
+			}
+		}
+		return stLive, false
+	case *ast.ForStmt:
+		if _, ok := containsStmt(blockOrEmpty(n.Body), pc.c.stmt); ok {
+			return pc.loopCreation(n.Body)
+		}
+		return stLive, false
+	case *ast.RangeStmt:
+		if _, ok := containsStmt(blockOrEmpty(n.Body), pc.c.stmt); ok {
+			return pc.loopCreation(n.Body)
+		}
+		return stLive, false
+	case *ast.SwitchStmt:
+		return pc.enterClauses(n.Body)
+	case *ast.TypeSwitchStmt:
+		return pc.enterClauses(n.Body)
+	case *ast.SelectStmt:
+		return pc.enterClauses(n.Body)
+	case *ast.LabeledStmt:
+		return pc.enterContaining(n.Stmt, nil)
+	default:
+		// Creation buried somewhere this walk does not model (e.g. inside
+		// an expression); treat as escaped rather than guess.
+		return stDone, false
+	}
+}
+
+// loopCreation handles a span created inside a loop body: the iteration
+// must finish it (or terminate), otherwise the next iteration overwrites
+// a live span.
+func (pc *pathCheck) loopCreation(body *ast.BlockStmt) (spanState, bool) {
+	st, term, _ := pc.walkFrom(body.List)
+	if !term && st == stLive {
+		pc.reportAt(pc.c.stmt, "span may still be live at the end of the loop iteration that created it")
+	}
+	// After the loop the variable is out of scope or finished.
+	return stDone, false
+}
+
+// enterClauses finds the case clause holding the creation and tracks it.
+func (pc *pathCheck) enterClauses(body *ast.BlockStmt) (spanState, bool) {
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			stmts = c.Body
+		}
+		for _, s := range stmts {
+			if _, ok := containsStmt(s, pc.c.stmt); ok {
+				st, term, _ := pc.walkFrom(stmts)
+				return st, term
+			}
+		}
+	}
+	return stDone, false
+}
+
+// step processes one statement while tracking the span, returning the new
+// state and whether the path terminated.
+func (pc *pathCheck) step(s ast.Stmt, st spanState) (spanState, bool) {
+	switch n := s.(type) {
+	case *ast.ExprStmt:
+		if isPanicCall(n.X) {
+			return st, true // unwinding: EndAll at the recovery site
+		}
+		return pc.stateAfterExpr(n.X, st), false
+	case *ast.AssignStmt:
+		if st == stLive && pc.usesVar(n) {
+			return stDone, false // stored somewhere: ownership transferred
+		}
+		return st, false
+	case *ast.DeferStmt:
+		if pc.deferEnds(n) {
+			return stDone, false
+		}
+		if st == stLive && pc.usesVar(n) {
+			return stDone, false // deferred call receives the span
+		}
+		return st, false
+	case *ast.GoStmt:
+		if st == stLive && pc.usesVar(n) {
+			return stDone, false // goroutine owns it now
+		}
+		return st, false
+	case *ast.ReturnStmt:
+		if pc.usesVar(n) {
+			return stDone, true // returned to the caller
+		}
+		if st == stLive {
+			pc.reportAt(n, "span may not be ended on this return path")
+		}
+		return st, true
+	case *ast.BranchStmt:
+		return st, true // break/continue/goto: leave this walk
+	case *ast.BlockStmt:
+		st2, term, _ := pc.walkBranchList(n.List, st)
+		return st2, term
+	case *ast.IfStmt:
+		stT, termT := pc.walkBranch(n.Body.List, st)
+		stE, termE := st, false
+		if n.Else != nil {
+			stE, termE = pc.branchStmt(n.Else, st)
+		}
+		// Narrow on a nil check of the span variable: obs spans are
+		// nil-safe, and on the nil arm there is nothing to end, so the
+		// "if sp != nil { sp.End() }" guard idiom counts as an End.
+		hasElse := n.Else != nil
+		switch pc.nilCheck(n.Cond) {
+		case 1: // sp != nil: the (possibly implicit) else arm holds a nil span
+			stE, termE, hasElse = stDone, false, true
+		case -1: // sp == nil: the then arm holds a nil span
+			stT, termT = stDone, false
+		}
+		return pc.mergeBranches(st, hasElse, stT, termT, stE, termE)
+	case *ast.ForStmt:
+		return pc.loopStep(n.Body, st)
+	case *ast.RangeStmt:
+		if st == stLive && pc.exprUsesVar(n.X) {
+			st = stDone
+		}
+		return pc.loopStep(n.Body, st)
+	case *ast.SwitchStmt:
+		return pc.clausesStep(n.Body, st, hasDefaultClause(n.Body))
+	case *ast.TypeSwitchStmt:
+		return pc.clausesStep(n.Body, st, hasDefaultClause(n.Body))
+	case *ast.SelectStmt:
+		return pc.clausesStep(n.Body, st, true) // select blocks until a case runs
+	case *ast.LabeledStmt:
+		return pc.step(n.Stmt, st)
+	case *ast.DeclStmt:
+		return st, false
+	default:
+		if st == stLive && pc.usesVar(s) {
+			return stDone, false
+		}
+		return st, false
+	}
+}
+
+// loopStep processes a loop encountered after the creation: violations
+// inside its body are reported, and the span survives the loop unchanged
+// unless the body handled it (a loop may run zero times, so the body's
+// effect alone cannot finish the span).
+func (pc *pathCheck) loopStep(body *ast.BlockStmt, st spanState) (spanState, bool) {
+	stBody, _, _ := pc.walkBranchList(body.List, st)
+	return meet(st, stBody), false
+}
+
+// clausesStep processes switch/select clauses from state st.
+func (pc *pathCheck) clausesStep(body *ast.BlockStmt, st spanState, exhaustive bool) (spanState, bool) {
+	merged := spanState(stDone)
+	allTerm := true
+	any := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			stmts = c.Body
+		}
+		any = true
+		stC, term := pc.walkBranch(stmts, st)
+		if !term {
+			merged = meet(merged, stC)
+			allTerm = false
+		}
+	}
+	if !exhaustive || !any {
+		merged = meet(merged, st)
+		allTerm = false
+	}
+	return merged, allTerm && any
+}
+
+// walkBranch tracks the span through a branch's statements.
+func (pc *pathCheck) walkBranch(stmts []ast.Stmt, st spanState) (spanState, bool) {
+	st2, term, _ := pc.walkBranchList(stmts, st)
+	return st2, term
+}
+
+// walkBranchList runs step over a statement list.
+func (pc *pathCheck) walkBranchList(stmts []ast.Stmt, st spanState) (spanState, bool, bool) {
+	for _, s := range stmts {
+		var term bool
+		st, term = pc.step(s, st)
+		if term {
+			return st, true, true
+		}
+	}
+	return st, false, true
+}
+
+// branchStmt handles an else arm: a block or a chained if.
+func (pc *pathCheck) branchStmt(s ast.Stmt, st spanState) (spanState, bool) {
+	switch n := s.(type) {
+	case *ast.BlockStmt:
+		return pc.walkBranch(n.List, st)
+	default:
+		return pc.step(s, st)
+	}
+}
+
+// mergeBranches joins an if's arms: terminated arms drop out of the merge;
+// when every arm terminates the whole statement terminates (an if without
+// else never terminates, since the condition may be false).
+func (pc *pathCheck) mergeBranches(stIn spanState, hasElse bool, stT spanState, termT bool, stE spanState, termE bool) (spanState, bool) {
+	if !hasElse {
+		stE, termE = stIn, false
+	}
+	switch {
+	case termT && termE:
+		return stIn, true
+	case termT:
+		return stE, false
+	case termE:
+		return stT, false
+	default:
+		return meet(stT, stE), false
+	}
+}
+
+// stateAfterExpr updates the state for an expression statement: an
+// End/EndAll call on the span finishes it; any other use hands it off.
+func (pc *pathCheck) stateAfterExpr(e ast.Expr, st spanState) spanState {
+	if pc.endsSpan(e) {
+		return stDone
+	}
+	if st == stLive && pc.exprUsesVarOutsideMethod(e) {
+		return stDone // passed to another call: ownership transferred
+	}
+	return st
+}
+
+// endsSpan reports whether e contains sp.End() or sp.EndAll(...).
+func (pc *pathCheck) endsSpan(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pc.sameVar(id) &&
+			(sel.Sel.Name == "End" || sel.Sel.Name == "EndAll") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// deferEnds reports whether the defer finishes the span: a direct
+// sp.End/sp.EndAll, or a deferred closure whose body references them.
+func (pc *pathCheck) deferEnds(d *ast.DeferStmt) bool {
+	if pc.endsSpan(d.Call.Fun) || pc.endsSpanCall(d.Call) {
+		return true
+	}
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pc.sameVar(id) &&
+				(sel.Sel.Name == "End" || sel.Sel.Name == "EndAll") {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}
+
+// endsSpanCall reports whether the call itself is sp.End()/sp.EndAll(...).
+func (pc *pathCheck) endsSpanCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pc.sameVar(id) && (sel.Sel.Name == "End" || sel.Sel.Name == "EndAll")
+}
+
+// sameVar reports whether the identifier denotes the tracked span
+// variable (same object, not just the same name).
+func (pc *pathCheck) sameVar(id *ast.Ident) bool {
+	want := pc.info.Defs[pc.c.name]
+	if want == nil {
+		want = pc.info.Uses[pc.c.name]
+	}
+	if want == nil {
+		return id.Name == pc.c.name.Name
+	}
+	got := pc.info.Uses[id]
+	if got == nil {
+		got = pc.info.Defs[id]
+	}
+	return got == want
+}
+
+// usesVar reports whether the statement references the span variable.
+func (pc *pathCheck) usesVar(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := x.(*ast.Ident); ok && pc.sameVar(id) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exprUsesVar reports whether the expression references the span variable.
+func (pc *pathCheck) exprUsesVar(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	return pc.usesVar(e)
+}
+
+// exprUsesVarOutsideMethod reports whether e uses the span variable other
+// than as the receiver of a method call (sp.Attr(...) keeps ownership;
+// f(sp) or m[k] = sp hands it off).
+func (pc *pathCheck) exprUsesVarOutsideMethod(e ast.Expr) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		// A selector whose base is the span variable is a method/field
+		// access: skip the base identifier, visit the call arguments.
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pc.sameVar(id) {
+				return false
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && pc.sameVar(id) {
+			found = true
+			return false
+		}
+		return true
+	}
+	ast.Inspect(e, walk)
+	return found
+}
+
+// nilCheck classifies an if condition against the span variable:
+// +1 for "sp != nil", -1 for "sp == nil", 0 for anything else.
+func (pc *pathCheck) nilCheck(cond ast.Expr) int {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return 0
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	var idSide ast.Expr
+	if isNilIdent(y) {
+		idSide = x
+	} else if isNilIdent(x) {
+		idSide = y
+	} else {
+		return 0
+	}
+	id, ok := idSide.(*ast.Ident)
+	if !ok || !pc.sameVar(id) {
+		return 0
+	}
+	if be.Op == token.NEQ {
+		return 1
+	}
+	return -1
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// hasDefaultClause reports whether a switch body has a default case.
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if c, ok := cl.(*ast.CaseClause); ok && c.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isPanicCall reports whether e is a call to the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// blockOrEmpty returns b, or an empty block when nil.
+func blockOrEmpty(b *ast.BlockStmt) *ast.BlockStmt {
+	if b == nil {
+		return &ast.BlockStmt{}
+	}
+	return b
+}

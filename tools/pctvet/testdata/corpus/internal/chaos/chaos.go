@@ -1,0 +1,18 @@
+// Package chaos mirrors the repro fault-injection registry: named points
+// are package-level constants, and call sites must use them.
+package chaos
+
+// CorpusPoint fires in the corpus engine's scan loop.
+const CorpusPoint = "engine.corpus.point"
+
+// MergePoint fires in the corpus engine's merge step.
+const MergePoint = "core.corpus.merge"
+
+// Arm installs a fault at a named point.
+func Arm(point string, after int) { _, _ = point, after }
+
+// Hit reports whether a fault fires at the point.
+func Hit(point string) error { _ = point; return nil }
+
+// HitN reports whether a fault fires at the point for worker n.
+func HitN(point string, n int) error { _, _ = point, n; return nil }

@@ -1,0 +1,33 @@
+// Package core mirrors the repro planner side: loops here poll via
+// engine.CheckCtx rather than a governor handle.
+package core
+
+import (
+	"context"
+
+	"corpus/internal/engine"
+	"corpus/value"
+)
+
+// buildBad copies rows without polling: ctxloop fires.
+func buildBad(rows [][]value.Value) [][]value.Value {
+	out := make([][]value.Value, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r)
+	}
+	return out
+}
+
+// buildGood stride-polls the context through engine.CheckCtx: no finding.
+func buildGood(ctx context.Context, rows [][]value.Value) ([][]value.Value, error) {
+	out := make([][]value.Value, 0, len(rows))
+	for i, r := range rows {
+		if i%64 == 0 {
+			if err := engine.CheckCtx(ctx); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

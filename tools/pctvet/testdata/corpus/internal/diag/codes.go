@@ -1,0 +1,29 @@
+// Package diag mirrors the repro diagnostic-code catalogue: PCT constants,
+// a registry table, and the expectation that the README documents both.
+package diag
+
+const (
+	// CodeOne is fully consistent: registered, documented, used.
+	CodeOne = "PCT001"
+	// CodeTwo is deliberately missing from Registry (codesync fires).
+	CodeTwo = "PCT002"
+	// CodeThree is deliberately missing from the README table (codesync
+	// fires).
+	CodeThree = "PCT003"
+	// CodeDead is registered and documented but never used (codesync
+	// fires).
+	CodeDead = "PCT004"
+)
+
+// CodeInfo describes one diagnostic code.
+type CodeInfo struct {
+	Code  string
+	Title string
+}
+
+// Registry lists the registered codes. CodeTwo is absent on purpose.
+var Registry = []CodeInfo{
+	{CodeOne, "corpus code one"},
+	{CodeThree, "corpus code three"},
+	{CodeDead, "corpus dead code"},
+}

@@ -1,0 +1,38 @@
+// Context cases for the ctxpass analyzer: plain/...Ctx sibling pairs as
+// methods and package functions, deferred-cleanup exemption.
+package engine
+
+import "context"
+
+type store struct{}
+
+func (s *store) Exec(q string) error                        { _ = q; return nil }
+func (s *store) ExecCtx(ctx context.Context, q string) error { _ = q; return ctx.Err() }
+
+// Flush and FlushCtx are package-level siblings.
+func Flush() {}
+
+// FlushCtx is the context-aware variant of Flush.
+func FlushCtx(ctx context.Context) { _ = ctx }
+
+// execDrop holds a ctx but calls the plain variants: ctxpass fires on
+// both calls.
+func execDrop(ctx context.Context, s *store) error {
+	Flush()
+	return s.Exec("q")
+}
+
+// execPass forwards the context: no finding.
+func execPass(ctx context.Context, s *store) error {
+	FlushCtx(ctx)
+	return s.ExecCtx(ctx, "q")
+}
+
+// execCleanup defers detached cleanup, which is exempt by design.
+func execCleanup(ctx context.Context, s *store) error {
+	defer func() { _ = s.Exec("cleanup") }()
+	return s.ExecCtx(ctx, "q")
+}
+
+// execNoCtx has no context in hand, so the plain variant is fine.
+func execNoCtx(s *store) error { return s.Exec("q") }

@@ -1,0 +1,119 @@
+// Loop cases for the ctxloop analyzer: row loops and iterator drains,
+// governed and ungoverned.
+package engine
+
+import (
+	"context"
+
+	"corpus/value"
+)
+
+const stride = 64
+
+// governor mirrors the repro engine's statement governor.
+type governor struct{ n int64 }
+
+func (g *governor) check() error          { return nil }
+func (g *governor) addRows(n int64) error { g.n += n; return nil }
+
+// CheckCtx returns the context's error, the core-side polling idiom.
+func CheckCtx(ctx context.Context) error { return ctx.Err() }
+
+// rowIter is a row iterator (next returns a row).
+type rowIter struct {
+	rows [][]value.Value
+	pos  int
+}
+
+func (it *rowIter) next() ([]value.Value, bool, error) {
+	if it.pos >= len(it.rows) {
+		return nil, false, nil
+	}
+	r := it.rows[it.pos]
+	it.pos++
+	return r, true, nil
+}
+
+// scanBad ranges over rows without polling: ctxloop fires.
+func scanBad(rows [][]value.Value) int {
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	return total
+}
+
+// scanGood stride-polls the governor: no finding.
+func scanGood(rows [][]value.Value, gov *governor) (int, error) {
+	total := 0
+	for i, r := range rows {
+		if i%stride == 0 {
+			if err := gov.check(); err != nil {
+				return 0, err
+			}
+		}
+		total += len(r)
+	}
+	return total, nil
+}
+
+// pollHelper polls on behalf of its callers.
+func pollHelper(gov *governor) error { return gov.check() }
+
+// scanViaHelper polls transitively through pollHelper: no finding.
+func scanViaHelper(rows [][]value.Value, gov *governor) int {
+	total := 0
+	for _, r := range rows {
+		if pollHelper(gov) != nil {
+			return total
+		}
+		total += len(r)
+	}
+	return total
+}
+
+// drainBad drains an iterator without polling: ctxloop fires.
+func drainBad(it *rowIter) int {
+	total := 0
+	for {
+		r, ok, err := it.next()
+		if !ok || err != nil {
+			return total
+		}
+		total += len(r)
+	}
+}
+
+// drainCtx drains an iterator polling ctx.Err: no finding.
+func drainCtx(ctx context.Context, it *rowIter) int {
+	total := 0
+	for {
+		if ctx.Err() != nil {
+			return total
+		}
+		r, ok, err := it.next()
+		if !ok || err != nil {
+			return total
+		}
+		total += len(r)
+	}
+}
+
+// scanWaived carries a waiver with a reason: suppressed.
+func scanWaived(rows [][]value.Value) int {
+	total := 0
+	// pctvet:ok corpus: bounded copy of an already-governed result
+	for _, r := range rows {
+		total += len(r)
+	}
+	return total
+}
+
+// scanBareWaiver carries a bare waiver: the finding survives, annotated.
+func scanBareWaiver(rows [][]value.Value) int {
+	total := 0
+	for _, r := range rows { // pctvet:ok
+		total += len(r)
+	}
+	return total
+}

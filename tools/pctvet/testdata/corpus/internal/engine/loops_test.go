@@ -1,0 +1,23 @@
+package engine
+
+import (
+	"testing"
+
+	"corpus/value"
+)
+
+// Row loops in test files are exempt from ctxloop: tests drive operators
+// directly, without a statement governor.
+func sumRows(rows [][]value.Value) int {
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	return total
+}
+
+func TestSum(t *testing.T) {
+	if sumRows(nil) != 0 {
+		t.Fatal("sum of no rows")
+	}
+}

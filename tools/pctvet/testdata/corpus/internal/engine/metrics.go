@@ -1,0 +1,40 @@
+// Metric and code cases for the metricname and codesync analyzers.
+package engine
+
+import (
+	"corpus/internal/chaos"
+	"corpus/internal/diag"
+	"corpus/obs"
+)
+
+var (
+	mRows  = obs.Default.Counter("engine.corpus.rows")
+	mDepth = obs.Default.Gauge("engine.corpus.depth")
+	mNs    = obs.Default.Histogram("engine.corpus.ns")
+)
+
+// countError registers a dynamic name under the query.errors. prefix.
+func countError(code string) { obs.Default.Counter("query.errors." + code).Inc() }
+
+// useGood references registered and prefix-matched names: no finding.
+func useGood() []string {
+	return []string{"engine.corpus.rows", "query.errors.PCT001"}
+}
+
+// useTypo references a name nothing registered: metricname fires.
+func useTypo() string {
+	return "engine.corpus.rowz"
+}
+
+// hitGood uses the chaos constant: no finding.
+func hitGood() error { return chaos.Hit(chaos.CorpusPoint) }
+
+// hitRaw passes a raw literal; the value is a known point, so only the
+// raw-literal check fires.
+func hitRaw() error { return chaos.Hit("engine.corpus.point") }
+
+// codeUse keeps PCT001–PCT003 alive for codesync and spells one code that
+// does not exist: codesync fires on the stray literal.
+func codeUse() []string {
+	return []string{diag.CodeOne, diag.CodeTwo, diag.CodeThree, "PCT999"}
+}

@@ -1,0 +1,74 @@
+// Span cases for the spanend analyzer: leaks, defers, per-path ends,
+// escapes, and the nil-check guard idiom.
+package engine
+
+import (
+	"errors"
+
+	"corpus/obs"
+)
+
+var errFail = errors.New("fail")
+
+// spanLeak returns with the span still live on the failure path: spanend
+// fires at the return.
+func spanLeak(parent *obs.Span, fail bool) error {
+	sp := parent.NewChild("leak")
+	if fail {
+		return errFail
+	}
+	sp.End()
+	return nil
+}
+
+// spanDefer ends via defer on every path: no finding.
+func spanDefer(parent *obs.Span, fail bool) error {
+	sp := parent.NewChild("defer")
+	defer sp.End()
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// spanAllPaths ends explicitly on each return path; Attr in between is
+// neutral: no finding.
+func spanAllPaths(parent *obs.Span, fail bool) error {
+	sp := parent.NewChild("paths")
+	if fail {
+		sp.Attr("outcome", "fail")
+		sp.EndAll("fail")
+		return errFail
+	}
+	sp.End()
+	return nil
+}
+
+// spanEscape hands the span to its caller, which owns it: no finding.
+func spanEscape(parent *obs.Span) *obs.Span {
+	sp := parent.NewChild("escape")
+	return sp
+}
+
+// spanGuard uses the nil-check guard idiom: no finding.
+func spanGuard(parent *obs.Span, deep bool) {
+	var sp *obs.Span
+	if deep {
+		sp = parent.NewChild("guard")
+	}
+	if sp != nil {
+		sp.End()
+	}
+}
+
+// spanLoopLeak overwrites a live span every iteration and ends only the
+// last: spanend fires at the creation.
+func spanLoopLeak(parent *obs.Span, names []string) {
+	var sp *obs.Span
+	for _, n := range names {
+		sp = parent.NewChild(n)
+	}
+	if sp != nil {
+		sp.End()
+	}
+}

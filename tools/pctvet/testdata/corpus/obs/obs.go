@@ -1,0 +1,100 @@
+// Package obs mirrors the repro observability layer: a span tree and a
+// named-metric registry, just enough surface for the analyzers to bind to.
+package obs
+
+// Span is one node of an execution trace.
+type Span struct {
+	name     string
+	children []*Span
+}
+
+// NewSpan starts a root span.
+func NewSpan(name string) *Span { return &Span{name: name} }
+
+// NewChild starts a child span.
+func (s *Span) NewChild(name string) *Span {
+	c := &Span{name: name}
+	if s != nil {
+		s.children = append(s.children, c)
+	}
+	return c
+}
+
+// End finishes the span.
+func (s *Span) End() {}
+
+// EndAll finishes the span and every open descendant.
+func (s *Span) EndAll(reason string) { _ = reason }
+
+// Attr records a key/value attribute.
+func (s *Span) Attr(k, v string) { _, _ = k, v }
+
+// SetRows records input/output row counts.
+func (s *Span) SetRows(in, out int64) { _, _ = in, out }
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v int64 }
+
+// Inc increments the counter.
+func (c *Counter) Inc() { c.v++ }
+
+// Gauge is a settable metric.
+type Gauge struct{ v int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Histogram accumulates duration samples.
+type Histogram struct{ n int64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(ns int64) { h.n++ }
+
+// Registry holds named metrics.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry.
+var Default = NewRegistry()
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, registering it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{}
+	r.hists[name] = h
+	return h
+}

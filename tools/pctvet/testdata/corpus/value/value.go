@@ -1,0 +1,11 @@
+// Package value mirrors the repro engine's row cell type: rows are
+// []value.Value, row collections [][]value.Value.
+package value
+
+// Value is one row cell.
+type Value struct {
+	S string
+}
+
+// String renders the cell.
+func (v Value) String() string { return v.S }
