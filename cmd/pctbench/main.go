@@ -7,6 +7,7 @@
 //	pctbench -table 4              # only Table 4
 //	pctbench -table parallel       # sequential vs parallel aggregation
 //	pctbench -table cache          # summary cache: cold vs cached vs delta
+//	pctbench -table cube           # percentage cubes over the cached lattice
 //	pctbench -scale small|medium|paper
 //	pctbench -reps 3               # average over repetitions
 //	pctbench -o results.txt        # also write to a file
@@ -36,7 +37,7 @@ import (
 
 func main() {
 	scale := flag.String("scale", "medium", "data scale: small, medium, or paper")
-	table := flag.String("table", "all", "which table to run: 4, 5, 6, h3, ablation, update, shared, parallel, cache, or all")
+	table := flag.String("table", "all", "which table to run: 4, 5, 6, h3, ablation, update, shared, parallel, cache, cube, or all")
 	reps := flag.Int("reps", 1, "repetitions per measurement (the paper used 5)")
 	out := flag.String("o", "", "also write results to this file")
 	jsonOut := flag.String("json", "", "also write timings to this file as JSON")
@@ -103,6 +104,7 @@ func main() {
 		{"shared", s.RunAblationShared},
 		{"parallel", s.RunTableParallel},
 		{"cache", s.RunTableCache},
+		{"cube", s.RunTableCube},
 	}
 	want := strings.ToLower(*table)
 	ran := want == "none" // -table none: only side outputs like -breakdown
@@ -124,7 +126,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "pctbench: unknown table %q (4, 5, 6, h3, ablation, update, shared, parallel, cache, all, none)\n", *table)
+		fmt.Fprintf(os.Stderr, "pctbench: unknown table %q (4, 5, 6, h3, ablation, update, shared, parallel, cache, cube, all, none)\n", *table)
 		os.Exit(2)
 	}
 	if *jsonOut != "" {

@@ -1,6 +1,8 @@
 // Command pctq is an interactive SQL shell for the percentage-aggregation
 // engine. It accepts standard SQL plus the paper's extensions (Vpct, Hpct,
-// BY-aggregates, OVER/PARTITION BY) and a few backslash meta-commands.
+// BY-aggregates, OVER/PARTITION BY, and percentage cubes via GROUP BY
+// ROLLUP/CUBE/GROUPING SETS with GROUPING() markers) and a few backslash
+// meta-commands.
 //
 // Usage:
 //

@@ -63,6 +63,34 @@ func (q Query) HaggSQL() string {
 		q.dataset, strings.Join(q.totals, ", "))
 }
 
+// CubeVpctSQL renders the vertical percentage query as a percentage cube:
+// the GROUP BY wrapped in ROLLUP (CUBE for the single-dimension no-totals
+// form) with a GROUPING marker column, so the result carries every lattice
+// node from the finest grouping to the grand total.
+func (q Query) CubeVpctSQL() string {
+	if len(q.totals) == 0 {
+		list := strings.Join(q.by, ", ")
+		return fmt.Sprintf("SELECT %s, Vpct(%s), GROUPING(%s) FROM %s GROUP BY CUBE(%s)",
+			list, q.measure, list, q.dataset, list)
+	}
+	all := append(append([]string{}, q.totals...), q.by...)
+	list := strings.Join(all, ", ")
+	return fmt.Sprintf("SELECT %s, Vpct(%s BY %s), GROUPING(%s) FROM %s GROUP BY ROLLUP(%s)",
+		list, q.measure, strings.Join(q.by, ", "), list, q.dataset, list)
+}
+
+// CubeHpctSQL renders the horizontal percentage query with its GROUP BY
+// wrapped in ROLLUP, adding subtotal and grand-total rows to the cross-tab.
+// The no-totals form has no GROUP BY to roll up and returns "".
+func (q Query) CubeHpctSQL() string {
+	if len(q.totals) == 0 {
+		return ""
+	}
+	list := strings.Join(q.totals, ", ")
+	return fmt.Sprintf("SELECT %s, Hpct(%s BY %s), GROUPING(%s) FROM %s GROUP BY ROLLUP(%s)",
+		list, q.measure, strings.Join(q.by, ", "), list, q.dataset, list)
+}
+
 // PrimaryQueries are the eight queries of Tables 4, 5 and 6.
 func (s *Suite) PrimaryQueries() []Query {
 	return []Query{

@@ -79,6 +79,7 @@ const (
 	itemVertAgg                  // a standard aggregate without BY
 	itemPct                      // Vpct or Hpct
 	itemHoriz                    // standard aggregate with BY (Hagg)
+	itemGrouping                 // GROUPING(d1, …): the lattice-node marker
 )
 
 // item is one analyzed select-list term.
@@ -87,6 +88,7 @@ type item struct {
 	alias string        // user alias, may be empty
 	col   string        // itemGroupCol: column name
 	agg   *expr.AggCall // aggregate items
+	gcols []string      // itemGrouping: the marker's dimension arguments
 	span  diag.Span     // source span of the select item
 }
 
@@ -100,6 +102,14 @@ type analysis struct {
 	orderBy   []sqlparse.OrderKey
 	limit     int
 	schema    storage.Schema // schema of F
+
+	// Grouping-set lattice, when the query uses ROLLUP/CUBE/GROUPING SETS.
+	// groupCols then holds the finest dimension list (the union of all
+	// sets, first-appearance order) and sets the resolved lattice nodes,
+	// each a subset of groupCols in groupCols order, finest first.
+	hasSets  bool
+	setsKind sqlparse.GroupingKind
+	sets     [][]string
 }
 
 // classCounts tallies the BY-carrying aggregate kinds in a select list and
@@ -247,10 +257,33 @@ func (p *Planner) analyzeDiags(sel *sqlparse.Select) (*analysis, *diag.List) {
 	if l.HasErrors() {
 		return nil, l
 	}
-	if class == ClassStandard {
+	if class == ClassStandard && sel.GroupSets == nil {
+		// GROUPING() only means something over a grouping-set lattice.
+		for _, sit := range sel.Items {
+			if sit.Star {
+				continue
+			}
+			found := false
+			_ = expr.Walk(sit.Expr, func(n expr.Expr) error {
+				if fc, ok := n.(*expr.FuncCall); ok && strings.EqualFold(fc.Name, "GROUPING") {
+					found = true
+				}
+				return nil
+			})
+			if found {
+				l.Addf(diag.CodeGroupingMisuse, diag.Error, sit.Span,
+					"GROUPING() requires GROUP BY ROLLUP, CUBE, or GROUPING SETS")
+			}
+		}
 		return &analysis{class: ClassStandard}, l
 	}
 
+	// The structural constraints below apply to everything the planner
+	// rewrites: percentage queries and grouping-set (lattice) queries.
+	construct := "percentage aggregations"
+	if class == ClassStandard && sel.GroupSets != nil {
+		construct = sel.GroupSets.Kind.Keyword()
+	}
 	if len(sel.From) != 1 || sel.From[0].Join != sqlparse.JoinCross {
 		span := diag.Span{}
 		if len(sel.From) > 1 {
@@ -258,16 +291,20 @@ func (p *Planner) analyzeDiags(sel *sqlparse.Select) (*analysis, *diag.List) {
 		} else if len(sel.From) == 1 {
 			span = sel.From[0].Table.Span
 		}
+		what := "percentage"
+		if class == ClassStandard {
+			what = "grouping-set"
+		}
 		l.Addf(diag.CodeMultiTable, diag.Error, span,
-			"percentage queries read from a single table or view F; pre-join into a temporary table first")
+			"%s queries read from a single table or view F; pre-join into a temporary table first", what)
 	}
 	if sel.Having != nil {
 		l.Addf(diag.CodeHaving, diag.Error, sel.HavingSpan,
-			"HAVING is not supported with percentage aggregations")
+			"HAVING is not supported with %s", construct)
 	}
 	if sel.Distinct {
 		l.Addf(diag.CodeDistinct, diag.Error, sel.DistinctSpan,
-			"DISTINCT is not supported with percentage aggregations")
+			"DISTINCT is not supported with %s", construct)
 	}
 	if len(sel.From) == 0 {
 		return nil, l
@@ -293,25 +330,12 @@ func (p *Planner) analyzeDiags(sel *sqlparse.Select) (*analysis, *diag.List) {
 	// Resolve GROUP BY keys to column names (positions point at bare
 	// column items). A bad key is skipped so the remaining keys still
 	// resolve and later checks stay meaningful.
+	if sel.GroupSets != nil {
+		resolveGroupingSets(sel, a, l)
+	}
 	for _, g := range sel.GroupBy {
-		name := g.Column
-		if g.Position > 0 {
-			if g.Position > len(sel.Items) {
-				l.Addf(diag.CodeGroupByPosition, diag.Error, g.Span,
-					"GROUP BY position %d out of range", g.Position)
-				continue
-			}
-			ref, ok := sel.Items[g.Position-1].Expr.(*expr.ColumnRef)
-			if !ok {
-				l.Addf(diag.CodeGroupByPosition, diag.Error, g.Span,
-					"GROUP BY position %d must reference a column item", g.Position)
-				continue
-			}
-			name = ref.Name
-		}
-		if schema.ColumnIndex(name) < 0 {
-			l.Addf(diag.CodeGroupByUnknown, diag.Error, g.Span,
-				"GROUP BY column %q is not a column of %s", name, tableName)
+		name, ok := resolveGroupKey(sel, a, g, l)
+		if !ok {
 			continue
 		}
 		if containsFold(a.groupCols, name) {
@@ -325,7 +349,38 @@ func (p *Planner) analyzeDiags(sel *sqlparse.Select) (*analysis, *diag.List) {
 	for _, sit := range sel.Items {
 		if sit.Star {
 			l.Addf(diag.CodeSelectStar, diag.Error, sit.Span,
-				"SELECT * cannot be combined with percentage aggregations")
+				"SELECT * cannot be combined with %s", construct)
+			continue
+		}
+		if fc, ok := sit.Expr.(*expr.FuncCall); ok && strings.EqualFold(fc.Name, "GROUPING") {
+			it := item{kind: itemGrouping, alias: sit.Alias, span: sit.Span}
+			if !a.hasSets {
+				l.Addf(diag.CodeGroupingMisuse, diag.Error, sit.Span,
+					"GROUPING() requires GROUP BY ROLLUP, CUBE, or GROUPING SETS")
+			}
+			if len(fc.Args) == 0 {
+				l.Addf(diag.CodeGroupingMisuse, diag.Error, sit.Span,
+					"GROUPING() needs at least one dimension argument")
+			}
+			for _, arg := range fc.Args {
+				ref, ok := arg.(*expr.ColumnRef)
+				if !ok {
+					l.Addf(diag.CodeGroupingMisuse, diag.Error, sit.Span,
+						"GROUPING() arguments must be dimension columns, not %s", arg)
+					continue
+				}
+				if a.hasSets && !containsFold(a.groupCols, ref.Name) {
+					span := ref.Span
+					if span.IsZero() {
+						span = sit.Span
+					}
+					l.Addf(diag.CodeGroupingMisuse, diag.Error, span,
+						"GROUPING() argument %q is not a lattice dimension", ref.Name)
+					continue
+				}
+				it.gcols = append(it.gcols, ref.Name)
+			}
+			a.items = append(a.items, it)
 			continue
 		}
 		switch e := sit.Expr.(type) {
@@ -368,6 +423,155 @@ func (p *Planner) analyzeDiags(sel *sqlparse.Select) (*analysis, *diag.List) {
 
 	a.validateRules(l)
 	return a, l
+}
+
+// resolveGroupKey resolves one GROUP BY key (name or position) against the
+// select list and schema, reporting resolution failures.
+func resolveGroupKey(sel *sqlparse.Select, a *analysis, g sqlparse.GroupKey, l *diag.List) (string, bool) {
+	name := g.Column
+	if g.Position > 0 {
+		if g.Position > len(sel.Items) {
+			l.Addf(diag.CodeGroupByPosition, diag.Error, g.Span,
+				"GROUP BY position %d out of range", g.Position)
+			return "", false
+		}
+		ref, ok := sel.Items[g.Position-1].Expr.(*expr.ColumnRef)
+		if !ok {
+			l.Addf(diag.CodeGroupByPosition, diag.Error, g.Span,
+				"GROUP BY position %d must reference a column item", g.Position)
+			return "", false
+		}
+		name = ref.Name
+	}
+	if a.schema.ColumnIndex(name) < 0 {
+		l.Addf(diag.CodeGroupByUnknown, diag.Error, g.Span,
+			"GROUP BY column %q is not a column of %s", name, a.table)
+		return "", false
+	}
+	return name, true
+}
+
+// resolveGroupingSets resolves a ROLLUP/CUBE/GROUPING SETS construct into
+// the finest dimension list (a.groupCols) and the lattice's grouping sets
+// (a.sets), finest node first. Duplicate explicit sets are deduplicated
+// with a PCT112 warning: each distinct set is evaluated once.
+func resolveGroupingSets(sel *sqlparse.Select, a *analysis, l *diag.List) {
+	spec := sel.GroupSets
+	a.hasSets = true
+	a.setsKind = spec.Kind
+
+	switch spec.Kind {
+	case sqlparse.GroupRollup, sqlparse.GroupCube:
+		if len(spec.Dims) == 0 {
+			l.Addf(diag.CodeEmptyGroupingSets, diag.Error, spec.Span,
+				"%s() needs at least one dimension", spec.Kind.Keyword())
+			return
+		}
+		var dims []string
+		for _, g := range spec.Dims {
+			name, ok := resolveGroupKey(sel, a, g, l)
+			if !ok {
+				continue
+			}
+			if containsFold(dims, name) {
+				l.Addf(diag.CodeGroupByDuplicate, diag.Error, g.Span,
+					"duplicate %s dimension %q", spec.Kind.Keyword(), name)
+				continue
+			}
+			dims = append(dims, name)
+		}
+		a.groupCols = dims
+		k := len(dims)
+		if spec.Kind == sqlparse.GroupRollup {
+			// k+1 prefixes, finest to the grand total.
+			for j := k; j >= 0; j-- {
+				a.sets = append(a.sets, append([]string{}, dims[:j]...))
+			}
+		} else {
+			// All 2^k subsets, finest first, preserving dimension order
+			// within each subset.
+			for mask := (1 << k) - 1; mask >= 0; mask-- {
+				set := []string{}
+				for i := 0; i < k; i++ {
+					if mask&(1<<(k-1-i)) != 0 {
+						set = append(set, dims[i])
+					}
+				}
+				a.sets = append(a.sets, set)
+			}
+		}
+	case sqlparse.GroupSetsList:
+		if len(spec.Sets) == 0 {
+			l.Addf(diag.CodeEmptyGroupingSets, diag.Error, spec.Span,
+				"GROUPING SETS needs at least one set")
+			return
+		}
+		for _, rawSet := range spec.Sets {
+			set := []string{}
+			for _, g := range rawSet {
+				name, ok := resolveGroupKey(sel, a, g, l)
+				if !ok {
+					continue
+				}
+				if containsFold(set, name) {
+					l.Addf(diag.CodeGroupByDuplicate, diag.Error, g.Span,
+						"duplicate column %q in grouping set", name)
+					continue
+				}
+				set = append(set, name)
+				if !containsFold(a.groupCols, name) {
+					a.groupCols = append(a.groupCols, name)
+				}
+			}
+			dup := false
+			for _, prev := range a.sets {
+				if sameColumnSet(prev, set) {
+					span := spec.Span
+					if len(rawSet) > 0 {
+						span = rawSet[0].Span
+					}
+					l.Addf(diag.CodeDuplicateGroupingSet, diag.Warning, span,
+						"duplicate grouping set (%s); each distinct set is evaluated once",
+						strings.Join(set, ", "))
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				a.sets = append(a.sets, set)
+			}
+		}
+		// Canonicalize each set to finest-dimension order so generated
+		// plans and output layout do not depend on within-set spelling.
+		for i, s := range a.sets {
+			a.sets[i] = orderedSubset(a.groupCols, s)
+		}
+	}
+}
+
+// sameColumnSet reports whether two grouping sets name the same columns,
+// ignoring order and case — (a, b) and (b, a) are the same lattice node.
+func sameColumnSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		if !containsFold(b, x) {
+			return false
+		}
+	}
+	return true
+}
+
+// orderedSubset returns the members of sub reordered to ordering's order.
+func orderedSubset(ordering, sub []string) []string {
+	out := []string{}
+	for _, c := range ordering {
+		if containsFold(sub, c) {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // aggSpan returns the best span for an aggregate item: the call's own span

@@ -35,6 +35,9 @@ var (
 	mCacheDeltaApplied  = obs.Default.Counter("cache.delta_applied")
 	mCacheDeltaFallback = obs.Default.Counter("cache.delta_fallback")
 	mCacheFjRollups     = obs.Default.Counter("cache.fj_rollup")
+	mCacheLatticePlans  = obs.Default.Counter("cache.lattice_plans")
+	mCacheLatticeNodes  = obs.Default.Counter("cache.lattice_nodes")
+	mCacheLatticeReused = obs.Default.Counter("cache.lattice_finest_reused")
 )
 
 // CacheStats is a snapshot of the planner's summary-cache counters.
@@ -57,6 +60,16 @@ type CacheStats struct {
 	// FjRollups counts coarse Fj summaries derived from a cached fine Fk —
 	// the paper's Fj-from-Fk derivation applied across statements.
 	FjRollups int64
+	// LatticePlans counts ROLLUP/CUBE/GROUPING SETS plans generated.
+	LatticePlans int64
+	// LatticeNodes counts lattice nodes across those plans (every node
+	// derives from the finest summary, so nodes-per-plan measures the fan-out
+	// a single FS scan answered).
+	LatticeNodes int64
+	// LatticeFinestReused counts lattice plans whose finest summary FS came
+	// from the cache (clean or via delta) — the whole lattice answered
+	// without touching the base table.
+	LatticeFinestReused int64
 }
 
 // CacheStats returns a snapshot of the summary-cache counters.

@@ -241,3 +241,25 @@ func TestCacheDirectAppendInvalidates(t *testing.T) {
 	got := runQuery(t, p, vpctSales, DefaultOptions())
 	exactResults(t, "direct append", got, runQuery(t, cold, vpctSales, DefaultOptions()))
 }
+
+// TestCacheKeyIncludesColumnLayout is the regression for the key-collision
+// bug the 5-part key fixes: two queries can render the identical Fk select
+// list yet assign different column names — here "sum(salesAmt)" is stored
+// as x1 (an extra aggregate alongside Vpct(RID)) in the first query and as
+// m2 (a second Vpct measure) in the second. Under the old 4-part key the
+// second plan was handed the first plan's cached table and failed to
+// resolve its columns; the layouts must key separate entries.
+func TestCacheKeyIncludesColumnLayout(t *testing.T) {
+	p, cold := newCachePlanners(t)
+	const qA = "SELECT state, city, Vpct(RID BY city), sum(salesAmt) FROM sales GROUP BY state, city"
+	const qB = "SELECT state, city, Vpct(RID BY city), Vpct(salesAmt BY city) FROM sales GROUP BY state, city"
+	runQuery(t, p, qA, DefaultOptions())
+	got := runQuery(t, p, qB, DefaultOptions())
+	exactResults(t, "layout collision", got, runQuery(t, cold, qB, DefaultOptions()))
+	// And in the opposite order, against fresh entries.
+	p.FlushSummaries()
+	runQuery(t, p, qB, DefaultOptions())
+	got = runQuery(t, p, qA, DefaultOptions())
+	exactResults(t, "layout collision (reversed)", got, runQuery(t, cold, qA, DefaultOptions()))
+	p.FlushSummaries()
+}

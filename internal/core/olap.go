@@ -24,6 +24,11 @@ func (p *Planner) OLAPEquivalent(sel *sqlparse.Select) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if a.hasSets {
+		// A window partition cannot vary per row the way a grouping set
+		// does; there is no single-statement OVER() rewrite of a lattice.
+		return "", fmt.Errorf("core: OLAP equivalents are not defined for GROUP BY %s queries", a.setsKind.Keyword())
+	}
 	switch a.class {
 	case ClassVertical:
 		return p.olapVertical(a, a.groupCols, nil)

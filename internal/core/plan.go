@@ -291,14 +291,18 @@ func (p *Planner) Plan(sel *sqlparse.Select, opts Options) (*Plan, error) {
 		return nil, err
 	}
 	var plan *Plan
-	switch a.class {
-	case ClassStandard:
+	switch {
+	case a.hasSets:
+		// ROLLUP/CUBE/GROUPING SETS plan the whole lattice from one finest
+		// summary, whatever the aggregate class.
+		plan, err = p.planLattice(a, opts)
+	case a.class == ClassStandard:
 		plan = &Plan{Class: ClassStandard, FinalSelect: sel.String()}
-	case ClassVertical:
+	case a.class == ClassVertical:
 		plan, err = p.planVertical(a, opts.Vpct)
-	case ClassHorizontalPct:
+	case a.class == ClassHorizontalPct:
 		plan, err = p.planHorizontalPct(a, opts.Hpct)
-	case ClassHorizontalAgg:
+	case a.class == ClassHorizontalAgg:
 		plan, err = p.planHorizontalAgg(a, opts.Hagg)
 	default:
 		return nil, fmt.Errorf("core: unplannable class %v", a.class)

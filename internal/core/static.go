@@ -758,7 +758,14 @@ func (sa *staticAnalyzer) checkZeroDenominator(sel *sqlparse.Select) {
 // BY list. The rule-checker rejects duplicates in horizontal BY lists
 // (PCT022) but accepts them for Vpct, where they change nothing — which
 // almost always means a different column was intended.
+//
+// Under GROUP BY ROLLUP/CUBE/GROUPING SETS the check runs per lattice node:
+// the duplicate is a no-op only in the grouping sets that actually contain
+// the dimension, so one finding fires per such set, naming it. A duplicate
+// dimension belonging to no set draws no finding at all — every node ignores
+// it entirely, grouped or not.
 func (sa *staticAnalyzer) checkVpctByDuplicates(sel *sqlparse.Select) {
+	sets := staticGroupingSets(sel)
 	for _, it := range sel.Items {
 		if it.Star {
 			continue
@@ -782,14 +789,105 @@ func (sa *staticAnalyzer) checkVpctByDuplicates(sel *sqlparse.Select) {
 				} else if !call.Span.IsZero() {
 					bs = call.Span
 				}
-				sa.list.Add(diag.Diagnostic{
-					Code: diag.CodeVpctByDuplicate, Severity: diag.Warning, Span: bs,
-					Message: fmt.Sprintf("duplicate Vpct BY dimension %q; the duplicate does not change the subgrouping and usually means a different column was intended",
-						b),
-					Fix: "drop the duplicate or name the intended column",
-				})
+				if sel.GroupSets == nil || sets == nil {
+					sa.list.Add(diag.Diagnostic{
+						Code: diag.CodeVpctByDuplicate, Severity: diag.Warning, Span: bs,
+						Message: fmt.Sprintf("duplicate Vpct BY dimension %q; the duplicate does not change the subgrouping and usually means a different column was intended",
+							b),
+						Fix: "drop the duplicate or name the intended column",
+					})
+					continue
+				}
+				for _, s := range sets {
+					if !containsFold(s, b) {
+						continue
+					}
+					sa.list.Add(diag.Diagnostic{
+						Code: diag.CodeVpctByDuplicate, Severity: diag.Warning, Span: bs,
+						Message: fmt.Sprintf("duplicate Vpct BY dimension %q in grouping set (%s); the duplicate does not change that node's subgrouping and usually means a different column was intended",
+							b, strings.Join(s, ", ")),
+						Fix: "drop the duplicate or name the intended column",
+					})
+				}
 			}
 			return nil
 		})
 	}
+}
+
+// staticGroupingSets resolves a ROLLUP/CUBE/GROUPING SETS clause textually —
+// no schema, no diagnostics — so static checks can report per lattice node.
+// It mirrors resolveGroupingSets' expansion. Unresolvable keys are skipped,
+// and an over-sized lattice returns nil, in which case callers fall back to
+// the statement-level finding.
+func staticGroupingSets(sel *sqlparse.Select) [][]string {
+	spec := sel.GroupSets
+	if spec == nil {
+		return nil
+	}
+	keyName := func(g sqlparse.GroupKey) string {
+		if g.Position > 0 {
+			if g.Position > len(sel.Items) {
+				return ""
+			}
+			ref, ok := sel.Items[g.Position-1].Expr.(*expr.ColumnRef)
+			if !ok {
+				return ""
+			}
+			return ref.Name
+		}
+		return g.Column
+	}
+	var sets [][]string
+	switch spec.Kind {
+	case sqlparse.GroupRollup, sqlparse.GroupCube:
+		var dims []string
+		for _, g := range spec.Dims {
+			if name := keyName(g); name != "" && !containsFold(dims, name) {
+				dims = append(dims, name)
+			}
+		}
+		k := len(dims)
+		if spec.Kind == sqlparse.GroupRollup {
+			for j := k; j >= 0; j-- {
+				sets = append(sets, append([]string{}, dims[:j]...))
+			}
+		} else {
+			if k > 8 { // 2^k would exceed maxLatticeNodes
+				return nil
+			}
+			for mask := (1 << k) - 1; mask >= 0; mask-- {
+				set := []string{}
+				for i := 0; i < k; i++ {
+					if mask&(1<<(k-1-i)) != 0 {
+						set = append(set, dims[i])
+					}
+				}
+				sets = append(sets, set)
+			}
+		}
+	case sqlparse.GroupSetsList:
+		for _, rawSet := range spec.Sets {
+			set := []string{}
+			for _, g := range rawSet {
+				if name := keyName(g); name != "" && !containsFold(set, name) {
+					set = append(set, name)
+				}
+			}
+			dup := false
+			for _, prev := range sets {
+				if sameColumnSet(prev, set) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				sets = append(sets, set)
+			}
+		}
+	}
+	if len(sets) > maxLatticeNodes {
+		return nil
+	}
+	return sets
 }

@@ -121,8 +121,13 @@ func (p *Planner) planVertical(a *analysis, opts VpctOptions) (*Plan, error) {
 		fkCols = append(fkCols, colDef(col, aggResultType(call, a.schema)))
 		fkSelect = append(fkSelect, call.String())
 	}
-	fkKey := fmt.Sprintf("fk|%s|%s|%s|%s", a.table, whereSuffix(a.where),
-		joinIdents(a.groupCols), strings.Join(fkSelect, ","))
+	// The column layout is part of the key: two queries can share the select
+	// list yet assign different column names (a measure reused as m1 in one
+	// and stored as x1 in the other), and a layout mismatch would make the
+	// cached table's columns unresolvable for the second plan. Including the
+	// definitions also lets lattice plans (planLattice) share FS with Fk.
+	fkKey := fmt.Sprintf("fk|%s|%s|%s|%s|%s", a.table, whereSuffix(a.where),
+		joinIdents(a.groupCols), strings.Join(fkSelect, ","), strings.Join(fkCols, ","))
 	// Delta metadata makes the cached Fk incrementally maintainable: every
 	// aggregate column must be distributive (the measure sums always are;
 	// extra terms may not be — avg or DISTINCT keep meta nil, so DML

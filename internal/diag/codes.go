@@ -92,8 +92,22 @@ const (
 	// kinds order by type tag, so the predicate never matches on value.
 	CodeCmpTypeMismatch = "PCT109"
 	// CodeVpctByDuplicate: duplicate dimension in a Vpct BY list (PCT022
-	// covers horizontal BY lists as an error).
+	// covers horizontal BY lists as an error). For grouping-set queries the
+	// check runs per lattice node: a BY dimension duplicated within one
+	// grouping set fires even when other sets are fine.
 	CodeVpctByDuplicate = "PCT110"
+	// CodeEmptyGroupingSets: ROLLUP()/CUBE() with no dimensions, or
+	// GROUPING SETS with no sets — the lattice would be empty (or only the
+	// grand total), which is never what a cube query means.
+	CodeEmptyGroupingSets = "PCT111"
+	// CodeDuplicateGroupingSet: the same grouping set appears more than
+	// once (explicitly, or via duplicate CUBE/ROLLUP dimensions). The
+	// engine evaluates each distinct set once, so the duplicate adds no
+	// rows and usually means a different set was intended.
+	CodeDuplicateGroupingSet = "PCT112"
+	// CodeGroupingMisuse: GROUPING() used outside a grouping-set query, or
+	// naming a column that is not a lattice dimension.
+	CodeGroupingMisuse = "PCT113"
 
 	// PCT2xx are runtime lifecycle codes: they classify how a statement
 	// ended when the query-governance layer stopped it, not what the linter
@@ -174,7 +188,10 @@ var Registry = []CodeInfo{
 	{CodeTautology, Advisory, "tautological WHERE predicate (constrains nothing)", "the predicate accepts every value (or every non-NULL value); state the intent directly or drop it", false},
 	{CodeZeroDenominator, Warning, "percentage denominator provably zero", "the WHERE clause pins the measure to 0, so every percentage is NULL — the static sharpening of PCT101", false},
 	{CodeCmpTypeMismatch, Warning, "comparison between incompatible types", "mixed-kind values order by type tag, not content, so the predicate never matches on value", false},
-	{CodeVpctByDuplicate, Warning, "duplicate Vpct BY dimension", "the duplicate changes nothing and usually means a different column was intended; PCT022 covers horizontal BY lists", false},
+	{CodeVpctByDuplicate, Warning, "duplicate Vpct BY dimension", "the duplicate changes nothing and usually means a different column was intended; PCT022 covers horizontal BY lists; for grouping-set queries the check runs per lattice node", false},
+	{CodeEmptyGroupingSets, Error, "empty ROLLUP/CUBE/GROUPING SETS", "ROLLUP()/CUBE() with no dimensions or GROUPING SETS with no sets defines no lattice to evaluate", false},
+	{CodeDuplicateGroupingSet, Warning, "duplicate grouping set", "each distinct grouping set is evaluated once; the duplicate adds no rows and usually means a different set was intended", false},
+	{CodeGroupingMisuse, Error, "GROUPING() misuse", "GROUPING() is only defined for ROLLUP/CUBE/GROUPING SETS queries and must name lattice dimensions", false},
 	{CodeCancelled, Error, "statement cancelled", "the caller cancelled the statement's context; partial work is discarded", true},
 	{CodeDeadline, Error, "statement deadline exceeded", "the per-statement deadline (Limits.Timeout) elapsed mid-execution", true},
 	{CodeRowLimit, Error, "materialized-row limit exceeded", "Limits.MaxRows bounds rows a statement may materialize, instead of exhausting memory", true},

@@ -18,6 +18,9 @@ import (
 // consumer stage (project / aggregate / window) attaches its operator
 // subtree plus any worker fan-out spans to the statement span.
 func (e *Engine) execSelect(sel *sqlparse.Select, ec execCtx) (*Result, error) {
+	if sel.GroupSets != nil {
+		return nil, fmt.Errorf("engine: GROUP BY %s must be rewritten first (see the core package)", sel.GroupSets.Kind.Keyword())
+	}
 	in, residualWhere, err := e.buildFrom(sel)
 	if err != nil {
 		return nil, err

@@ -26,6 +26,12 @@ func FuzzLint(f *testing.F) {
 	f.Add("SELECT a FROM f WHERE (amt <= 0 OR amt > 0) AND amt IN (1, NULL) AND b BETWEEN 'a' AND NULL")
 	f.Add("SELECT a FROM f WHERE NOT (amt <> 5) AND amt NOT IN (5, 6) OR b > 7")
 	f.Add("SELECT a, Vpct(0 BY b, b) FROM f WHERE amt = 0 GROUP BY a, b")
+	// Seeds aimed at grouping-set analysis (per-set PCT110, lattice checks).
+	f.Add("SELECT a, b, Vpct(amt BY b), GROUPING(a, b) FROM f GROUP BY CUBE(a, b)")
+	f.Add("SELECT a, b, Vpct(amt BY b, b) FROM f GROUP BY GROUPING SETS ((a, b), (a), ())")
+	f.Add("SELECT a, avg(amt) FROM f GROUP BY ROLLUP(a)")
+	f.Add("SELECT a, Hpct(amt BY b) FROM f GROUP BY ROLLUP(a) ORDER BY 1 LIMIT 2")
+	f.Add("SELECT a FROM f GROUP BY GROUPING SETS ((a, a), (1), ())")
 	f.Fuzz(func(t *testing.T, src string) {
 		l := newLinter()
 		_, _ = l.Planner.Eng.ExecSQL("CREATE TABLE f (a INTEGER, b VARCHAR, amt INTEGER)")

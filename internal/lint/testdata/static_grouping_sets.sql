@@ -1,0 +1,19 @@
+-- Grouping-set lattice checks. PCT111: an empty ROLLUP/CUBE/GROUPING SETS
+-- defines no lattice. PCT112: a duplicate grouping set is evaluated once,
+-- so the duplicate adds nothing. PCT113: GROUPING() is only defined for
+-- cube queries and must name lattice dimensions. PCT110 fires per grouping
+-- set: a duplicated Vpct BY dimension is reported once for each set that
+-- contains the dimension and stays silent for sets that do not (the (a)
+-- set draws no finding). The second-to-last query is the near-miss: the
+-- same sets with a duplicate-free BY list are clean, and the final ROLLUP
+-- query shows a fully clean percentage cube.
+CREATE TABLE cube_f (a VARCHAR, b INTEGER, d VARCHAR, m INTEGER);
+INSERT INTO cube_f VALUES
+  ('x', 1, 'p', 10), ('x', 2, 'q', 20), ('y', 1, 'p', 30), ('y', 2, 'q', 40);
+SELECT a, sum(m) FROM cube_f GROUP BY GROUPING SETS ();
+SELECT a, b, sum(m) FROM cube_f GROUP BY GROUPING SETS ((a, b), (a, b));
+SELECT a, sum(m), GROUPING(a) FROM cube_f GROUP BY a;
+SELECT a, b, sum(m), GROUPING(m) FROM cube_f GROUP BY CUBE(a, b);
+SELECT a, b, d, Vpct(m BY d, d) FROM cube_f GROUP BY GROUPING SETS ((a, b, d), (a, d), (a));
+SELECT a, b, d, Vpct(m BY d) FROM cube_f GROUP BY GROUPING SETS ((a, b, d), (a, d), (a)) ORDER BY 1, 2, 3;
+SELECT a, b, Vpct(m BY b), GROUPING(a, b) FROM cube_f GROUP BY ROLLUP(a, b) ORDER BY 1, 2;

@@ -296,6 +296,75 @@ func (g GroupKey) String() string {
 	return g.Column
 }
 
+// GroupingKind distinguishes the grouping-set constructs of a GROUP BY
+// clause: ROLLUP, CUBE, or an explicit GROUPING SETS list.
+type GroupingKind uint8
+
+// Grouping-set construct kinds.
+const (
+	GroupRollup GroupingKind = iota
+	GroupCube
+	GroupSetsList
+)
+
+// Keyword returns the construct's SQL keyword for error messages.
+func (k GroupingKind) Keyword() string {
+	switch k {
+	case GroupRollup:
+		return "ROLLUP"
+	case GroupCube:
+		return "CUBE"
+	default:
+		return "GROUPING SETS"
+	}
+}
+
+// GroupingSpec is a GROUP BY ROLLUP(…), CUBE(…), or GROUPING SETS (…)
+// clause. ROLLUP/CUBE carry their dimension list in Dims; GROUPING SETS
+// carries the explicit sets in Sets (an empty inner slice is the () grand-
+// total set). A Select carries at most one construct: mixing plain keys
+// with a construct is rejected at parse time.
+type GroupingSpec struct {
+	Kind GroupingKind
+	Dims []GroupKey   // ROLLUP/CUBE dimension list, finest first
+	Sets [][]GroupKey // GROUPING SETS explicit sets, in source order
+	// Span locates the whole construct in the statement source.
+	Span diag.Span
+}
+
+// String renders the construct.
+func (g *GroupingSpec) String() string {
+	var sb strings.Builder
+	if g.Kind == GroupSetsList {
+		sb.WriteString("GROUPING SETS (")
+		for i, set := range g.Sets {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("(")
+			for j, d := range set {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(d.String())
+			}
+			sb.WriteString(")")
+		}
+		sb.WriteString(")")
+		return sb.String()
+	}
+	sb.WriteString(g.Kind.Keyword())
+	sb.WriteString("(")
+	for i, d := range g.Dims {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(d.String())
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
 // OrderKey is one ORDER BY term.
 type OrderKey struct {
 	Qualifier string
@@ -326,7 +395,11 @@ type Select struct {
 	From     []FromElem
 	Where    expr.Expr
 	GroupBy  []GroupKey
-	Having   expr.Expr
+	// GroupSets holds a ROLLUP/CUBE/GROUPING SETS construct when the GROUP
+	// BY clause uses one; GroupBy stays empty then, so code that only
+	// understands plain grouping cannot silently mis-execute the query.
+	GroupSets *GroupingSpec
+	Having    expr.Expr
 	OrderBy  []OrderKey
 	Limit    int // 0 = no limit
 
@@ -379,7 +452,10 @@ func (s *Select) String() string {
 		sb.WriteString(" WHERE ")
 		sb.WriteString(s.Where.String())
 	}
-	if len(s.GroupBy) > 0 {
+	if s.GroupSets != nil {
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(s.GroupSets.String())
+	} else if len(s.GroupBy) > 0 {
 		sb.WriteString(" GROUP BY ")
 		for i, g := range s.GroupBy {
 			if i > 0 {

@@ -76,7 +76,7 @@ var keywords = map[string]bool{
 	"DEFAULT": true, "TRUE": true, "FALSE": true, "INTEGER": true, "INT": true,
 	"REAL": true, "FLOAT": true, "VARCHAR": true, "BOOLEAN": true, "IN": true,
 	"BETWEEN": true, "LIKE": true, "UNION": true, "EXPLAIN": true, "DELETE": true,
-	"ANALYZE": true,
+	"ANALYZE": true, "ROLLUP": true, "CUBE": true, "GROUPING": true, "SETS": true,
 }
 
 // lexer tokenizes a SQL string.

@@ -560,14 +560,28 @@ fromDone:
 		if err := p.expectKeyword("BY"); err != nil {
 			return nil, err
 		}
-		for {
-			k, err := p.groupKey()
+		if t := p.peek(); t.kind == tokKeyword && (t.text == "ROLLUP" || t.text == "CUBE" || t.text == "GROUPING") {
+			spec, err := p.groupingSpec()
 			if err != nil {
 				return nil, err
 			}
-			sel.GroupBy = append(sel.GroupBy, k)
-			if !p.matchSymbol(",") {
-				break
+			sel.GroupSets = spec
+			if p.matchSymbol(",") {
+				return nil, p.errorf("%s cannot be combined with additional GROUP BY terms", spec.Kind.Keyword())
+			}
+		} else {
+			for {
+				k, err := p.groupKey()
+				if err != nil {
+					return nil, err
+				}
+				sel.GroupBy = append(sel.GroupBy, k)
+				if !p.matchSymbol(",") {
+					break
+				}
+				if t := p.peek(); t.kind == tokKeyword && (t.text == "ROLLUP" || t.text == "CUBE" || t.text == "GROUPING") {
+					return nil, p.errorf("%s cannot be combined with plain GROUP BY keys", t.text)
+				}
 			}
 		}
 	}
@@ -614,6 +628,95 @@ fromDone:
 		sel.Limit = n
 	}
 	return sel, nil
+}
+
+// groupingSpec parses ROLLUP(…), CUBE(…), or GROUPING SETS (…). Empty
+// dimension lists and an empty sets list parse cleanly so the analyzer can
+// report them as positioned PCT111 diagnostics instead of a bare syntax
+// error.
+func (p *parser) groupingSpec() (*GroupingSpec, error) {
+	start := p.advance() // ROLLUP | CUBE | GROUPING
+	spec := &GroupingSpec{}
+	switch start.text {
+	case "ROLLUP":
+		spec.Kind = GroupRollup
+	case "CUBE":
+		spec.Kind = GroupCube
+	default:
+		spec.Kind = GroupSetsList
+		if err := p.expectKeyword("SETS"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	if spec.Kind != GroupSetsList {
+		if !p.matchSymbol(")") {
+			for {
+				k, err := p.groupKey()
+				if err != nil {
+					return nil, err
+				}
+				spec.Dims = append(spec.Dims, k)
+				if !p.matchSymbol(",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		}
+		spec.Span = p.spanFrom(start)
+		return spec, nil
+	}
+	if !p.matchSymbol(")") {
+		for {
+			set, err := p.groupingSet()
+			if err != nil {
+				return nil, err
+			}
+			spec.Sets = append(spec.Sets, set)
+			if !p.matchSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	spec.Span = p.spanFrom(start)
+	return spec, nil
+}
+
+// groupingSet parses one element of a GROUPING SETS list: (col, …), the
+// grand-total set (), or a bare key as shorthand for a one-column set.
+func (p *parser) groupingSet() ([]GroupKey, error) {
+	if p.matchSymbol("(") {
+		var set []GroupKey
+		if p.matchSymbol(")") {
+			return set, nil
+		}
+		for {
+			k, err := p.groupKey()
+			if err != nil {
+				return nil, err
+			}
+			set = append(set, k)
+			if !p.matchSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return set, nil
+	}
+	k, err := p.groupKey()
+	if err != nil {
+		return nil, err
+	}
+	return []GroupKey{k}, nil
 }
 
 func (p *parser) groupKey() (GroupKey, error) {
@@ -906,6 +1009,31 @@ func (p *parser) parsePrimary() (expr.Expr, error) {
 			return p.parseCase()
 		case "NOT":
 			return p.parseNot()
+		case "GROUPING":
+			// GROUPING(d1[, d2 …]) — the lattice-node marker. Parsed as a
+			// plain function call; the planner replaces it with a literal
+			// per lattice node, so the engine never evaluates it.
+			if p.peekAt(1).kind == tokSymbol && p.peekAt(1).text == "(" {
+				p.advance() // GROUPING
+				p.advance() // (
+				call := &expr.FuncCall{Name: "GROUPING"}
+				if !p.matchSymbol(")") {
+					for {
+						a, err := p.parseExpr()
+						if err != nil {
+							return nil, err
+						}
+						call.Args = append(call.Args, a)
+						if !p.matchSymbol(",") {
+							break
+						}
+					}
+					if err := p.expectSymbol(")"); err != nil {
+						return nil, err
+					}
+				}
+				return call, nil
+			}
 		}
 		return nil, p.errorf("unexpected %s in expression", t)
 

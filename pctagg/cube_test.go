@@ -1,0 +1,296 @@
+package pctagg
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// findRow returns the first row whose leading columns equal want (nil
+// matches SQL NULL).
+func findRow(t *testing.T, rows *Rows, want ...any) []any {
+	t.Helper()
+	for _, r := range rows.Data {
+		ok := true
+		for i, w := range want {
+			if r[i] != w {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return r
+		}
+	}
+	t.Fatalf("no row with prefix %v in %v", want, rows.Data)
+	return nil
+}
+
+func TestQueryRollup(t *testing.T) {
+	db := demoDB(t)
+	rows, err := db.Query(`SELECT state, city, sum(salesAmt), GROUPING(state, city)
+		FROM sales GROUP BY ROLLUP(state, city)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 (state, city) nodes + 2 state nodes + 1 grand total.
+	if len(rows.Data) != 7 {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+	r := findRow(t, rows, "CA", "Los Angeles")
+	if r[2].(int64) != 23 || r[3].(int64) != 0 {
+		t.Errorf("finest row = %v", r)
+	}
+	r = findRow(t, rows, "TX", nil)
+	if r[2].(int64) != 149 || r[3].(int64) != 1 {
+		t.Errorf("state row = %v", r)
+	}
+	r = findRow(t, rows, nil, nil)
+	if r[2].(int64) != 255 || r[3].(int64) != 3 {
+		t.Errorf("grand total = %v", r)
+	}
+	// Node-major order: finest block first, grand total last.
+	last := rows.Data[len(rows.Data)-1]
+	if last[0] != nil || last[1] != nil {
+		t.Errorf("grand total not last: %v", last)
+	}
+}
+
+func TestQueryCubeVpct(t *testing.T) {
+	db := demoDB(t)
+	rows, err := db.Query(`SELECT state, city, Vpct(salesAmt BY city), GROUPING(state, city)
+		FROM sales GROUP BY CUBE(state, city)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 + 2 + 4 + 1 rows.
+	if len(rows.Data) != 11 {
+		t.Fatalf("%d rows: %v", len(rows.Data), rows.Data)
+	}
+	// Finest node: percentage of the state's total, as without CUBE.
+	r := findRow(t, rows, "CA", "Los Angeles")
+	if got := r[2].(float64); math.Abs(got-23.0/106) > 1e-9 {
+		t.Errorf("LA pct = %v", got)
+	}
+	// (state) node: city rolled away entirely, so each row is its own
+	// super-group: 100%.
+	r = findRow(t, rows, "CA", nil)
+	if got := r[2].(float64); math.Abs(got-1) > 1e-9 {
+		t.Errorf("CA pct = %v", got)
+	}
+	// (city) node: share of the grand total per city.
+	r = findRow(t, rows, nil, "Houston")
+	if got := r[2].(float64); math.Abs(got-64.0/255) > 1e-9 {
+		t.Errorf("Houston pct = %v", got)
+	}
+	if r[3].(int64) != 2 { // GROUPING(state, city) = 10b
+		t.Errorf("Houston marker = %v", r[3])
+	}
+}
+
+// TestQueryRollupVpctGrandTotal pins the BY-less Vpct form: an empty BY
+// list means totals over all rows at every node, so the finest rows are
+// shares of the grand total and the grand-total row is exactly 100%.
+func TestQueryRollupVpctGrandTotal(t *testing.T) {
+	db := demoDB(t)
+	rows, err := db.Query(`SELECT state, Vpct(salesAmt)
+		FROM sales GROUP BY ROLLUP(state)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 3 {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+	r := findRow(t, rows, "CA")
+	if got := r[1].(float64); math.Abs(got-106.0/255) > 1e-9 {
+		t.Errorf("CA share = %v", got)
+	}
+	r = findRow(t, rows, nil)
+	if got := r[1].(float64); math.Abs(got-1) > 1e-9 {
+		t.Errorf("grand-total share = %v", got)
+	}
+}
+
+func TestQueryGroupingSets(t *testing.T) {
+	db := demoDB(t)
+	rows, err := db.Query(`SELECT state, city, sum(salesAmt)
+		FROM sales GROUP BY GROUPING SETS ((state), (city))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 6 { // 2 states + 4 cities
+		t.Fatalf("rows = %v", rows.Data)
+	}
+	r := findRow(t, rows, "CA", nil)
+	if r[2].(int64) != 106 {
+		t.Errorf("CA row = %v", r)
+	}
+	r = findRow(t, rows, nil, "Dallas")
+	if r[2].(int64) != 85 {
+		t.Errorf("Dallas row = %v", r)
+	}
+}
+
+func TestQueryRollupHpct(t *testing.T) {
+	db := demoDB(t)
+	rows, err := db.Query(`SELECT state, Hpct(salesAmt BY city)
+		FROM sales GROUP BY ROLLUP(state)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 3 || len(rows.Columns) != 5 {
+		t.Fatalf("columns = %v, rows = %v", rows.Columns, rows.Data)
+	}
+	// The grand-total row transposes shares of the global total.
+	r := findRow(t, rows, nil)
+	sum := 0.0
+	for _, v := range r[1:] {
+		sum += v.(float64)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("grand-total Hpct row sums to %v: %v", sum, r)
+	}
+	var houston float64
+	for i, c := range rows.Columns {
+		if c == "Houston" {
+			houston = r[i].(float64)
+		}
+	}
+	if math.Abs(houston-64.0/255) > 1e-9 {
+		t.Errorf("Houston share = %v", houston)
+	}
+}
+
+func TestQueryRollupOrderAndLimit(t *testing.T) {
+	db := demoDB(t)
+	rows, err := db.Query(`SELECT state, sum(salesAmt) AS total
+		FROM sales GROUP BY ROLLUP(state) ORDER BY total DESC LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 2 {
+		t.Fatalf("rows = %v", rows.Data)
+	}
+	if rows.Data[0][1].(int64) != 255 || rows.Data[1][1].(int64) != 149 {
+		t.Errorf("rows = %v", rows.Data)
+	}
+}
+
+func TestQueryCubeRejectsNonDistributive(t *testing.T) {
+	db := demoDB(t)
+	_, err := db.Query(`SELECT state, avg(salesAmt) FROM sales GROUP BY ROLLUP(state)`)
+	if err == nil {
+		t.Fatal("avg under ROLLUP should be rejected")
+	}
+	// min/max/count/sum are all derivable.
+	rows, err := db.Query(`SELECT state, min(salesAmt), max(salesAmt), count(*), sum(salesAmt)
+		FROM sales GROUP BY ROLLUP(state)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := findRow(t, rows, nil)
+	if r[1].(int64) != 3 || r[2].(int64) != 67 || r[3].(int64) != 10 || r[4].(int64) != 255 {
+		t.Errorf("grand total = %v", r)
+	}
+}
+
+// TestCubeLatticeFromCache proves the headline property: a finest summary
+// cached by a plain Vpct query answers an entire CUBE lattice with no
+// base-table scan, and incremental maintenance keeps the lattice consistent
+// under DML.
+func TestCubeLatticeFromCache(t *testing.T) {
+	db := cacheWorkloadDB(t)
+	db.EnableSummaryCache(true)
+	const vq = "SELECT store, dweek, Vpct(amt BY dweek) FROM f GROUP BY store, dweek"
+	const cq = "SELECT store, dweek, Vpct(amt BY dweek), GROUPING(store, dweek) FROM f GROUP BY CUBE(store, dweek)"
+
+	// The plain Vpct query warms the cache; the cube's finest summary shares
+	// its key, so the whole lattice derives from the cached table.
+	if _, err := db.Query(vq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(cq); err != nil {
+		t.Fatal(err)
+	}
+	s := db.SummaryCacheStats()
+	if s.LatticePlans != 1 || s.LatticeNodes != 4 {
+		t.Errorf("lattice stats = %+v", s)
+	}
+	if s.LatticeFinestReused != 1 {
+		t.Errorf("cube did not reuse the Vpct query's cached summary: %+v", s)
+	}
+
+	// DML, then re-query: the delta path must refresh the finest summary and
+	// every node must agree with a cold evaluation.
+	for _, stmt := range []string{
+		"INSERT INTO f VALUES (3, 5, 41)",
+		"INSERT INTO f VALUES (21, 2, 17)", // a brand-new store group
+	} {
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := db.Query(cq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := cacheWorkloadDB(t)
+	for _, stmt := range []string{
+		"INSERT INTO f VALUES (3, 5, 41)",
+		"INSERT INTO f VALUES (21, 2, 17)",
+	} {
+		if _, err := cold.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := cold.Query(cq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Data, want.Data) {
+		t.Fatalf("cached lattice diverges from cold evaluation after DML:\ngot  %v\nwant %v", got.Data, want.Data)
+	}
+	s = db.SummaryCacheStats()
+	if s.LatticeFinestReused != 2 {
+		t.Errorf("post-DML cube should still ride the cached summary via delta: %+v", s)
+	}
+}
+
+// TestCubeExplainSingleScan checks the acceptance criterion directly: the
+// CUBE plan contains exactly one step that scans the base table.
+func TestCubeExplainSingleScan(t *testing.T) {
+	db := demoDB(t)
+	rows, err := db.Query(`EXPLAIN SELECT state, city, Vpct(salesAmt BY city)
+		FROM sales GROUP BY CUBE(state, city)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scans, latticeSteps := 0, 0
+	for _, r := range rows.Data {
+		line := r[0].(string)
+		if strings.Contains(line, "FROM sales") {
+			scans++
+		}
+		if strings.Contains(line, "lattice node") {
+			latticeSteps++
+		}
+	}
+	if scans != 1 {
+		t.Errorf("expected exactly one base-table scan in the plan, found %d:\n%v", scans, rows.Data)
+	}
+	if latticeSteps == 0 {
+		t.Errorf("plan shows no per-node lattice steps:\n%v", rows.Data)
+	}
+}
+
+func TestQueryCubeNoTempLeak(t *testing.T) {
+	db := demoDB(t)
+	if _, err := db.Query(`SELECT state, city, Vpct(salesAmt BY city)
+		FROM sales GROUP BY CUBE(state, city)`); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(db.Tables()); n != 1 {
+		t.Errorf("tables after cube query = %v", db.Tables())
+	}
+}

@@ -156,6 +156,9 @@ func TestMetricNamesStable(t *testing.T) {
 		"cache.fj_rollup",
 		"cache.hits",
 		"cache.invalidations",
+		"cache.lattice_finest_reused",
+		"cache.lattice_nodes",
+		"cache.lattice_plans",
 		"cache.misses",
 		"core.plans",
 		"core.steps",

@@ -173,10 +173,10 @@ func (db *DB) queryIn(ctx context.Context, sql string, root *Span) (*Rows, error
 			countQueryError(err)
 			return nil, err
 		}
-		if class != core.ClassStandard {
-			// The engine cannot run percentage aggregates: EXPLAIN shows the
-			// rewriter's multi-statement plan, EXPLAIN ANALYZE executes it and
-			// shows the recorded trace.
+		if class != core.ClassStandard || ex.Query.GroupSets != nil {
+			// The engine cannot run percentage aggregates or grouping-set
+			// lattices: EXPLAIN shows the rewriter's multi-statement plan,
+			// EXPLAIN ANALYZE executes it and shows the recorded trace.
 			return db.explainPlanned(ex, root)
 		}
 		res, err := db.eng.ExecuteCtxIn(ctx, ex, db.par, root)
@@ -201,9 +201,11 @@ func (db *DB) queryIn(ctx context.Context, sql string, root *Span) (*Rows, error
 	}
 	countQueryClass(class)
 	var res *engine.Result
-	if class == core.ClassStandard {
+	if class == core.ClassStandard && sel.GroupSets == nil {
 		res, err = db.eng.ExecuteCtxIn(ctx, sel, db.par, root)
 	} else {
+		// Percentage/horizontal aggregations and any GROUP BY
+		// ROLLUP/CUBE/GROUPING SETS go through the planner's rewriter.
 		res, err = db.queryPlanned(ctx, sel, root)
 	}
 	if err != nil {
