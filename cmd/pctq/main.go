@@ -26,6 +26,9 @@
 //	\timing             toggle per-statement wall-time reporting
 //	\trace on|off       print the execution trace after each query
 //	\stats              dump the process metrics registry as JSON
+//	\statements         top statements by total time (pct_stat_statements)
+//	\activity           statements executing right now (pct_stat_activity)
+//	\recent             flight recorder, newest first (pct_trace_recent)
 //	\cache [on|off|flush]  summary cache: show stats, toggle, or flush
 //	\import <table> <file.csv>   load a CSV (header row, schema inferred)
 //	\export <file.csv> <query>   write a query result as CSV
@@ -56,6 +59,9 @@ func main() {
 	flag.Parse()
 
 	db := pctagg.Open()
+	if err := db.EnableIntrospection(pctagg.IntrospectionConfig{}); err != nil {
+		fatal(err)
+	}
 	sh := &shell{db: db, timeout: *timeout}
 	if *demo {
 		if err := loadDemo(db); err != nil {
@@ -251,6 +257,16 @@ func (sh *shell) meta(cmd string) bool {
 		fmt.Printf("trace %s\n", onOff(sh.trace))
 	case "\\stats":
 		fmt.Println(db.MetricsJSON())
+	case "\\statements":
+		sh.introQuery(`SELECT fingerprint, query, calls, errors, total_ms, mean_ms, p50_ms, p99_ms,
+			rows_out, rows_scanned, cache_hits, cache_misses
+			FROM pct_stat_statements WHERE top = 1 ORDER BY total_ms DESC`)
+	case "\\activity":
+		sh.introQuery(`SELECT sid, query, state, elapsed_ms, rows_scanned, rows_out
+			FROM pct_stat_activity ORDER BY sid`)
+	case "\\recent":
+		sh.introQuery(`SELECT seq, query, elapsed_ms, rows_out, rows_scanned, error_code, stages
+			FROM pct_trace_recent ORDER BY seq DESC`)
 	case "\\cache":
 		switch {
 		case len(fields) == 1:
@@ -421,6 +437,17 @@ func (sh *shell) meta(cmd string) bool {
 		fmt.Fprintf(os.Stderr, "error: unknown command %s\n", fields[0])
 	}
 	return false
+}
+
+// introQuery runs a SELECT over one of the pct_stat_* catalog tables and
+// prints the result, reporting errors in the usual meta-command style.
+func (sh *shell) introQuery(sql string) {
+	rows, err := sh.db.Query(sql)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	fmt.Print(rows.String())
 }
 
 // hasTable reports whether the database already has the named table.

@@ -32,7 +32,7 @@ func (p *Planner) Advise(sel *sqlparse.Select) (Options, error) {
 		return opts, nil
 	}
 
-	tab, err := p.Eng.Catalog().Get(a.table)
+	tab, err := p.Eng.ResolveTable(a.table)
 	if err != nil {
 		return Options{}, err
 	}

@@ -310,13 +310,12 @@ func (p *Planner) analyzeDiags(sel *sqlparse.Select) (*analysis, *diag.List) {
 		return nil, l
 	}
 	tableName := sel.From[0].Table.Name
-	tab, err := p.Eng.Catalog().Get(tableName)
+	schema, err := p.Eng.ResolveSchema(tableName)
 	if err != nil {
 		l.Add(diag.Diagnostic{Code: diag.CodeUnknownTable, Severity: diag.Error,
 			Span: sel.From[0].Table.Span, Message: err.Error()})
 		return nil, l
 	}
-	schema := tab.Schema()
 
 	a := &analysis{
 		class:   class,

@@ -188,7 +188,9 @@ func (p *Planner) planLattice(a *analysis, opts Options) (*Plan, error) {
 	// share one cached summary.
 	fsKey := fmt.Sprintf("fk|%s|%s|%s|%s|%s", a.table, whereSuffix(a.where),
 		joinIdents(fsGroup), strings.Join(fsSelect, ","), strings.Join(fsCols, ","))
-	shareable := p.shareSummaries && len(fsGroup) > 0
+	// Virtual relations are excluded for the same reason as in planVertical:
+	// no DML hook ever validates or maintains a summary cached over them.
+	shareable := p.shareSummaries && len(fsGroup) > 0 && !p.Eng.IsVirtualTable(a.table)
 	var fsMeta *deltaMeta
 	if shareable {
 		// Every column is distributive by construction, so FS is always
@@ -213,8 +215,10 @@ func (p *Planner) planLattice(a *analysis, opts Options) (*Plan, error) {
 	}
 	switch fsMode {
 	case cacheHitClean:
+		plan.cacheHits++
 		plan.Steps = append(plan.Steps, cacheHitStep("FS", fs))
 	case cacheHitDelta:
+		plan.cacheHits++
 		plan.Steps = append(plan.Steps, p.cacheDeltaStep(fsReg, fs, "FS"))
 	default:
 		if fsMode == cacheMiss {

@@ -73,7 +73,18 @@ type Plan struct {
 	// provisionally at plan time; cleanup abandons any it never published
 	// (see cacheAbandon).
 	cacheRegs []*summaryEntry
+	// cacheHits counts summary-cache entries this plan reused (clean or
+	// delta-maintained) instead of recomputing — the per-statement signal
+	// the introspection catalog surfaces in pct_stat_statements.
+	cacheHits int
 }
+
+// CacheHits reports how many summaries the plan reused from the cache.
+func (p *Plan) CacheHits() int { return p.cacheHits }
+
+// CacheMisses reports how many summaries the plan had to compute and
+// register (shareable aggregates that were not cached yet).
+func (p *Plan) CacheMisses() int { return len(p.cacheRegs) }
 
 // SQL renders every build step as a script.
 func (p *Plan) SQL() string {
@@ -394,7 +405,7 @@ func (p *Planner) executeIn(ctx context.Context, plan *Plan, root *obs.Span) (*e
 	ctx = planCtx(ctx, plan)
 	res, err := p.executeStepsIn(ctx, plan, root)
 	if err != nil {
-		p.cleanupIn(plan, root)
+		p.cleanupIn(ctx, plan, root)
 		return nil, err
 	}
 	if plan.FinalSelect != "" {
@@ -403,12 +414,12 @@ func (p *Planner) executeIn(ctx context.Context, plan *Plan, root *obs.Span) (*e
 		sp.End()
 		if err != nil {
 			sp.Attr("error", err.Error())
-			p.cleanupIn(plan, root)
+			p.cleanupIn(ctx, plan, root)
 			return nil, err
 		}
 		sp.SetRows(-1, int64(len(res.Rows)))
 	}
-	p.cleanupIn(plan, root)
+	p.cleanupIn(ctx, plan, root)
 	return res, nil
 }
 
@@ -478,19 +489,25 @@ func runNative(ctx context.Context, s *Step, eng *engine.Engine, parallelism int
 // CleanupPlan drops the plan's temporary tables. Errors are ignored: a
 // failed plan may not have created all of them.
 func (p *Planner) CleanupPlan(plan *Plan) {
-	p.cleanupIn(plan, nil)
+	p.cleanupIn(context.Background(), plan, nil)
 }
 
-func (p *Planner) cleanupIn(plan *Plan, root *obs.Span) {
+// cleanupIn drops the temporaries under the plan context's values — so a
+// plan whose statements were excluded from introspection
+// (WithoutIntrospection) does not record its own DROPs either — but not its
+// cancellation: a cancelled or timed-out plan must still drop what it
+// created.
+func (p *Planner) cleanupIn(ctx context.Context, plan *Plan, root *obs.Span) {
 	p.cacheAbandon(plan)
 	if len(plan.Cleanup) == 0 {
 		return
 	}
+	ctx = context.WithoutCancel(ctx)
 	sp := root.NewChild("cleanup")
 	n := 0
 	for _, s := range plan.Cleanup {
 		if s.SQL != "" {
-			_, _ = p.Eng.ExecSQL(s.SQL)
+			_, _ = p.Eng.ExecSQLCtx(ctx, s.SQL)
 			n++
 		}
 	}

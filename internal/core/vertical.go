@@ -88,8 +88,10 @@ func (p *Planner) planVertical(a *analysis, opts VpctOptions) (*Plan, error) {
 
 	// ---- Fk: the fine aggregate over D1..Dk ----
 	fk := p.temp("fk")
-	// Shared summaries never cover the UPDATE variant (it mutates Fk).
-	shareable := p.shareSummaries && !opts.UseUpdate
+	// Shared summaries never cover the UPDATE variant (it mutates Fk), nor
+	// virtual relations (their contents change between any two scans, and
+	// the DML hook that maintains cached summaries never fires for them).
+	shareable := p.shareSummaries && !opts.UseUpdate && !p.Eng.IsVirtualTable(a.table)
 
 	measureType := func(mSQL string) storage.ColumnType {
 		for _, t := range terms {
@@ -168,8 +170,10 @@ func (p *Planner) planVertical(a *analysis, opts VpctOptions) (*Plan, error) {
 	}
 	switch fkMode {
 	case cacheHitClean:
+		plan.cacheHits++
 		plan.Steps = append(plan.Steps, cacheHitStep("Fk", fk))
 	case cacheHitDelta:
+		plan.cacheHits++
 		plan.Steps = append(plan.Steps, p.cacheDeltaStep(fkReg, fk, "Fk"))
 	default:
 		if fkMode == cacheMiss {
@@ -281,8 +285,10 @@ func (p *Planner) planVertical(a *analysis, opts VpctOptions) (*Plan, error) {
 		}
 		switch fjMode {
 		case cacheHitClean:
+			plan.cacheHits++
 			plan.Steps = append(plan.Steps, cacheHitStep("Fj", t.fjTable))
 		case cacheHitDelta:
+			plan.cacheHits++
 			plan.Steps = append(plan.Steps, p.cacheDeltaStep(fjReg, t.fjTable, "Fj"))
 		default:
 			if fjMode == cacheMiss {

@@ -12,6 +12,9 @@ import (
 
 // execCreateTable creates a table (and its primary-key index).
 func (e *Engine) execCreateTable(ct *sqlparse.CreateTable) (*Result, error) {
+	if e.IsVirtualTable(ct.Name) {
+		return nil, errVirtualReadOnly("CREATE TABLE", ct.Name)
+	}
 	t, err := e.cat.Create(ct.Name, ct.Schema)
 	if err != nil {
 		return nil, err
@@ -27,6 +30,9 @@ func (e *Engine) execCreateTable(ct *sqlparse.CreateTable) (*Result, error) {
 
 // execCreateIndex builds a secondary index.
 func (e *Engine) execCreateIndex(ci *sqlparse.CreateIndex) (*Result, error) {
+	if e.IsVirtualTable(ci.Table) {
+		return nil, errVirtualReadOnly("CREATE INDEX", ci.Table)
+	}
 	t, err := e.cat.Get(ci.Table)
 	if err != nil {
 		return nil, err
@@ -39,6 +45,9 @@ func (e *Engine) execCreateIndex(ci *sqlparse.CreateIndex) (*Result, error) {
 
 // execDropTable removes a table.
 func (e *Engine) execDropTable(dt *sqlparse.DropTable) (*Result, error) {
+	if e.IsVirtualTable(dt.Name) {
+		return nil, errVirtualReadOnly("DROP TABLE", dt.Name)
+	}
 	if dt.IfExists {
 		existed := e.cat.Has(dt.Name)
 		e.cat.DropIfExists(dt.Name)
@@ -56,6 +65,9 @@ func (e *Engine) execDropTable(dt *sqlparse.DropTable) (*Result, error) {
 
 // execInsert appends VALUES rows or the result of INSERT … SELECT.
 func (e *Engine) execInsert(ins *sqlparse.Insert, ec execCtx) (*Result, error) {
+	if e.IsVirtualTable(ins.Table) {
+		return nil, errVirtualReadOnly("INSERT", ins.Table)
+	}
 	t, err := e.cat.Get(ins.Table)
 	if err != nil {
 		return nil, err
@@ -177,6 +189,9 @@ func (e *Engine) execInsert(ins *sqlparse.Insert, ec execCtx) (*Result, error) {
 // staging clone that is swapped into the catalog only on success, so a
 // mid-statement failure leaves the live table unchanged.
 func (e *Engine) execDelete(d *sqlparse.Delete, ec execCtx) (*Result, error) {
+	if e.IsVirtualTable(d.Table) {
+		return nil, errVirtualReadOnly("DELETE", d.Table)
+	}
 	t, err := e.cat.Get(d.Table)
 	if err != nil {
 		return nil, err
@@ -229,6 +244,9 @@ func (e *Engine) execDelete(d *sqlparse.Delete, ec execCtx) (*Result, error) {
 // (UPDATE target FROM other SET … WHERE join), which the paper's
 // update-based Vpct strategy generates.
 func (e *Engine) execUpdate(u *sqlparse.Update, ec execCtx) (*Result, error) {
+	if e.IsVirtualTable(u.Table) {
+		return nil, errVirtualReadOnly("UPDATE", u.Table)
+	}
 	t, err := e.cat.Get(u.Table)
 	if err != nil {
 		return nil, err
@@ -329,7 +347,7 @@ func (e *Engine) updateSingle(t *storage.Table, sch relSchema, u *sqlparse.Updat
 }
 
 func (e *Engine) updateJoined(t *storage.Table, targetSch relSchema, u *sqlparse.Update, ec execCtx) (*Result, error) {
-	ft, err := e.cat.Get(u.From[0].Name)
+	ft, err := e.tableFor(u.From[0].Name)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +36,14 @@ type Engine struct {
 	// removing the hook races safely with statements in flight; the hook
 	// itself is invoked synchronously on the writer's goroutine.
 	dml atomic.Pointer[dmlHookBox]
+	// intro is the introspection state (nil = off); see introspect.go.
+	// Atomic so enabling/disabling races safely with statements in flight.
+	intro atomic.Pointer[introState]
+	// virt maps lowercased names to registered read-only virtual relations
+	// (the pct_stat_* catalog). Guarded by virtMu; registration is rare and
+	// the per-statement lookup is a short read-locked map probe.
+	virtMu sync.RWMutex
+	virt   map[string]*virtualDef
 }
 
 // DMLHook observes committed data mutations, the raw signal a derived-state
@@ -159,8 +168,29 @@ func (e *Engine) runStatement(ctx context.Context, stmt sqlparse.Statement, ec e
 		ctx, cancel = context.WithTimeout(ctx, lim.Timeout)
 		defer cancel()
 	}
-	if ctx.Done() != nil || !lim.zero() {
+	// Introspection opens a statement record before the governor is built so
+	// the record can observe the governor's live counters. A nil rec means
+	// recording is off or the statement reads a virtual relation (the
+	// self-observation guard in beginIntro).
+	var rec *stmtRec
+	if in := e.intro.Load(); in != nil && !introSkipped(ctx) {
+		rec = e.beginIntro(in, stmt)
+	}
+	if ctx.Done() != nil || !lim.zero() || rec != nil {
 		ec.gov = newGovernor(ctx, lim)
+	}
+	if rec != nil {
+		rec.attach(ec.gov)
+		if ec.span == nil {
+			// No sink: build a private span tree so flight records still get
+			// their per-stage breakdown.
+			ec.span = obs.NewSpan("statement")
+			rec.ownSpan = true
+		}
+		ec.rec = rec
+		// Registered before the recovery defer below, so it runs after it
+		// (LIFO) and records the post-recovery result and error.
+		defer func() { rec.finish(ec.span, res, err) }()
 	}
 	defer func() {
 		if r := recover(); r != nil {

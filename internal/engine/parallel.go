@@ -112,6 +112,11 @@ func hashAggregate(in iterator, keyExprs []expr.Expr, specs []aggSpec, ec execCt
 		workers = n
 	}
 	mAggParallel.Inc()
+	if ec.rec != nil {
+		// Written before fan-out and read after the statement completes,
+		// both on the statement goroutine — no synchronization needed.
+		ec.rec.parallel = true
+	}
 	out, err := hashAggregateParallel(input.rows, keyExprs, specs, workers, ec.span, ec.gov)
 	mGroupsEmitted.Add(int64(len(out)))
 	return out, err

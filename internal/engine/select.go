@@ -35,7 +35,7 @@ func (e *Engine) execSelect(sel *sqlparse.Select, ec execCtx) (*Result, error) {
 		}
 		in = &filterIter{child: in, pred: pred}
 	}
-	if ec.span != nil {
+	if ec.span != nil && !ec.liteSpan() {
 		instrumentIter(in)
 	}
 	governIter(in, ec.gov)
@@ -91,7 +91,7 @@ func (e *Engine) execSelect(sel *sqlparse.Select, ec execCtx) (*Result, error) {
 	case len(sel.GroupBy) > 0 || sel.Having != nil || anyAggregate(items):
 		consumer = ec.span.NewChild("aggregate")
 		attachOps = false
-		rows, err = e.execGroupSelect(sel, items, in, execCtx{par: ec.par, span: consumer, gov: ec.gov})
+		rows, err = e.execGroupSelect(sel, items, in, execCtx{par: ec.par, span: consumer, gov: ec.gov, rec: ec.rec})
 	default:
 		consumer = ec.span.NewChild("project")
 		rows, err = e.execPlainSelect(sel, items, in, ec.gov)
@@ -163,7 +163,7 @@ func (e *Engine) buildFrom(sel *sqlparse.Select) (iterator, expr.Expr, error) {
 		return &memRelation{rows: [][]value.Value{{}}}, sel.Where, nil
 	}
 	first := sel.From[0]
-	t, err := e.cat.Get(first.Table.Name)
+	t, err := e.tableFor(first.Table.Name)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -175,7 +175,7 @@ func (e *Engine) buildFrom(sel *sqlparse.Select) (iterator, expr.Expr, error) {
 	}
 
 	for _, fe := range sel.From[1:] {
-		rt, err := e.cat.Get(fe.Table.Name)
+		rt, err := e.tableFor(fe.Table.Name)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -31,7 +31,20 @@ type execCtx struct {
 	// inspect, when non-nil, asks execSelect to expose its pipeline for
 	// EXPLAIN ANALYZE rendering.
 	inspect *selInspect
+	// rec is the statement's introspection record (nil when introspection is
+	// off or the statement is excluded by the self-observation guard); the
+	// parallel aggregation path marks it (see parallel.go).
+	rec *stmtRec
 }
+
+// liteSpan reports whether the statement span exists only so the flight
+// recorder gets its stage totals (introspection on, but no trace sink and no
+// EXPLAIN ANALYZE). Per-operator instrumentation is skipped for such spans:
+// opStats cost two clock reads per row per operator, the wrong price for
+// always-on recording. Flight-record stages then carry the phase-level
+// breakdown (aggregate, fold, sort, project, …), which costs one timestamp
+// per phase.
+func (ec execCtx) liteSpan() bool { return ec.rec != nil && ec.rec.ownSpan }
 
 // selInspect captures the executed SELECT pipeline so EXPLAIN ANALYZE can
 // render the plan tree with actual row counts and timings after the run.

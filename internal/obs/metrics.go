@@ -99,6 +99,66 @@ func BucketBound(i int) int64 {
 	return int64(1) << (i + histShift)
 }
 
+// NumBuckets reports the number of histogram buckets (see BucketBound).
+func NumBuckets() int { return histBuckets }
+
+// Bucket returns the sample count of bucket i.
+func (h *Histogram) Bucket(i int) int64 {
+	if i < 0 || i >= histBuckets {
+		return 0
+	}
+	return h.buckets[i].Load()
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the observed samples in
+// nanoseconds, interpolating linearly within the bucket the target rank
+// lands in. The unbounded last bucket returns its lower edge. Zero samples
+// return 0. The estimate is read from atomics without stopping writers, so
+// under concurrent observation it is approximate — exactly the fidelity a
+// monitoring quantile needs.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target sample, 1-based: ceil(q*total), at least 1.
+	target := int64(q * float64(total))
+	if float64(target) < q*float64(total) || target == 0 {
+		target++
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		b := h.buckets[i].Load()
+		if b == 0 {
+			continue
+		}
+		cum += b
+		if cum < target {
+			continue
+		}
+		var lower int64
+		if i > 0 {
+			lower = BucketBound(i - 1)
+		}
+		upper := BucketBound(i)
+		if upper < 0 {
+			return lower
+		}
+		// Position of the target rank inside this bucket's count.
+		within := target - (cum - b)
+		return lower + (upper-lower)*within/b
+	}
+	// Concurrent writers can make count outrun the bucket sums momentarily;
+	// fall back to the top bucket's lower edge.
+	return BucketBound(histBuckets - 2)
+}
+
 // Registry holds named metrics. Names must be unique across all three
 // kinds; registering an existing name with the same kind returns the
 // existing metric (so handle lookup is idempotent), while a kind clash
@@ -195,8 +255,10 @@ func (r *Registry) Names() []string {
 
 // JSON renders the registry expvar-style: a single JSON object keyed by
 // metric name. Counters and gauges render as numbers; histograms as
-// {"count":…, "sum_ns":…, "buckets":{"<le_ns>":n, …, "+inf":n}} with empty
-// buckets omitted. Keys are sorted for stable output.
+// {"count":…, "sum_ns":…, "buckets":{"<le_ns>":n, …, "+inf":n}} with every
+// bucket present, keyed by its BucketBound upper edge, so a downstream
+// consumer can reconstruct the full distribution (and quantiles) without
+// knowing the bucket layout. Keys are sorted for stable output.
 func (r *Registry) JSON() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -214,16 +276,11 @@ func (r *Registry) JSON() string {
 	for n, h := range r.hists {
 		var bb strings.Builder
 		bb.WriteByte('{')
-		first := true
 		for i := 0; i < histBuckets; i++ {
-			v := h.buckets[i].Load()
-			if v == 0 {
-				continue
-			}
-			if !first {
+			if i > 0 {
 				bb.WriteByte(',')
 			}
-			first = false
+			v := h.buckets[i].Load()
 			if bound := BucketBound(i); bound < 0 {
 				fmt.Fprintf(&bb, `"+inf":%d`, v)
 			} else {
@@ -246,4 +303,37 @@ func (r *Registry) JSON() string {
 	}
 	sb.WriteString("}\n")
 	return sb.String()
+}
+
+// MetricSnapshot is one registered metric's state at snapshot time. Kind is
+// "counter", "gauge", or "histogram"; Count/SumNs/P50Ns/P99Ns are only
+// meaningful for histograms, Value only for counters and gauges.
+type MetricSnapshot struct {
+	Name  string
+	Kind  string
+	Value int64
+	Count int64
+	SumNs int64
+	P50Ns int64
+	P99Ns int64
+}
+
+// Snapshot returns every registered metric's current state, sorted by name
+// — the row source of the pct_metrics virtual table.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	out := make([]MetricSnapshot, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n, c := range r.counters {
+		out = append(out, MetricSnapshot{Name: n, Kind: "counter", Value: c.Value()})
+	}
+	for n, g := range r.gauges {
+		out = append(out, MetricSnapshot{Name: n, Kind: "gauge", Value: g.Value()})
+	}
+	for n, h := range r.hists {
+		out = append(out, MetricSnapshot{Name: n, Kind: "histogram",
+			Count: h.Count(), SumNs: h.Sum(), P50Ns: h.Quantile(0.50), P99Ns: h.Quantile(0.99)})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
 }

@@ -37,7 +37,13 @@ var (
 // Pass nil to detach. With no sink attached tracing is off and queries pay
 // no tracing cost. The sink runs synchronously on the querying goroutine; it
 // must not call back into the DB.
-func (db *DB) SetTraceSink(fn func(*Span)) { db.sink = fn }
+func (db *DB) SetTraceSink(fn func(*Span)) {
+	if fn == nil {
+		db.sink.Store(nil)
+		return
+	}
+	db.sink.Store(&sinkBox{fn: fn})
+}
 
 // SetSlowQueryLog logs every SQL statement whose execution exceeds
 // threshold to w, one "slow query (<duration>): <sql>" line each. This is

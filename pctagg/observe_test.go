@@ -175,6 +175,9 @@ func TestMetricNamesStable(t *testing.T) {
 		"engine.rows.scanned",
 		"engine.statement.ns",
 		"engine.statements",
+		"introspect.recorded",
+		"introspect.self_skipped",
+		"introspect.snapshots",
 		"query.hagg",
 		"query.hpct",
 		"query.plain",

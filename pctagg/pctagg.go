@@ -32,10 +32,13 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/lint"
+	"repro/internal/obs"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/internal/value"
@@ -49,8 +52,14 @@ type DB struct {
 	strat   Strategies
 	auto    bool
 	par     int
-	sink    func(*Span) // per-query trace sink; see SetTraceSink
+	// sink is the per-query trace sink (see SetTraceSink), boxed in an
+	// atomic pointer so attaching or detaching it races safely with queries
+	// in flight — the same discipline the engine uses for its own sink.
+	sink atomic.Pointer[sinkBox]
 }
+
+// sinkBox wraps the sink callback so it can live in an atomic.Pointer.
+type sinkBox struct{ fn func(*Span) }
 
 // Open creates an empty database with the paper's recommended default
 // strategies. Aggregations run in automatic parallel mode (one worker per
@@ -144,22 +153,74 @@ func (db *DB) Query(sql string) (*Rows, error) {
 // deadline). Resource limits installed with SetLimits are enforced the same
 // way.
 func (db *DB) QueryCtx(ctx context.Context, sql string) (*Rows, error) {
+	// One load covers both the decision to trace and the delivery, so a
+	// concurrent SetTraceSink can never tear the pair.
+	sink := db.sink.Load()
 	var root *Span
-	if db.sink != nil {
+	if sink != nil {
 		root = newQuerySpan(sql)
 	}
 	rows, err := db.queryIn(ctx, sql, root)
 	if root != nil {
 		finishQuerySpan(root, err)
-		db.sink(root)
+		sink.fn(root)
 	}
 	return rows, err
 }
 
-// queryIn is the Query body. root, when non-nil, receives the trace: parse
-// and plan spans, then either the engine statement span (standard SQL) or
-// the planner's full plan trace (percentage/horizontal queries).
+// qmeta carries per-query facts the introspection recording needs out of
+// the query body: whether the query must not observe itself, and the plan's
+// summary-cache reuse counts.
+type qmeta struct {
+	skip                   bool
+	cacheHits, cacheMisses int
+}
+
+// queryIn wraps the query body with top-level introspection recording: one
+// Top-flagged fingerprint entry per Query call, carrying the whole-call
+// latency (parse + plan + every generated statement) and the plan's
+// summary-cache hit/miss counts. Engine-level entries (Top false) record
+// each generated statement individually.
 func (db *DB) queryIn(ctx context.Context, sql string, root *Span) (*Rows, error) {
+	stats := db.eng.StatementStats()
+	if stats == nil {
+		return db.queryInner(ctx, sql, root, nil)
+	}
+	start := time.Now()
+	var meta qmeta
+	rows, err := db.queryInner(ctx, sql, root, &meta)
+	if !meta.skip {
+		norm, hash := obs.Fingerprint(sql)
+		var nrows int64
+		if rows != nil {
+			nrows = int64(len(rows.Data))
+		}
+		stats.Observe(obs.StmtObservation{
+			Hash: hash, Query: norm, Top: true,
+			DurNs: time.Since(start).Nanoseconds(), Rows: nrows,
+			ErrCode:   queryErrCode(err),
+			CacheHits: int64(meta.cacheHits), CacheMisses: int64(meta.cacheMisses),
+		})
+	}
+	return rows, err
+}
+
+// touchesVirtual reports whether the SELECT reads any virtual relation —
+// the public-API half of the self-observation guard.
+func (db *DB) touchesVirtual(sel *sqlparse.Select) bool {
+	for _, f := range sel.From {
+		if db.eng.IsVirtualTable(f.Table.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// queryInner is the Query body. root, when non-nil, receives the trace:
+// parse and plan spans, then either the engine statement span (standard SQL)
+// or the planner's full plan trace (percentage/horizontal queries). meta,
+// when non-nil, collects introspection facts for queryIn.
+func (db *DB) queryInner(ctx context.Context, sql string, root *Span, meta *qmeta) (*Rows, error) {
 	ps := root.NewChild("parse")
 	stmt, err := sqlparse.Parse(sql)
 	ps.End()
@@ -168,6 +229,9 @@ func (db *DB) queryIn(ctx context.Context, sql string, root *Span) (*Rows, error
 		return nil, err
 	}
 	if ex, ok := stmt.(*sqlparse.Explain); ok {
+		if meta != nil && ex.Query != nil && db.touchesVirtual(ex.Query) {
+			meta.skip = true
+		}
 		class, err := core.Classify(ex.Query)
 		if err != nil {
 			countQueryError(err)
@@ -194,19 +258,27 @@ func (db *DB) queryIn(ctx context.Context, sql string, root *Span) (*Rows, error
 	if !ok {
 		return nil, fmt.Errorf("pctagg: Query needs a SELECT; use Exec for %T", stmt)
 	}
+	if meta != nil && db.touchesVirtual(sel) {
+		meta.skip = true
+	}
 	class, err := core.Classify(sel)
 	if err != nil {
 		countQueryError(err)
 		return nil, err
 	}
 	countQueryClass(class)
+	if meta != nil && meta.skip {
+		// Extend the self-observation guard across the whole plan: none of
+		// the generated temp-table statements may record themselves either.
+		ctx = engine.WithoutIntrospection(ctx)
+	}
 	var res *engine.Result
 	if class == core.ClassStandard && sel.GroupSets == nil {
 		res, err = db.eng.ExecuteCtxIn(ctx, sel, db.par, root)
 	} else {
 		// Percentage/horizontal aggregations and any GROUP BY
 		// ROLLUP/CUBE/GROUPING SETS go through the planner's rewriter.
-		res, err = db.queryPlanned(ctx, sel, root)
+		res, err = db.queryPlanned(ctx, sel, root, meta)
 	}
 	if err != nil {
 		countQueryError(err)
@@ -246,12 +318,16 @@ func (db *DB) planFor(sel *sqlparse.Select) (*core.Plan, error) {
 
 // queryPlanned evaluates a percentage/horizontal SELECT through the planner,
 // nesting the plan's trace under root when tracing.
-func (db *DB) queryPlanned(ctx context.Context, sel *sqlparse.Select, root *Span) (*engine.Result, error) {
+func (db *DB) queryPlanned(ctx context.Context, sel *sqlparse.Select, root *Span, meta *qmeta) (*engine.Result, error) {
 	pls := root.NewChild("plan")
 	plan, err := db.planFor(sel)
 	pls.End()
 	if err != nil {
 		return nil, err
+	}
+	if meta != nil {
+		meta.cacheHits = plan.CacheHits()
+		meta.cacheMisses = plan.CacheMisses()
 	}
 	if root == nil {
 		return db.planner.ExecuteCtx(ctx, plan)

@@ -12,9 +12,9 @@
 //	            leak unclosed spans
 //	ctxpass     a function holding a context.Context must not call a callee
 //	            that has a ...Ctx variant without passing the context
-//	metricname  metric and chaos-point string literals must match the
-//	            registered name sets, catching typos the stability tests
-//	            would only pin after the fact
+//	metricname  metric, chaos-point, and pct_* virtual-table string
+//	            literals must match the registered name sets, catching
+//	            typos the stability tests would only pin after the fact
 //	codesync    PCT diagnostic codes stay in sync: every constant in
 //	            internal/diag is registered, documented in the README code
 //	            table, and used somewhere; no stray PCTxxx literals
@@ -78,7 +78,7 @@ var analyzers = []analyzer{
 	{"ctxloop", "row/partition loops in internal/engine and internal/core must poll the governor or ctx", ctxloop},
 	{"spanend", "every started obs.Span must be ended on all return paths", spanend},
 	{"ctxpass", "a function holding a context.Context must pass it to ...Ctx-capable callees", ctxpass},
-	{"metricname", "metric and chaos-point string literals must match the registered name sets", metricname},
+	{"metricname", "metric, chaos-point, and virtual-table string literals must match the registered name sets", metricname},
 	{"codesync", "PCT diagnostic codes: declared ↔ registered ↔ documented ↔ used", codesync},
 }
 

@@ -25,12 +25,18 @@ import (
 //     (engine.*/core.*/cache.*/query.*) that is not in that set — test
 //     files included, they are the point;
 //   - flags raw literals passed to chaos.Arm/Hit/HitN: call sites must use
-//     the chaos constants so a renamed point cannot detach its tests.
+//     the chaos constants so a renamed point cannot detach its tests;
+//   - applies the same discipline to the introspection catalog: literal
+//     args of Engine.RegisterVirtual in non-test files are the registered
+//     virtual-table names, and any other literal shaped like one
+//     (pct_stat_*/pct_trace_*/pct_cache_*/pct_metrics) must match —
+//     a typo there queries a table that does not exist.
 //
 // Span attribute keys (sp.Attr("cache.fallback", …)) are a separate
 // namespace and exempt.
 func metricname(p *pass) []finding {
 	known, prefixes := registeredNames(p)
+	virtKnown := registeredVirtualNames(p)
 
 	var out []finding
 	for _, u := range p.units {
@@ -46,7 +52,19 @@ func metricname(p *pass) []finding {
 					return true
 				}
 				s, err := strconv.Unquote(lit.Value)
-				if err != nil || !metricShape.MatchString(s) {
+				if err != nil {
+					return true
+				}
+				if virtShape.MatchString(s) && !virtKnown[s] {
+					out = append(out, finding{
+						analyzer: "metricname",
+						pos:      p.posOf(lit.Pos()),
+						msg: fmt.Sprintf("%q is not a registered virtual-table name; "+
+							"fix the typo, register it with Engine.RegisterVirtual, or waive with // pctvet:ok <reason>", s),
+					})
+					return true
+				}
+				if !metricShape.MatchString(s) {
 					return true
 				}
 				if known[s] {
@@ -71,7 +89,42 @@ func metricname(p *pass) []finding {
 }
 
 // metricShape matches the dotted names the engine's registries use.
-var metricShape = regexp.MustCompile(`^(engine|core|cache|query)(\.[A-Za-z0-9_]+)+$`)
+var metricShape = regexp.MustCompile(`^(engine|core|cache|query|introspect)(\.[A-Za-z0-9_]+)+$`)
+
+// virtShape matches the introspection catalog's virtual-table namespace.
+// Generated temporaries (pct_fk_1, pct_fh_2, …) use different prefixes and
+// stay out of it.
+var virtShape = regexp.MustCompile(`^pct_(stat|trace|cache|metrics)(_[A-Za-z0-9_]+)?$`)
+
+// registeredVirtualNames collects the virtual-table names: literal first
+// args of Engine.RegisterVirtual calls in non-test files.
+func registeredVirtualNames(p *pass) map[string]bool {
+	known := map[string]bool{}
+	for _, u := range p.units {
+		for _, f := range u.Files {
+			if p.isTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				fn := calleeOf(u.Info, call)
+				if fn == nil || fn.Name() != "RegisterVirtual" || !isNamedType(recvType(fn), "engine", "Engine") {
+					return true
+				}
+				if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					if s, err := strconv.Unquote(lit.Value); err == nil {
+						known[s] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return known
+}
 
 // registeredNames builds the known name set: metric registrations in
 // non-test files (a literal arg registers the name; a "lit" + expr arg

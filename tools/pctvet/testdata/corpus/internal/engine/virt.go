@@ -1,0 +1,24 @@
+// Virtual-table name cases for the metricname analyzer.
+package engine
+
+// Engine mirrors the real engine's registration surface: literal first
+// args of RegisterVirtual define the known virtual-table names.
+type Engine struct{}
+
+// RegisterVirtual registers a read-only system relation.
+func (e *Engine) RegisterVirtual(name string, build func() error) error {
+	_ = name
+	_ = build
+	return nil
+}
+
+// registerVirt registers the corpus catalog table.
+func registerVirt(e *Engine) error {
+	return e.RegisterVirtual("pct_stat_corpus", nil)
+}
+
+// useVirtGood references the registered name: no finding.
+func useVirtGood() string { return "pct_stat_corpus" }
+
+// useVirtTypo references a name nothing registered: metricname fires.
+func useVirtTypo() string { return "pct_stat_corpuz" }
