@@ -18,6 +18,10 @@
 //	                                 # per-stage timings as JSON
 //	pctbench -timeout 30s            # per-statement deadline (PCT201 on expiry)
 //	pctbench -cancel BENCH_cancel.json  # cancellation-latency smoke benchmark
+//	pctbench -serve-load BENCH_serve.json  # multi-tenant server load: latency
+//	                                       # quantiles, rejections, sheds, and
+//	                                       # the pct_stat_sessions reconciliation
+//	pctbench -serve-load out.json -serve-addr host:port  # against a live pctserve
 //
 // The -scale paper setting uses the papers' exact sizes (sales n=10M);
 // expect a long run and several GB of memory.
@@ -34,6 +38,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/engine"
+	"repro/internal/serveload"
 )
 
 func main() {
@@ -45,6 +50,11 @@ func main() {
 	breakdown := flag.String("breakdown", "", "trace the primary queries and write per-stage timings to this file as JSON")
 	timeout := flag.Duration("timeout", 0, "per-statement deadline (0 = none); an expired run fails with PCT201 instead of hanging the suite")
 	cancelOut := flag.String("cancel", "", "run the cancellation-latency smoke benchmark and write the result to this file as JSON")
+	serveOut := flag.String("serve-load", "", "run the multi-tenant server load benchmark and write the result to this file as JSON")
+	serveAddr := flag.String("serve-addr", "", "serve-load: use a running pctserve at this address instead of an in-process server")
+	serveTenants := flag.Int("serve-tenants", 3, "serve-load: simulated tenants")
+	serveWorkers := flag.Int("serve-workers", 4, "serve-load: sessions per tenant")
+	serveRequests := flag.Int("serve-requests", 50, "serve-load: statements per session")
 	md := flag.Bool("md", false, "emit markdown tables")
 	quiet := flag.Bool("quiet", false, "suppress progress messages")
 	filter := flag.String("filter", "", "only run query rows whose label contains this substring")
@@ -158,6 +168,56 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *serveOut != "" {
+		res, err := serveload.Run(serveload.Config{
+			Addr:     *serveAddr,
+			Tenants:  *serveTenants,
+			Workers:  *serveWorkers,
+			Requests: *serveRequests,
+		}, log)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeServeJSON(*serveOut, res); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeServeJSON dumps the multi-tenant load result: the client-side
+// admission ledger, latency quantiles, and the pct_stat_sessions rows it
+// was reconciled against.
+func writeServeJSON(path string, res *serveload.Result) error {
+	ms := func(d time.Duration) float64 { return float64(d) / 1e6 }
+	doc := struct {
+		Tenants    int                 `json:"tenants"`
+		Workers    int                 `json:"workers"`
+		Requests   int                 `json:"requests_per_worker"`
+		Completed  int64               `json:"completed"`
+		Rejections int64               `json:"rejections"`
+		Retries    int64               `json:"recovered_by_retry"`
+		Shed       int64               `json:"shed"`
+		Errors     int64               `json:"errors"`
+		WallMs     float64             `json:"wall_ms"`
+		P50Ms      float64             `json:"p50_ms"`
+		P99Ms      float64             `json:"p99_ms"`
+		P999Ms     float64             `json:"p999_ms"`
+		MaxMs      float64             `json:"max_ms"`
+		Reconciled bool                `json:"reconciled"`
+		Sessions   []serveload.Session `json:"pct_stat_sessions"`
+	}{
+		Tenants: res.Tenants, Workers: res.Workers, Requests: res.Requests,
+		Completed: res.Completed, Rejections: res.Rejections, Retries: res.Retries,
+		Shed: res.Shed, Errors: res.Errors,
+		WallMs: ms(res.Wall), P50Ms: ms(res.P50), P99Ms: ms(res.P99),
+		P999Ms: ms(res.P999), MaxMs: ms(res.Max),
+		Reconciled: res.Reconciled, Sessions: res.Sessions,
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // writeCancelJSON dumps the cancellation-latency smoke result: per-rep

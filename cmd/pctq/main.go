@@ -11,9 +11,15 @@
 //	pctq -f script.sql   # execute a file and exit
 //	pctq -demo           # preload the paper's example tables
 //	pctq -timeout 5s     # per-statement deadline (PCT201 on expiry)
+//	pctq -connect host:port -tenant etl   # shell against a pctserve server
 //
 // Ctrl-C cancels the in-flight statement (typed PCT200 error, tables left
-// intact) instead of killing the shell.
+// intact) instead of killing the shell; a second Ctrl-C within a second
+// quits. With -connect the cancel travels over the wire to the server.
+//
+// In -connect mode statements run on the remote server under its tenant's
+// admission control; meta-commands other than \q and \timing are
+// local-only and politely refused.
 //
 // Meta-commands inside the shell:
 //
@@ -45,8 +51,11 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/server"
+	"repro/internal/workload"
 	"repro/pctagg"
 )
 
@@ -56,15 +65,28 @@ func main() {
 	demo := flag.Bool("demo", false, "preload the paper's example tables (sales, daily)")
 	stats := flag.Bool("stats", false, "print the metrics registry as JSON on exit")
 	timeout := flag.Duration("timeout", 0, "per-statement deadline (0 = none), e.g. 5s")
+	connect := flag.String("connect", "", "run against a pctserve server at this host:port instead of in-process")
+	tenant := flag.String("tenant", "", "tenant name for -connect (empty = the default profile)")
 	flag.Parse()
 
-	db := pctagg.Open()
-	if err := db.EnableIntrospection(pctagg.IntrospectionConfig{}); err != nil {
-		fatal(err)
+	sh := &shell{timeout: *timeout}
+	if *connect != "" {
+		c, err := server.Dial(*connect, *tenant)
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		sh.client = c
+	} else {
+		db := pctagg.Open()
+		if err := db.EnableIntrospection(pctagg.IntrospectionConfig{}); err != nil {
+			fatal(err)
+		}
+		sh.db = db
 	}
-	sh := &shell{db: db, timeout: *timeout}
+	sh.installSignals()
 	if *demo {
-		if err := loadDemo(db); err != nil {
+		if err := sh.loadDemo(); err != nil {
 			fatal(err)
 		}
 		fmt.Println("demo tables loaded: sales (paper Table 1), daily (stores × weekdays)")
@@ -86,35 +108,69 @@ func main() {
 	default:
 		sh.repl()
 	}
-	if *stats {
-		fmt.Println(db.MetricsJSON())
+	if *stats && sh.db != nil {
+		fmt.Println(sh.db.MetricsJSON())
 	}
 }
 
 // shell holds the REPL's toggles: \timing (wall time per statement) and
 // \trace (execution trace after each query), plus the per-statement
-// deadline from -timeout.
+// deadline from -timeout. Exactly one of db (in-process) and client
+// (-connect) is set.
 type shell struct {
 	db      *pctagg.DB
+	client  *server.Client
 	timing  bool
 	trace   bool
 	cache   bool
 	timeout time.Duration
+
+	// inflight is the cancel func of the statement currently running, for
+	// the persistent Ctrl-C handler; nil when the shell is idle.
+	inflight atomic.Pointer[context.CancelFunc]
+}
+
+// installSignals wires the shell's persistent interrupt handling: the
+// first Ctrl-C cancels the in-flight statement (typed PCT200, tables
+// intact — over the wire in -connect mode), and a second Ctrl-C within a
+// second quits the shell.
+func (sh *shell) installSignals() {
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt)
+	go func() {
+		var last time.Time
+		for range sigs {
+			now := time.Now()
+			if now.Sub(last) < time.Second {
+				fmt.Fprintln(os.Stderr, "\npctq: interrupted twice, quitting")
+				os.Exit(130)
+			}
+			last = now
+			if cancel := sh.inflight.Load(); cancel != nil {
+				(*cancel)()
+				fmt.Fprintln(os.Stderr, " (statement cancelled; Ctrl-C again within 1s to quit)")
+			} else {
+				fmt.Fprintln(os.Stderr, " (Ctrl-C again within 1s to quit)")
+			}
+		}
+	}()
 }
 
 // statementCtx builds the lifecycle context for one statement: the
-// -timeout deadline if one was set, and Ctrl-C wired to cancellation so an
-// interrupt stops the in-flight query (typed PCT200 error, tables intact)
-// instead of killing the shell. The returned stop func releases the signal
-// registration.
+// -timeout deadline if one was set, with the statement's cancel published
+// for the interrupt handler. The returned stop func withdraws it again.
 func (sh *shell) statementCtx() (context.Context, context.CancelFunc) {
-	ctx := context.Background()
+	ctx, cancel := context.WithCancel(context.Background())
 	cancelTimeout := context.CancelFunc(func() {})
 	if sh.timeout > 0 {
 		ctx, cancelTimeout = context.WithTimeout(ctx, sh.timeout)
 	}
-	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
-	return ctx, func() { stop(); cancelTimeout() }
+	sh.inflight.Store(&cancel)
+	return ctx, func() {
+		sh.inflight.Store(nil)
+		cancel()
+		cancelTimeout()
+	}
 }
 
 func fatal(err error) {
@@ -136,6 +192,20 @@ func (sh *shell) runOne(stmt string) error {
 	start := time.Now()
 	ctx, stop := sh.statementCtx()
 	defer stop()
+	if sh.client != nil {
+		res, err := sh.client.Do(ctx, stmt)
+		if err != nil {
+			return err
+		}
+		if len(res.Columns) > 0 {
+			rows := &pctagg.Rows{Columns: res.Columns, Data: res.Rows}
+			fmt.Print(rows.String())
+		} else {
+			fmt.Printf("ok (%d rows affected)\n", res.Affected)
+		}
+		sh.reportTime(start)
+		return nil
+	}
 	upper := strings.ToUpper(strings.TrimSpace(stmt))
 	if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "EXPLAIN") {
 		var rows *pctagg.Rows
@@ -232,10 +302,24 @@ func (sh *shell) repl() {
 	}
 }
 
-// meta handles backslash commands; returns true to quit.
+// meta handles backslash commands; returns true to quit. In -connect mode
+// only the session-local toggles work: everything else inspects or mutates
+// in-process engine state the remote server does not expose.
 func (sh *shell) meta(cmd string) bool {
 	db := sh.db
 	fields := strings.Fields(cmd)
+	if sh.client != nil {
+		switch fields[0] {
+		case "\\q", "\\quit":
+			return true
+		case "\\timing":
+			sh.timing = !sh.timing
+			fmt.Printf("timing %s\n", onOff(sh.timing))
+		default:
+			fmt.Fprintf(os.Stderr, "error: %s is local-only and not available over -connect (plain SQL, \\q, and \\timing work; try SELECT * FROM pct_stat_sessions)\n", fields[0])
+		}
+		return false
+	}
 	switch fields[0] {
 	case "\\q", "\\quit":
 		return true
@@ -460,18 +544,20 @@ func hasTable(db *pctagg.DB, name string) bool {
 	return false
 }
 
-// loadDemo creates the paper's Table 1 sales table and the store/day table.
-func loadDemo(db *pctagg.DB) error {
-	_, err := db.Exec(`
-		CREATE TABLE sales (RID INTEGER, state VARCHAR, city VARCHAR, salesAmt INTEGER);
-		INSERT INTO sales VALUES
-		(1,'CA','San Francisco',13),(2,'CA','San Francisco',3),(3,'CA','San Francisco',67),
-		(4,'CA','Los Angeles',23),(5,'TX','Houston',5),(6,'TX','Houston',35),
-		(7,'TX','Houston',10),(8,'TX','Houston',14),(9,'TX','Dallas',53),(10,'TX','Dallas',32);
-		CREATE TABLE daily (store INTEGER, dweek VARCHAR, salesAmt INTEGER);
-		INSERT INTO daily VALUES
-		(2,'Mo',7),(2,'Tu',6),(2,'We',8),(2,'Th',9),(2,'Fr',16),(2,'Sa',24),(2,'Su',30),
-		(4,'Tu',9),(4,'We',9),(4,'Th',9),(4,'Fr',18),(4,'Sa',20),(4,'Su',35)`)
+// loadDemo creates the paper's Table 1 sales table and the store/day
+// table — locally in one Exec, or statement by statement over the wire in
+// -connect mode (where the server may refuse duplicates if another client
+// already loaded them).
+func (sh *shell) loadDemo() error {
+	if sh.client != nil {
+		for _, stmt := range splitStatements(workload.DemoSQL) {
+			if _, err := sh.client.Do(context.Background(), stmt); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	_, err := sh.db.Exec(workload.DemoSQL)
 	return err
 }
 

@@ -28,7 +28,7 @@ func TestSplitStatements(t *testing.T) {
 
 func TestRunScriptAndMeta(t *testing.T) {
 	db := pctagg.Open()
-	if err := loadDemo(db); err != nil {
+	if err := (&shell{db: db}).loadDemo(); err != nil {
 		t.Fatal(err)
 	}
 	sh := &shell{db: db}
@@ -89,25 +89,25 @@ func TestRunScriptAndMeta(t *testing.T) {
 func TestImportExportSaveLoadMeta(t *testing.T) {
 	dir := t.TempDir()
 	db := pctagg.Open()
-	if err := loadDemo(db); err != nil {
+	if err := (&shell{db: db}).loadDemo(); err != nil {
 		t.Fatal(err)
 	}
 	csvPath := dir + "/out.csv"
-	if (&shell{db: db}).meta("\\export "+csvPath+" SELECT state, city, salesAmt FROM sales") {
+	if (&shell{db: db}).meta("\\export " + csvPath + " SELECT state, city, salesAmt FROM sales") {
 		t.Fatal("export quit")
 	}
-	if (&shell{db: db}).meta("\\import imported "+csvPath) {
+	if (&shell{db: db}).meta("\\import imported " + csvPath) {
 		t.Fatal("import quit")
 	}
 	if !hasTable(db, "imported") {
 		t.Fatal("import did not create table")
 	}
 	snapPath := dir + "/snap.bin"
-	if (&shell{db: db}).meta("\\save "+snapPath) {
+	if (&shell{db: db}).meta("\\save " + snapPath) {
 		t.Fatal("save quit")
 	}
 	db2 := pctagg.Open()
-	if (&shell{db: db2}).meta("\\load "+snapPath) {
+	if (&shell{db: db2}).meta("\\load " + snapPath) {
 		t.Fatal("load quit")
 	}
 	if len(db2.Tables()) != 3 { // sales, daily, imported

@@ -1,0 +1,176 @@
+// Command pctserve runs the multi-tenant percentage-aggregation query
+// server: one in-memory engine behind a TCP front door with per-tenant
+// admission control, a shared byte pool, and graceful drain.
+//
+// Usage:
+//
+//	pctserve -addr :7144 -demo
+//	pctserve -f init.sql -tenant "etl:8:64:67108864" -tenant "dash:2:16:8388608"
+//	pctserve -shared-bytes 268435456 -session-timeout 5m -drain-timeout 10s
+//
+// Each -tenant flag declares one admission profile as
+// "name:maxconcurrent:maxqueue:statementbytes" (trailing fields may be
+// omitted; 0 keeps the server default). Unknown tenants connect under the
+// default profile, tuned by the -max-* flags.
+//
+// On SIGINT/SIGTERM the server stops admitting (new work is refused with
+// PCT212 and a backoff hint), lets in-flight statements finish under
+// -drain-timeout, then exits; a second signal cancels in-flight work
+// immediately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/workload"
+	"repro/pctagg"
+)
+
+// tenantFlags collects repeatable -tenant specs.
+type tenantFlags []string
+
+func (t *tenantFlags) String() string     { return strings.Join(*t, ",") }
+func (t *tenantFlags) Set(s string) error { *t = append(*t, s); return nil }
+
+// parseTenantSpec decodes one "name:maxconcurrent:maxqueue:statementbytes"
+// profile. Trailing fields may be omitted; zero values defer to the
+// server's defaults.
+func parseTenantSpec(spec string) (server.TenantProfile, error) {
+	var p server.TenantProfile
+	parts := strings.Split(spec, ":")
+	if parts[0] == "" {
+		return p, fmt.Errorf("tenant spec %q: empty name", spec)
+	}
+	if len(parts) > 4 {
+		return p, fmt.Errorf("tenant spec %q: want name:maxconcurrent:maxqueue:statementbytes", spec)
+	}
+	p.Name = parts[0]
+	fields := []struct {
+		name string
+		dst  *int64
+	}{
+		{"maxconcurrent", nil},
+		{"maxqueue", nil},
+		{"statementbytes", &p.StatementBytes},
+	}
+	for i, f := range fields {
+		if i+1 >= len(parts) || parts[i+1] == "" {
+			continue
+		}
+		n, err := strconv.ParseInt(parts[i+1], 10, 64)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("tenant spec %q: bad %s %q", spec, f.name, parts[i+1])
+		}
+		switch f.name {
+		case "maxconcurrent":
+			p.MaxConcurrent = int(n)
+		case "maxqueue":
+			p.MaxQueue = int(n)
+		default:
+			*f.dst = n
+		}
+	}
+	return p, nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7144", "listen address")
+	demo := flag.Bool("demo", false, "load the demo sales/daily tables before serving")
+	initFile := flag.String("f", "", "run this SQL script before serving")
+	var tenants tenantFlags
+	flag.Var(&tenants, "tenant", `tenant profile "name:maxconcurrent:maxqueue:statementbytes" (repeatable)`)
+	sharedBytes := flag.Int64("shared-bytes", 0, "shared byte pool across all tenants (0 = unlimited)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "default tenant: concurrent statements (0 = server default)")
+	maxQueue := flag.Int("max-queue", 16, "default tenant: admission queue depth (0 = reject at the cap)")
+	maxSessions := flag.Int("max-sessions", 0, "default tenant: sessions per tenant (0 = unlimited)")
+	stmtTimeout := flag.Duration("statement-timeout", 0, "per-statement deadline (0 = none)")
+	sessionTimeout := flag.Duration("session-timeout", 10*time.Minute, "idle session timeout (0 = never; expiry is PCT213)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-frame write deadline for slow clients (0 = server default)")
+	drainTimeout := flag.Duration("drain-timeout", 0, "graceful-drain deadline before in-flight work is cancelled (0 = server default)")
+	quiet := flag.Bool("quiet", false, "suppress the startup banner and session log")
+	flag.Parse()
+
+	cfg := server.Config{
+		Addr: *addr,
+		DefaultTenant: server.TenantProfile{
+			Name:          "default",
+			Limits:        engine.Limits{Timeout: *stmtTimeout},
+			MaxConcurrent: *maxConcurrent,
+			MaxQueue:      *maxQueue,
+			MaxSessions:   *maxSessions,
+		},
+		SharedBytes:    *sharedBytes,
+		SessionTimeout: *sessionTimeout,
+		WriteTimeout:   *writeTimeout,
+		DrainTimeout:   *drainTimeout,
+	}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+	for _, spec := range tenants {
+		p, err := parseTenantSpec(spec)
+		if err != nil {
+			fatal(err)
+		}
+		p.Limits.Timeout = *stmtTimeout
+		cfg.Tenants = append(cfg.Tenants, p)
+	}
+
+	db := pctagg.Open()
+	if *demo {
+		if _, err := db.Exec(workload.DemoSQL); err != nil {
+			fatal(fmt.Errorf("loading demo tables: %w", err))
+		}
+	}
+	if *initFile != "" {
+		script, err := os.ReadFile(*initFile)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := db.Exec(string(script)); err != nil {
+			fatal(fmt.Errorf("%s: %w", *initFile, err))
+		}
+	}
+
+	srv := server.New(db, cfg)
+	if err := srv.Start(); err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "pctserve: listening on %s (%d tenant profiles, tables: %s)\n",
+			srv.Addr(), len(cfg.Tenants), strings.Join(db.Tables(), ", "))
+	}
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	<-sigs
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "pctserve: draining (signal again to cancel in-flight work)")
+	}
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "pctserve: hard stop")
+		srv.Close()
+	}()
+	if err := srv.Shutdown(); err != nil {
+		fmt.Fprintf(os.Stderr, "pctserve: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "pctserve: drained cleanly")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pctserve: %v\n", err)
+	os.Exit(1)
+}

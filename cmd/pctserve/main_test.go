@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func TestParseTenantSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    string // "" means a parse error is expected
+		conc    int
+		queue   int
+		bytes   int64
+		wantErr bool
+	}{
+		{spec: "etl:8:64:67108864", want: "etl", conc: 8, queue: 64, bytes: 67108864},
+		{spec: "dash:2:16", want: "dash", conc: 2, queue: 16},
+		{spec: "plain", want: "plain"},
+		{spec: "gaps::8", want: "gaps", queue: 8},
+		{spec: "", wantErr: true},
+		{spec: ":4", wantErr: true},
+		{spec: "a:x", wantErr: true},
+		{spec: "a:1:-2", wantErr: true},
+		{spec: "a:1:2:3:4", wantErr: true},
+	}
+	for _, c := range cases {
+		p, err := parseTenantSpec(c.spec)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseTenantSpec(%q) = %+v, want error", c.spec, p)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseTenantSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if p.Name != c.want || p.MaxConcurrent != c.conc || p.MaxQueue != c.queue || p.StatementBytes != c.bytes {
+			t.Errorf("parseTenantSpec(%q) = %+v, want {%s %d %d %d}", c.spec, p, c.want, c.conc, c.queue, c.bytes)
+		}
+	}
+}
+
+func TestTenantFlagsAccumulate(t *testing.T) {
+	var f tenantFlags
+	for _, s := range []string{"a:1", "b:2"} {
+		if err := f.Set(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.String(); got != "a:1,b:2" {
+		t.Fatalf("String() = %q, want %q", got, "a:1,b:2")
+	}
+}

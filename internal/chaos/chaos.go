@@ -55,17 +55,31 @@ const (
 	// cached summary; After addresses the Nth group. Same degradation
 	// contract as CacheDelta.
 	CacheMerge = "core.cache.merge"
+	// ServerAccept fires in the server's per-connection handler right
+	// after accept, before the hello handshake; a fault here must refuse
+	// one connection without wedging the accept loop.
+	ServerAccept = "server.accept"
+	// ServerAdmit fires on the statement path before admission control; a
+	// fault here must surface as a typed wire error on that statement only.
+	ServerAdmit = "server.admit"
+	// ServerDispatch fires after admission, immediately before statement
+	// execution; a panic here must be contained per connection (PCT206 on
+	// the wire) with the grant released.
+	ServerDispatch = "server.dispatch"
 )
 
 // points is the closed set of valid fault-point names.
 var points = map[string]bool{
-	JoinBuild:  true,
-	AggWorker:  true,
-	AggMerge:   true,
-	PivotAlloc: true,
-	InsertSink: true,
-	CacheDelta: true,
-	CacheMerge: true,
+	JoinBuild:      true,
+	AggWorker:      true,
+	AggMerge:       true,
+	PivotAlloc:     true,
+	InsertSink:     true,
+	CacheDelta:     true,
+	CacheMerge:     true,
+	ServerAccept:   true,
+	ServerAdmit:    true,
+	ServerDispatch: true,
 }
 
 // Fault describes one injected failure. Exactly one of Err and Panic is

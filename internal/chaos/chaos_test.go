@@ -250,13 +250,16 @@ func TestUpdateStagingSwapAtomic(t *testing.T) {
 // registry in sync.
 func TestPointsRegistryClosed(t *testing.T) {
 	want := map[string]bool{
-		chaos.JoinBuild:  true,
-		chaos.AggWorker:  true,
-		chaos.AggMerge:   true,
-		chaos.PivotAlloc: true,
-		chaos.InsertSink: true,
-		chaos.CacheDelta: true,
-		chaos.CacheMerge: true,
+		chaos.JoinBuild:      true,
+		chaos.AggWorker:      true,
+		chaos.AggMerge:       true,
+		chaos.PivotAlloc:     true,
+		chaos.InsertSink:     true,
+		chaos.CacheDelta:     true,
+		chaos.CacheMerge:     true,
+		chaos.ServerAccept:   true,
+		chaos.ServerAdmit:    true,
+		chaos.ServerDispatch: true,
 	}
 	got := chaos.Points()
 	if len(got) != len(want) {

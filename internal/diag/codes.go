@@ -133,6 +133,23 @@ const (
 	// CodePanic: a panic inside statement execution was recovered and
 	// contained; the error carries the panic value and stack.
 	CodePanic = "PCT206"
+
+	// PCT21x are admission-control codes from the multi-tenant server
+	// front door (internal/server). Every one is retryable: the statement
+	// was never executed, and the wire error carries a backoff hint.
+
+	// CodeQueueFull: the tenant's admission queue is at MaxQueue; the
+	// statement was shed before queuing.
+	CodeQueueFull = "PCT210"
+	// CodeTenantCap: the tenant is at its session or concurrent-statement
+	// cap (with no queue configured); the connect or statement is refused.
+	CodeTenantCap = "PCT211"
+	// CodeDrainRejected: the server is draining; new connects and queued
+	// statements are refused so in-flight work can finish.
+	CodeDrainRejected = "PCT212"
+	// CodeSessionTimeout: the session sat idle past the server's
+	// per-session timeout and was closed.
+	CodeSessionTimeout = "PCT213"
 )
 
 // CodeInfo describes one diagnostic code for the registry.
@@ -199,6 +216,10 @@ var Registry = []CodeInfo{
 	{CodePivotLimit, Error, "pivot column limit exceeded", "Limits.MaxPivotColumns is a hard cap on horizontal result width — the paper's DBMS column-limit failure mode as a governed error", true},
 	{CodeByteBudget, Error, "byte budget exceeded", "Limits.MaxBytes bounds approximate materialized bytes; parallel aggregation degrades to sequential under pressure before failing", true},
 	{CodePanic, Error, "panic recovered in statement execution", "a worker or dispatch panic is contained into an error carrying the stack, keeping the engine usable", true},
+	{CodeQueueFull, Error, "admission queue full", "the tenant's bounded admission queue is at MaxQueue; retry after the backoff hint instead of piling on", true},
+	{CodeTenantCap, Error, "tenant cap reached", "the tenant is at its session or concurrent-statement cap; the connect or statement is refused, not queued", true},
+	{CodeDrainRejected, Error, "server draining", "the server stopped admitting for graceful shutdown; in-flight statements finish, queued and new work is refused", true},
+	{CodeSessionTimeout, Error, "session idle timeout", "the session sat idle past the server's per-session timeout and was closed; reconnect to continue", true},
 }
 
 // Lookup returns the registry entry for a code, if known.

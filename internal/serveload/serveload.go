@@ -1,0 +1,300 @@
+package serveload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+	"repro/pctagg"
+)
+
+// Config shapes the multi-tenant server load benchmark: Tenants
+// simulated tenants, each with Workers concurrent sessions, each session
+// replaying Requests statements from the demo workload mix.
+type Config struct {
+	// Addr is an already-running pctserve instance (with the demo tables
+	// loaded); empty starts an in-process server on an ephemeral port.
+	Addr string
+	// Tenants, Workers, Requests default to 3 × 4 × 50.
+	Tenants  int
+	Workers  int
+	Requests int
+	// MaxConcurrent and MaxQueue are each in-process tenant's admission
+	// knobs; deliberately tight defaults (2 and 8) so the run exercises
+	// queuing and shedding, not just the happy path.
+	MaxConcurrent int
+	MaxQueue      int
+	// SharedBytes bounds the in-process server's shared byte pool
+	// (0 = unlimited).
+	SharedBytes int64
+	// Retries is how often a retryable rejection (PCT210/211) is retried,
+	// honoring the server's backoff hint, before the statement counts as
+	// shed. Default 2.
+	Retries int
+}
+
+func (c *Config) setDefaults() {
+	if c.Tenants <= 0 {
+		c.Tenants = 3
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Requests <= 0 {
+		c.Requests = 50
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 8
+	}
+	if c.Retries <= 0 {
+		c.Retries = 2
+	}
+}
+
+// Session is one row of the server's pct_stat_sessions catalog at
+// reconciliation time, before any benchmark session closed.
+type Session struct {
+	Tenant     string `json:"tenant"`
+	Statements int64  `json:"statements"`
+	Rejected   int64  `json:"rejected"`
+}
+
+// Result is the outcome of one load run. Completed counts
+// statements that returned rows; Rejections counts every retryable
+// admission refusal the clients saw (including ones later retried to
+// success); Shed counts statements abandoned after the retry budget.
+// Reconciled reports that the server's own pct_stat_sessions ledger agrees
+// with the client-side counts while the sessions were still open.
+type Result struct {
+	Tenants    int
+	Workers    int
+	Requests   int
+	Completed  int64
+	Rejections int64
+	Retries    int64
+	Shed       int64
+	Errors     int64
+	Wall       time.Duration
+	P50        time.Duration
+	P99        time.Duration
+	P999       time.Duration
+	Max        time.Duration
+	Sessions   []Session
+	Reconciled bool
+}
+
+// serveMix is the statement mix each worker cycles through: vertical
+// percentages, a horizontal spread, plain aggregation, and a raw scan —
+// the demo-table shapes a dashboard tenant would fire.
+var serveMix = []string{
+	"SELECT state, Vpct(salesAmt) FROM sales GROUP BY state",
+	"SELECT count(*), sum(salesAmt) FROM sales",
+	"SELECT dweek, Vpct(salesAmt) FROM daily GROUP BY dweek",
+	"SELECT state, city, salesAmt FROM sales",
+}
+
+// Run drives the multi-tenant load against a pctserve server and
+// reconciles the client-side ledger against the server's
+// pct_stat_sessions catalog before any session closes.
+func Run(cfg Config, log io.Writer) (*Result, error) {
+	cfg.setDefaults()
+	logf := func(format string, a ...any) {
+		if log != nil {
+			fmt.Fprintf(log, format, a...)
+		}
+	}
+
+	addr := cfg.Addr
+	if addr == "" {
+		db := pctagg.Open()
+		if _, err := db.Exec(workload.DemoSQL); err != nil {
+			return nil, err
+		}
+		var profiles []server.TenantProfile
+		for i := 0; i < cfg.Tenants; i++ {
+			profiles = append(profiles, server.TenantProfile{
+				Name:          "bench" + strconv.Itoa(i),
+				MaxConcurrent: cfg.MaxConcurrent,
+				MaxQueue:      cfg.MaxQueue,
+			})
+		}
+		srv := server.New(db, server.Config{
+			Addr:        "127.0.0.1:0",
+			Tenants:     profiles,
+			SharedBytes: cfg.SharedBytes,
+		})
+		if err := srv.Start(); err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+		addr = srv.Addr().String()
+		logf("serve load: in-process server on %s\n", addr)
+	}
+	logf("serve load: %d tenants × %d workers × %d requests (maxconc=%d maxqueue=%d)\n",
+		cfg.Tenants, cfg.Workers, cfg.Requests, cfg.MaxConcurrent, cfg.MaxQueue)
+
+	res := &Result{Tenants: cfg.Tenants, Workers: cfg.Workers, Requests: cfg.Requests}
+	type workerOut struct {
+		latencies  []time.Duration
+		completed  int64
+		rejections int64
+		retries    int64
+		shed       int64
+		errs       []error
+	}
+	outs := make([]workerOut, cfg.Tenants*cfg.Workers)
+	clients := make([]*server.Client, cfg.Tenants*cfg.Workers)
+	release := make(chan struct{}) // holds every session open for reconciliation
+	var wg, parked sync.WaitGroup
+	start := time.Now()
+
+	for t := 0; t < cfg.Tenants; t++ {
+		for w := 0; w < cfg.Workers; w++ {
+			idx := t*cfg.Workers + w
+			c, err := server.DialRetry(addr, "bench"+strconv.Itoa(t), 5*time.Second)
+			if err != nil {
+				close(release)
+				return nil, fmt.Errorf("serve load: dialing worker %d: %w", idx, err)
+			}
+			clients[idx] = c
+			wg.Add(1)
+			parked.Add(1)
+			go func(idx int, c *server.Client) {
+				defer wg.Done()
+				o := &outs[idx]
+				for i := 0; i < cfg.Requests; i++ {
+					sql := serveMix[(idx+i)%len(serveMix)]
+					lat, rejections, err := doWithRetry(c, sql, cfg.Retries)
+					o.rejections += rejections
+					if rejections > 0 && err == nil {
+						o.retries++
+					}
+					switch {
+					case err == nil:
+						o.completed++
+						o.latencies = append(o.latencies, lat)
+					case isRetryable(err):
+						o.shed++
+					default:
+						o.errs = append(o.errs, err)
+					}
+				}
+				parked.Done()
+				<-release // stay connected until the catalog snapshot
+			}(idx, c)
+		}
+	}
+
+	// Every worker has its answers but is still connected: snapshot the
+	// server's own per-session ledger through an observer session under a
+	// separate tenant, so the benchmark rows are undisturbed.
+	parked.Wait()
+	res.Wall = time.Since(start)
+
+	obs, err := server.Dial(addr, "observer")
+	if err != nil {
+		close(release)
+		wg.Wait()
+		return nil, fmt.Errorf("serve load: observer dial: %w", err)
+	}
+	cat, err := obs.Do(context.Background(), "SELECT tenant, statements, rejected FROM pct_stat_sessions")
+	obs.Close()
+	if err != nil {
+		close(release)
+		wg.Wait()
+		return nil, fmt.Errorf("serve load: catalog read: %w", err)
+	}
+	for _, row := range cat.Rows {
+		tenant, _ := row[0].(string)
+		stmts, _ := row[1].(int64)
+		rej, _ := row[2].(int64)
+		if strings.HasPrefix(tenant, "bench") {
+			res.Sessions = append(res.Sessions, Session{Tenant: tenant, Statements: stmts, Rejected: rej})
+		}
+	}
+	close(release)
+	wg.Wait()
+	for _, c := range clients {
+		c.Close()
+	}
+
+	var all []time.Duration
+	var catStmts, catRej int64
+	for i := range outs {
+		o := &outs[i]
+		res.Completed += o.completed
+		res.Rejections += o.rejections
+		res.Retries += o.retries
+		res.Shed += o.shed
+		res.Errors += int64(len(o.errs))
+		all = append(all, o.latencies...)
+		if len(o.errs) > 0 {
+			logf("serve load: worker %d error: %v\n", i, o.errs[0])
+		}
+	}
+	for _, s := range res.Sessions {
+		catStmts += s.Statements
+		catRej += s.Rejected
+	}
+	res.Reconciled = catStmts == res.Completed && catRej == res.Rejections+res.Shed
+	if !res.Reconciled {
+		logf("serve load: reconciliation MISMATCH: catalog statements=%d rejected=%d vs client completed=%d rejections+shed=%d\n",
+			catStmts, catRej, res.Completed, res.Rejections+res.Shed)
+	}
+
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if n := len(all); n > 0 {
+		res.P50 = all[n/2]
+		res.P99 = all[min(n-1, n*99/100)]
+		res.P999 = all[min(n-1, n*999/1000)]
+		res.Max = all[n-1]
+	}
+	logf("serve load: %d completed, %d rejections (%d recovered by retry), %d shed, %d errors in %s; p50=%s p99=%s p999=%s\n",
+		res.Completed, res.Rejections, res.Retries, res.Shed, res.Errors, res.Wall.Round(time.Millisecond),
+		res.P50.Round(time.Microsecond), res.P99.Round(time.Microsecond), res.P999.Round(time.Microsecond))
+	return res, nil
+}
+
+// doWithRetry runs one statement, retrying retryable admission refusals up
+// to retries times while honoring (and capping) the server's backoff hint.
+// It returns the last attempt's latency and how many rejections were seen.
+func doWithRetry(c *server.Client, sql string, retries int) (time.Duration, int64, error) {
+	var rejections int64
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		_, err := c.Do(context.Background(), sql)
+		lat := time.Since(start)
+		if err == nil {
+			return lat, rejections, nil
+		}
+		if !isRetryable(err) {
+			return lat, rejections, err
+		}
+		rejections++
+		if attempt >= retries {
+			return lat, rejections, err
+		}
+		backoff := 5 * time.Millisecond
+		var re *server.RemoteError
+		if errors.As(err, &re) && re.Backoff > 0 && re.Backoff < 50*time.Millisecond {
+			backoff = re.Backoff
+		}
+		time.Sleep(backoff)
+	}
+}
+
+func isRetryable(err error) bool {
+	var re *server.RemoteError
+	return errors.As(err, &re) && re.IsRetryable
+}

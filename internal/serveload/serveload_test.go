@@ -1,0 +1,45 @@
+package serveload
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestRunServeLoadReconciles runs a small in-process load — tight enough
+// admission knobs that queuing happens — and requires the client-side
+// ledger to reconcile exactly against the server's pct_stat_sessions rows.
+func TestRunServeLoadReconciles(t *testing.T) {
+	defer leakcheck.Check(t)()
+	res, err := Run(Config{
+		Tenants:       2,
+		Workers:       3,
+		Requests:      8,
+		MaxConcurrent: 1,
+		MaxQueue:      2,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(2 * 3 * 8)
+	if got := res.Completed + res.Shed + res.Errors; got != total {
+		t.Fatalf("accounted statements = %d, want %d (completed %d, shed %d, errors %d)",
+			got, total, res.Completed, res.Shed, res.Errors)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d non-retryable errors", res.Errors)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no statement completed")
+	}
+	if !res.Reconciled {
+		t.Fatalf("catalog did not reconcile: sessions=%+v completed=%d rejections=%d shed=%d",
+			res.Sessions, res.Completed, res.Rejections, res.Shed)
+	}
+	if len(res.Sessions) != 2*3 {
+		t.Fatalf("catalog rows = %d, want %d", len(res.Sessions), 2*3)
+	}
+	if res.P50 <= 0 || res.Max < res.P999 || res.P999 < res.P99 || res.P99 < res.P50 {
+		t.Fatalf("implausible latency quantiles: p50=%s p99=%s p999=%s max=%s", res.P50, res.P99, res.P999, res.Max)
+	}
+}

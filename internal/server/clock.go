@@ -1,0 +1,19 @@
+package server
+
+import "time"
+
+// Clock abstracts the server's time source so the drain-deadline branch can
+// be driven deterministically in tests instead of with wall-clock sleeps.
+// Connection read/write deadlines stay on the wall clock — net.Conn
+// deadlines cannot be faked — but every scheduling decision the server
+// itself makes goes through here.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+// realClock is the production clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }

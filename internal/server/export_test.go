@@ -1,0 +1,65 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Gate is a test-only dispatch gate: every admitted statement blocks in it
+// until Release (or its context is cancelled), so tests can hold statements
+// in flight deterministically — no sleeps standing in for "the query is
+// still running".
+type Gate struct {
+	s       *Server
+	ch      chan struct{}
+	entered atomic.Int64
+}
+
+// NewGate installs a dispatch gate on a server. Safe to call while the
+// server is accepting: the hook is swapped in atomically.
+func NewGate(s *Server) *Gate {
+	g := &Gate{s: s, ch: make(chan struct{})}
+	hook := gateFunc(func(ctx context.Context) {
+		g.entered.Add(1)
+		select {
+		case <-g.ch:
+		case <-ctx.Done():
+		}
+	})
+	s.gate.Store(&hook)
+	return g
+}
+
+// Release opens the gate for every held and future statement.
+func (g *Gate) Release() { close(g.ch) }
+
+// WaitInFlight blocks until n statements have entered the gate.
+func (g *Gate) WaitInFlight(t *testing.T, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if g.entered.Load() >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("gate: %d statements reached the gate, want %d", g.entered.Load(), n)
+}
+
+// WaitQueued blocks until n statements are waiting in admission.
+func (g *Gate) WaitQueued(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		g.s.adm.mu.Lock()
+		depth := len(g.s.adm.waiters)
+		g.s.adm.mu.Unlock()
+		if depth >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("gate: admission queue never reached depth %d", n)
+}

@@ -1,0 +1,109 @@
+// Package server is the network front door of the percentage-aggregation
+// engine: a TCP, length-prefixed-JSON query server with session management,
+// per-tenant resource profiles, and admission control.
+//
+// The wire protocol is deliberately minimal: every frame is a 4-byte
+// big-endian length followed by one JSON object (a Request from the client,
+// a Response from the server). A session opens with a "hello" carrying the
+// tenant name; after that the client may pipeline "query" frames and cancel
+// an in-flight statement by ID. Every refusal the admission layer issues —
+// queue full, tenant cap, draining — is a typed, retryable PCT21x error
+// carrying a backoff hint, never a dropped connection.
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a single protocol frame. A length prefix beyond it is
+// treated as a protocol error before any allocation happens.
+const MaxFrame = 16 << 20
+
+// Request operations.
+const (
+	// OpHello opens a session; Tenant selects the resource profile.
+	OpHello = "hello"
+	// OpQuery runs one SQL statement; responses may arrive out of order
+	// relative to other pipelined queries, matched by ID.
+	OpQuery = "query"
+	// OpCancel cancels the in-flight statement whose request ID matches
+	// this frame's ID. The statement itself answers with PCT200; the
+	// cancel frame gets no response of its own.
+	OpCancel = "cancel"
+	// OpPing is a liveness probe; the server echoes an OK response.
+	OpPing = "ping"
+	// OpClose ends the session cleanly.
+	OpClose = "close"
+)
+
+// Request is one client frame.
+type Request struct {
+	ID     int64  `json:"id"`
+	Op     string `json:"op"`
+	Tenant string `json:"tenant,omitempty"`
+	SQL    string `json:"sql,omitempty"`
+}
+
+// Response is one server frame. ID echoes the request it answers; ID 0 is
+// an unsolicited server notice (e.g. the PCT213 idle-timeout close).
+type Response struct {
+	ID        int64      `json:"id"`
+	OK        bool       `json:"ok"`
+	SessionID int64      `json:"session_id,omitempty"`
+	Columns   []string   `json:"columns,omitempty"`
+	Rows      [][]any    `json:"rows,omitempty"`
+	Affected  int64      `json:"affected,omitempty"`
+	Err       *WireError `json:"err,omitempty"`
+}
+
+// WireError carries a failure over the wire with its PCT code and, for
+// admission refusals, the retry contract: Retryable means the statement
+// never started, and BackoffMs is the server's hint for how long to wait
+// before trying again.
+type WireError struct {
+	Code      string `json:"code,omitempty"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable,omitempty"`
+	BackoffMs int64  `json:"backoff_ms,omitempty"`
+}
+
+// writeFrame marshals v and writes it as one length-prefixed frame with a
+// single Write call, so a frame is never interleaved mid-write.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds the %d-byte cap", len(body), MaxFrame)
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	_, err = w.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame into v. Numbers decode as
+// json.Number so int64 row values survive the round trip undamaged.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds the %d-byte cap", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.UseNumber()
+	return dec.Decode(v)
+}

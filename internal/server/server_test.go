@@ -1,0 +1,386 @@
+// Black-box suite for the server front door: handshake, pipelined queries,
+// cancellation, admission refusals (PCT210/PCT211), idle timeout (PCT213),
+// and the pct_stat_sessions catalog — all through the wire client, all
+// under leakcheck. Run with -race; the CI server shard does.
+package server_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/diag"
+	"repro/internal/leakcheck"
+	"repro/internal/server"
+	"repro/internal/workload"
+	"repro/pctagg"
+)
+
+// demoDB opens a DB seeded with the demo tables.
+func demoDB(t *testing.T) *pctagg.DB {
+	t.Helper()
+	db := pctagg.Open()
+	if _, err := db.Exec(workload.DemoSQL); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// startServer runs a server over db on an ephemeral port. Tests must defer
+// srv.Close() themselves, after their leakcheck defer, so teardown happens
+// before the leak check runs.
+func startServer(t *testing.T, db *pctagg.DB, cfg server.Config) *server.Server {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	srv := server.New(db, cfg)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func dial(t *testing.T, srv *server.Server, tenant string) *server.Client {
+	t.Helper()
+	c, err := server.Dial(srv.Addr().String(), tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// pctCode extracts the PCT code from any typed error.
+func pctCode(err error) string {
+	var coded interface{ Code() string }
+	if errors.As(err, &coded) {
+		return coded.Code()
+	}
+	return ""
+}
+
+func TestQueryOverWire(t *testing.T) {
+	defer leakcheck.Check(t)()
+	srv := startServer(t, demoDB(t), server.Config{})
+	defer srv.Close()
+	c := dial(t, srv, "alpha")
+	defer c.Close()
+	if c.SessionID == 0 {
+		t.Fatal("hello did not assign a session ID")
+	}
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+
+	res, err := c.Do(context.Background(), "SELECT state, Vpct(salesAmt BY city) AS pct, city FROM sales GROUP BY state, city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || len(res.Columns) != 3 {
+		t.Fatalf("rows=%d columns=%v", len(res.Rows), res.Columns)
+	}
+	// int64 grouping values and float64 percentages must survive the JSON
+	// round trip with their Go types intact.
+	sawFloat := false
+	for _, row := range res.Rows {
+		if _, ok := row[1].(float64); ok {
+			sawFloat = true
+		}
+	}
+	if !sawFloat {
+		t.Errorf("no float64 percentage cell decoded: %v", res.Rows)
+	}
+
+	// DML over the wire, then read back.
+	if _, err := c.Do(context.Background(), "CREATE TABLE t (x INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	aff, err := c.Do(context.Background(), "INSERT INTO t VALUES (1),(2),(3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aff.Affected != 3 {
+		t.Fatalf("Affected = %d, want 3", aff.Affected)
+	}
+	cnt, err := c.Do(context.Background(), "SELECT count(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := cnt.Rows[0][0].(int64); n != 3 {
+		t.Fatalf("count = %d, want 3", n)
+	}
+
+	// A SQL error is a wire error, not a dead session.
+	if _, err := c.Do(context.Background(), "SELECT nope FROM missing"); err == nil {
+		t.Fatal("query against a missing table succeeded")
+	}
+	if err := c.Ping(context.Background()); err != nil {
+		t.Fatalf("session unusable after a SQL error: %v", err)
+	}
+}
+
+func TestPipelinedQueriesConcurrently(t *testing.T) {
+	defer leakcheck.Check(t)()
+	srv := startServer(t, demoDB(t), server.Config{
+		DefaultTenant: server.TenantProfile{MaxConcurrent: 4, MaxQueue: 64},
+	})
+	defer srv.Close()
+	c := dial(t, srv, "alpha")
+	defer c.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 24)
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Do(context.Background(), "SELECT state, sum(salesAmt) FROM sales GROUP BY state")
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("pipelined query: %v", err)
+		}
+	}
+}
+
+func TestCancelStatementOverWire(t *testing.T) {
+	defer leakcheck.Check(t)()
+	srv := startServer(t, demoDB(t), server.Config{})
+	defer srv.Close()
+	gate := server.NewGate(srv)
+	c := dial(t, srv, "alpha")
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Do(ctx, "SELECT count(*) FROM sales")
+		done <- err
+	}()
+	gate.WaitInFlight(t, 1)
+	cancel()
+	err := <-done
+	if code := pctCode(err); code != diag.CodeCancelled {
+		t.Fatalf("err = %v (code %q), want %s", err, code, diag.CodeCancelled)
+	}
+	// The session survives its cancelled statement.
+	gate.Release()
+	if _, err := c.Do(context.Background(), "SELECT count(*) FROM sales"); err != nil {
+		t.Fatalf("session unusable after cancel: %v", err)
+	}
+}
+
+func TestTenantSessionCapPCT211(t *testing.T) {
+	defer leakcheck.Check(t)()
+	srv := startServer(t, demoDB(t), server.Config{
+		Tenants: []server.TenantProfile{{Name: "capped", MaxSessions: 1}},
+	})
+	defer srv.Close()
+	first := dial(t, srv, "capped")
+	defer first.Close()
+	_, err := server.Dial(srv.Addr().String(), "capped")
+	if err == nil {
+		t.Fatal("second session for a MaxSessions=1 tenant connected")
+	}
+	if code := pctCode(err); code != diag.CodeTenantCap {
+		t.Fatalf("err = %v (code %q), want %s", err, code, diag.CodeTenantCap)
+	}
+	var rem *server.RemoteError
+	if !errors.As(err, &rem) || !rem.IsRetryable || rem.Backoff <= 0 {
+		t.Fatalf("refusal not retryable with a backoff hint: %+v", err)
+	}
+	// Another tenant is unaffected.
+	other := dial(t, srv, "other")
+	defer other.Close()
+	if err := other.Ping(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueFullPCT210(t *testing.T) {
+	defer leakcheck.Check(t)()
+	srv := startServer(t, demoDB(t), server.Config{
+		Tenants: []server.TenantProfile{{Name: "busy", MaxConcurrent: 1, MaxQueue: 1}},
+	})
+	defer srv.Close()
+	gate := server.NewGate(srv)
+	c := dial(t, srv, "busy")
+	defer c.Close()
+
+	slow := make(chan error, 1)
+	go func() {
+		_, err := c.Do(context.Background(), "SELECT count(*) FROM sales")
+		slow <- err
+	}()
+	gate.WaitInFlight(t, 1)
+
+	// Second statement queues (MaxQueue 1)...
+	queued := make(chan error, 1)
+	go func() {
+		_, err := c.Do(context.Background(), "SELECT count(*) FROM daily")
+		queued <- err
+	}()
+	gate.WaitQueued(t, 1)
+
+	// ...so the third is shed with PCT210 and a backoff hint.
+	_, err := c.Do(context.Background(), "SELECT count(*) FROM daily")
+	if code := pctCode(err); code != diag.CodeQueueFull {
+		t.Fatalf("err = %v (code %q), want %s", err, code, diag.CodeQueueFull)
+	}
+	var rem *server.RemoteError
+	if !errors.As(err, &rem) || !rem.IsRetryable || rem.Backoff <= 0 {
+		t.Fatalf("shed not retryable with a backoff hint: %+v", err)
+	}
+
+	gate.Release()
+	if err := <-slow; err != nil {
+		t.Fatalf("held statement: %v", err)
+	}
+	if err := <-queued; err != nil {
+		t.Fatalf("queued statement: %v", err)
+	}
+}
+
+func TestConcurrencyCapWithoutQueuePCT211(t *testing.T) {
+	defer leakcheck.Check(t)()
+	srv := startServer(t, demoDB(t), server.Config{
+		Tenants: []server.TenantProfile{{Name: "noqueue", MaxConcurrent: 1, MaxQueue: 0}},
+	})
+	defer srv.Close()
+	gate := server.NewGate(srv)
+	c := dial(t, srv, "noqueue")
+	defer c.Close()
+
+	held := make(chan error, 1)
+	go func() {
+		_, err := c.Do(context.Background(), "SELECT count(*) FROM sales")
+		held <- err
+	}()
+	gate.WaitInFlight(t, 1)
+
+	_, err := c.Do(context.Background(), "SELECT count(*) FROM daily")
+	if code := pctCode(err); code != diag.CodeTenantCap {
+		t.Fatalf("err = %v (code %q), want %s", err, code, diag.CodeTenantCap)
+	}
+	gate.Release()
+	if err := <-held; err != nil {
+		t.Fatalf("held statement: %v", err)
+	}
+}
+
+func TestSessionIdleTimeoutPCT213(t *testing.T) {
+	defer leakcheck.Check(t)()
+	srv := startServer(t, demoDB(t), server.Config{SessionTimeout: 30 * time.Millisecond})
+	defer srv.Close()
+	c := dial(t, srv, "alpha")
+	defer c.Close()
+	// Ping until the server's idle notice lands: each iteration leaves the
+	// session idle past its timeout, so the second attempt should already
+	// see the typed PCT213 close.
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err = c.Ping(context.Background()); err != nil {
+			break
+		}
+		time.Sleep(60 * time.Millisecond)
+	}
+	if code := pctCode(err); code != diag.CodeSessionTimeout {
+		t.Fatalf("err = %v (code %q), want %s", err, code, diag.CodeSessionTimeout)
+	}
+}
+
+func TestTenantLimitsEnforcedOverWire(t *testing.T) {
+	defer leakcheck.Check(t)()
+	srv := startServer(t, demoDB(t), server.Config{
+		Tenants: []server.TenantProfile{{Name: "tiny", Limits: pctagg.Limits{MaxRows: 2}}},
+	})
+	defer srv.Close()
+	c := dial(t, srv, "tiny")
+	defer c.Close()
+	_, err := c.Do(context.Background(), "SELECT RID, state FROM sales")
+	if code := pctCode(err); code != diag.CodeRowLimit {
+		t.Fatalf("err = %v (code %q), want %s (tenant MaxRows=2)", err, code, diag.CodeRowLimit)
+	}
+}
+
+func TestStatSessionsCatalog(t *testing.T) {
+	defer leakcheck.Check(t)()
+	db := demoDB(t)
+	srv := startServer(t, db, server.Config{})
+	defer srv.Close()
+	a := dial(t, srv, "alpha")
+	defer a.Close()
+	b := dial(t, srv, "beta")
+	defer b.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := a.Do(context.Background(), "SELECT count(*) FROM sales"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Do(context.Background(), "SELECT count(*) FROM daily"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The catalog is queryable over the wire itself, with the full dialect.
+	res, err := b.Do(context.Background(), "SELECT tenant, statements, rejected FROM pct_stat_sessions ORDER BY sid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("pct_stat_sessions has %d rows, want 2: %v", len(res.Rows), res.Rows)
+	}
+	if got := res.Rows[0][0].(string); got != "alpha" {
+		t.Errorf("row 0 tenant = %q, want alpha", got)
+	}
+	if n := res.Rows[0][1].(int64); n != 3 {
+		t.Errorf("alpha statements = %d, want 3", n)
+	}
+	// The beta row's catalog query is itself still in flight when the
+	// snapshot is built, so only the earlier statement counts as completed.
+	if n := res.Rows[1][1].(int64); n != 1 {
+		t.Errorf("beta statements = %d, want 1", n)
+	}
+
+	// After shutdown the virtual table unregisters.
+	srv.Close()
+	if _, err := db.Query("SELECT * FROM pct_stat_sessions"); err == nil {
+		t.Fatal("pct_stat_sessions still queryable after Close")
+	}
+}
+
+func TestLateConnectAfterCloseRefused(t *testing.T) {
+	defer leakcheck.Check(t)()
+	srv := startServer(t, demoDB(t), server.Config{})
+	addr := srv.Addr().String()
+	srv.Close()
+	if _, err := server.Dial(addr, "alpha"); err == nil {
+		t.Fatal("dial succeeded after Close")
+	}
+}
+
+func TestSharedBytePoolClampsTenantBudget(t *testing.T) {
+	defer leakcheck.Check(t)()
+	// Pool smaller than the tenant's own byte limit: the grant clamps the
+	// statement's MaxBytes to the pool, so a hog fails with PCT205 instead
+	// of starving everyone else.
+	srv := startServer(t, demoDB(t), server.Config{
+		SharedBytes: 512,
+		Tenants:     []server.TenantProfile{{Name: "hog", Limits: pctagg.Limits{MaxBytes: 1 << 30}}},
+	})
+	defer srv.Close()
+	c := dial(t, srv, "hog")
+	defer c.Close()
+	_, err := c.Do(context.Background(), "SELECT a.RID, b.RID, c.RID FROM sales a, sales b, sales c")
+	if code := pctCode(err); code != diag.CodeByteBudget {
+		t.Fatalf("err = %v (code %q), want %s", err, code, diag.CodeByteBudget)
+	}
+	if !strings.Contains(err.Error(), "byte") {
+		t.Errorf("error does not name the byte budget: %v", err)
+	}
+}

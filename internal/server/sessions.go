@@ -1,0 +1,60 @@
+package server
+
+import (
+	"sort"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// pct_stat_sessions is the server's window into its own front door: one row
+// per live session with the admission counters a dashboard needs to
+// reconcile client-observed behavior against the server's ledger.
+// "statements" counts successful completions; "rejected" counts typed
+// admission refusals; "inflight"/"queued" are instantaneous.
+var sessionsSchema = storage.Schema{
+	{Name: "sid", Type: storage.TypeInt},
+	{Name: "tenant", Type: storage.TypeString},
+	{Name: "remote", Type: storage.TypeString},
+	{Name: "state", Type: storage.TypeString},
+	{Name: "elapsed_ms", Type: storage.TypeFloat},
+	{Name: "statements", Type: storage.TypeInt},
+	{Name: "inflight", Type: storage.TypeInt},
+	{Name: "queued", Type: storage.TypeInt},
+	{Name: "rejected", Type: storage.TypeInt},
+}
+
+func (s *Server) buildSessions() (*storage.Table, error) {
+	t, err := storage.NewTable("pct_stat_sessions", sessionsSchema)
+	if err != nil {
+		return nil, err
+	}
+	s.sessMu.Lock()
+	list := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		list = append(list, sess)
+	}
+	s.sessMu.Unlock()
+	sort.Slice(list, func(i, j int) bool { return list[i].id < list[j].id })
+	now := s.clock.Now()
+	for _, sess := range list {
+		state := "idle"
+		if sess.inflight.Load() > 0 {
+			state = "active"
+		}
+		if _, err := t.AppendRow([]value.Value{
+			value.NewInt(sess.id),
+			value.NewString(sess.tenant),
+			value.NewString(sess.remote),
+			value.NewString(state),
+			value.NewFloat(float64(now.Sub(sess.started).Nanoseconds()) / 1e6),
+			value.NewInt(sess.statements.Load()),
+			value.NewInt(sess.inflight.Load()),
+			value.NewInt(sess.queued.Load()),
+			value.NewInt(sess.rejected.Load()),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

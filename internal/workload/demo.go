@@ -1,0 +1,16 @@
+package workload
+
+// DemoSQL creates and fills the two interactive demo tables: the paper's
+// Table 1 sales data and the companion stores × weekdays table. pctq -demo,
+// pctserve -demo, and the serve-load harness all seed from it so a wire
+// client always has something to query.
+const DemoSQL = `
+	CREATE TABLE sales (RID INTEGER, state VARCHAR, city VARCHAR, salesAmt INTEGER);
+	INSERT INTO sales VALUES
+	(1,'CA','San Francisco',13),(2,'CA','San Francisco',3),(3,'CA','San Francisco',67),
+	(4,'CA','Los Angeles',23),(5,'TX','Houston',5),(6,'TX','Houston',35),
+	(7,'TX','Houston',10),(8,'TX','Houston',14),(9,'TX','Dallas',53),(10,'TX','Dallas',32);
+	CREATE TABLE daily (store INTEGER, dweek VARCHAR, salesAmt INTEGER);
+	INSERT INTO daily VALUES
+	(2,'Mo',7),(2,'Tu',6),(2,'We',8),(2,'Th',9),(2,'Fr',16),(2,'Sa',24),(2,'Su',30),
+	(4,'Tu',9),(4,'We',9),(4,'Th',9),(4,'Fr',18),(4,'Sa',20),(4,'Su',35)`

@@ -470,6 +470,11 @@ func (db *DB) InsertRows(table string, rows [][]any) error {
 // Tables lists the tables in the database.
 func (db *DB) Tables() []string { return db.eng.Catalog().Names() }
 
+// Engine exposes the underlying engine for embedding layers — the server
+// front door registers its pct_stat_sessions virtual table through it.
+// Most callers never need it.
+func (db *DB) Engine() *engine.Engine { return db.eng }
+
 // AutoStrategy toggles the cost-based strategy advisor: before each
 // percentage query, live statistics (the distinct BY combinations, the
 // fine-grouping size relative to |F|) pick the strategy per the paper's

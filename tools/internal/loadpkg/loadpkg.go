@@ -238,8 +238,24 @@ func (l *Loader) CheckDir(dir string) ([]*Unit, error) {
 	if err := check(impPath, append(append([]*ast.File{}, base...), inPkg...)); err != nil {
 		return nil, err
 	}
-	if err := check(impPath+"_test", external); err != nil {
-		return nil, err
+	if len(external) > 0 {
+		// The external _test package must import the base package
+		// augmented with its in-package test files — the export_test.go
+		// pattern — just like the go toolchain builds it. Seed the
+		// importer with the augmented package for this check only.
+		prev, had := l.pkgs[impPath]
+		if len(units) > 0 {
+			l.pkgs[impPath] = units[0].Pkg
+		}
+		err := check(impPath+"_test", external)
+		if had {
+			l.pkgs[impPath] = prev
+		} else {
+			delete(l.pkgs, impPath)
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
 	return units, nil
 }

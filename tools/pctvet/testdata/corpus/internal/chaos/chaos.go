@@ -8,6 +8,9 @@ const CorpusPoint = "engine.corpus.point"
 // MergePoint fires in the corpus engine's merge step.
 const MergePoint = "core.corpus.merge"
 
+// ServerPoint fires in the corpus server's accept path.
+const ServerPoint = "server.corpus.accept"
+
 // Arm installs a fault at a named point.
 func Arm(point string, after int) { _, _ = point, after }
 

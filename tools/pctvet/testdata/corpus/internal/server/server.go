@@ -1,0 +1,25 @@
+// Server-namespace cases for the metricname analyzer: the server.* shape
+// covers both metrics and chaos fault points.
+package server
+
+import (
+	"corpus/internal/chaos"
+	"corpus/obs"
+)
+
+var mSessions = obs.Default.Gauge("server.corpus.sessions")
+
+// useGood references the registered metric and the chaos point constant's
+// value: both known, no finding.
+func useGood() []string {
+	return []string{"server.corpus.sessions", "server.corpus.accept"}
+}
+
+// useTypo references a server-shaped name nothing registered: metricname
+// fires.
+func useTypo() string {
+	return "server.corpus.sessionz"
+}
+
+// acceptGood uses the chaos constant: no finding.
+func acceptGood() error { return chaos.Hit(chaos.ServerPoint) }
