@@ -8,6 +8,7 @@
 //	pctbench -table parallel       # sequential vs parallel aggregation
 //	pctbench -table cache          # summary cache: cold vs cached vs delta
 //	pctbench -table cube           # percentage cubes over the cached lattice
+//	pctbench -table batch          # vectorized batch kernels vs scalar
 //	pctbench -table introspect     # introspection catalog recording overhead
 //	pctbench -scale small|medium|paper
 //	pctbench -reps 3               # average over repetitions
@@ -43,7 +44,7 @@ import (
 
 func main() {
 	scale := flag.String("scale", "medium", "data scale: small, medium, or paper")
-	table := flag.String("table", "all", "which table to run: 4, 5, 6, h3, ablation, update, shared, parallel, cache, cube, introspect, or all")
+	table := flag.String("table", "all", "which table to run: 4, 5, 6, h3, ablation, update, shared, parallel, cache, cube, batch, introspect, or all")
 	reps := flag.Int("reps", 1, "repetitions per measurement (the paper used 5)")
 	out := flag.String("o", "", "also write results to this file")
 	jsonOut := flag.String("json", "", "also write timings to this file as JSON")
@@ -116,6 +117,7 @@ func main() {
 		{"parallel", s.RunTableParallel},
 		{"cache", s.RunTableCache},
 		{"cube", s.RunTableCube},
+		{"batch", s.RunTableBatch},
 		{"introspect", s.RunTableIntrospect},
 	}
 	want := strings.ToLower(*table)
@@ -138,7 +140,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "pctbench: unknown table %q (4, 5, 6, h3, ablation, update, shared, parallel, cache, cube, introspect, all, none)\n", *table)
+		fmt.Fprintf(os.Stderr, "pctbench: unknown table %q (4, 5, 6, h3, ablation, update, shared, parallel, cache, cube, batch, introspect, all, none)\n", *table)
 		os.Exit(2)
 	}
 	if *jsonOut != "" {

@@ -1,0 +1,213 @@
+package batch
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestClassForRoundTrip(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 0}, {1, 0}, {31, 0}, {32, 0},
+		{33, 1}, {64, 1},
+		{65, 2},
+		{1024, 5},
+		{16384, numClasses - 1},
+		{16385, -1},
+		{-1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+		if c.class >= 0 && classCap(c.class) < c.n {
+			t.Errorf("classCap(%d) = %d < requested %d", c.class, classCap(c.class), c.n)
+		}
+	}
+}
+
+func TestPoolReuseAccounting(t *testing.T) {
+	p := &Pool{}
+	s := p.GetSel(Size)
+	if cap(s) < Size || len(s) != 0 {
+		t.Fatalf("GetSel(%d): len=%d cap=%d", Size, len(s), cap(s))
+	}
+	if st := p.Stats(); st.Gets != 1 || st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("cold stats = %+v", st)
+	}
+	p.PutSel(s)
+	if sel, _, _, _ := p.ClassCount(Size); sel != 1 {
+		t.Fatalf("sel free count after Put = %d, want 1", sel)
+	}
+	s2 := p.GetSel(Size)
+	if st := p.Stats(); st.Gets != 2 || st.Hits != 1 {
+		t.Fatalf("warm stats = %+v", st)
+	}
+	if sel, _, _, _ := p.ClassCount(Size); sel != 0 {
+		t.Fatalf("sel free count after reuse = %d, want 0", sel)
+	}
+	p.PutSel(s2)
+	if st := p.Stats(); st.Puts != 2 {
+		t.Fatalf("puts = %d, want 2", st.Puts)
+	}
+	if r := p.Stats().HitRatio(); r != 0.5 { // floateq:ok 1/2 is exact in binary floating point
+		t.Fatalf("hit ratio = %v, want 0.5", r)
+	}
+}
+
+// TestPoolClassBounds: each class's free list is bounded at maxPerClass and
+// over-large requests bypass the pool entirely (Put discards them).
+func TestPoolClassBounds(t *testing.T) {
+	p := &Pool{}
+	for i := 0; i < maxPerClass+3; i++ {
+		p.PutInts(make([]int64, 0, Size))
+	}
+	if _, _, _, ints := p.ClassCount(Size); ints != maxPerClass {
+		t.Fatalf("ints free count = %d, want bound %d", ints, maxPerClass)
+	}
+	if st := p.Stats(); st.Puts != maxPerClass {
+		t.Fatalf("puts = %d, want %d (overflow discarded uncounted)", st.Puts, maxPerClass)
+	}
+
+	huge := p.GetBytes(1 << 20)
+	if cap(huge) < 1<<20 {
+		t.Fatalf("over-large get cap = %d", cap(huge))
+	}
+	before := p.Stats().Puts
+	p.PutBytes(huge)
+	if p.Stats().Puts != before {
+		t.Fatal("over-large Put must discard, not pool")
+	}
+}
+
+// TestPoolForeignCapacityDiscarded: a buffer whose capacity is not a class
+// size (e.g. sliced down by the caller) is rejected so class accounting
+// stays exact.
+func TestPoolForeignCapacityDiscarded(t *testing.T) {
+	p := &Pool{}
+	p.PutSel(make([]int32, 0, 100)) // 100 is not a power-of-two class cap
+	if sel, _, _, _ := p.ClassCount(100); sel != 0 {
+		t.Fatalf("foreign-capacity buffer pooled; class count = %d", sel)
+	}
+	if st := p.Stats(); st.Puts != 0 {
+		t.Fatalf("foreign Put counted: %+v", st)
+	}
+	p.PutVals(nil) // nil is a no-op, not a panic
+}
+
+// TestPoolPoisonOnPut: with poisoning on, a caller that keeps using a
+// released buffer reads sentinels, not its old data — the aliasing tripwire
+// the engine tests run under.
+func TestPoolPoisonOnPut(t *testing.T) {
+	p := &Pool{}
+	p.SetPoison(true)
+	defer p.SetPoison(false)
+
+	sel := p.GetSel(64)
+	sel = append(sel, 1, 2, 3)
+	leaked := sel[:3] // simulated use-after-Put alias
+	p.PutSel(sel)
+	for i, v := range leaked {
+		if v != PoisonSel {
+			t.Fatalf("leaked sel[%d] = %d, want poison %d", i, v, PoisonSel)
+		}
+	}
+
+	ints := p.GetInts(64)
+	ints = append(ints, 7)
+	leakedInts := ints[:1]
+	p.PutInts(ints)
+	if leakedInts[0] != PoisonInt {
+		t.Fatalf("leaked ints[0] = %d, want poison %d", leakedInts[0], PoisonInt)
+	}
+
+	bs := p.GetBytes(64)
+	bs = append(bs, 'k')
+	leakedBytes := bs[:1]
+	p.PutBytes(bs)
+	if leakedBytes[0] != PoisonByte {
+		t.Fatalf("leaked bytes[0] = %#x, want poison %#x", leakedBytes[0], PoisonByte)
+	}
+
+	vs := p.GetVals(32)
+	vs = append(vs, value.NewInt(42))
+	leakedVals := vs[:1]
+	p.PutVals(vs)
+	if leakedVals[0].Kind() != value.KindString {
+		t.Fatalf("leaked vals[0] = %v, want poison string", leakedVals[0])
+	}
+
+	// A poisoned buffer handed out again starts zero-length; appends work.
+	again := p.GetSel(64)
+	if len(again) != 0 {
+		t.Fatalf("reused sel len = %d, want 0", len(again))
+	}
+}
+
+// TestPoolNoCrossBatchAliasing hammers the pool with a randomized
+// get/fill/put schedule and checks that no two live buffers ever share
+// memory: writes through one never show up in another.
+func TestPoolNoCrossBatchAliasing(t *testing.T) {
+	p := &Pool{}
+	p.SetPoison(true)
+	rng := rand.New(rand.NewSource(9))
+	type live struct {
+		buf  []int64
+		want int64
+	}
+	var held []live
+	for step := 0; step < 2000; step++ {
+		if len(held) > 0 && rng.Intn(2) == 0 {
+			i := rng.Intn(len(held))
+			h := held[i]
+			for j, v := range h.buf {
+				if v != h.want {
+					t.Fatalf("step %d: buffer %d corrupted at %d: %d != %d", step, i, j, v, h.want)
+				}
+			}
+			p.PutInts(h.buf)
+			held = append(held[:i], held[i+1:]...)
+			continue
+		}
+		n := 1 << (3 + rng.Intn(9)) // 8..2048
+		buf := p.GetInts(n)
+		tag := int64(step)
+		for j := 0; j < n; j++ {
+			buf = append(buf, tag)
+		}
+		held = append(held, live{buf, tag})
+	}
+	for _, h := range held {
+		p.PutInts(h.buf)
+	}
+}
+
+// TestPoolConcurrentGets: the pool is shared by parallel workers; hammer it
+// from several goroutines (run under -race in CI) and check the ledger adds
+// up: every Get is a hit or a miss.
+func TestPoolConcurrentGets(t *testing.T) {
+	p := &Pool{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				s := p.GetSel(1 << (3 + rng.Intn(8)))
+				s = append(s, int32(i))
+				p.PutSel(s)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Gets != 8*500 {
+		t.Fatalf("gets = %d, want %d", st.Gets, 8*500)
+	}
+	if st.Hits+st.Misses != st.Gets {
+		t.Fatalf("hits+misses = %d, gets = %d", st.Hits+st.Misses, st.Gets)
+	}
+}

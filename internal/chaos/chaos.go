@@ -44,6 +44,13 @@ const (
 	// group (the paper's "exceeds the maximum number of columns" failure
 	// neighborhood: per-group cell arrays are the pivot's big allocation).
 	PivotAlloc = "core.pivot.alloc"
+	// CoreBatch fires at the entry of every vectorized batch kernel
+	// (hash aggregate and hash pivot). An injected error does NOT fail
+	// the query: the kernel reports itself unavailable and execution
+	// silently falls back to the row-at-a-time scalar path (counted in
+	// batch.fallbacks). Panics propagate to the statement containment
+	// and surface as typed PCT206 errors.
+	CoreBatch = "core.batch"
 	// InsertSink fires before each row is appended to the staging table of
 	// an INSERT; After addresses the Nth row.
 	InsertSink = "engine.insert.sink"
@@ -74,6 +81,7 @@ var points = map[string]bool{
 	AggWorker:      true,
 	AggMerge:       true,
 	PivotAlloc:     true,
+	CoreBatch:      true,
 	InsertSink:     true,
 	CacheDelta:     true,
 	CacheMerge:     true,

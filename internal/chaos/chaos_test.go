@@ -254,6 +254,7 @@ func TestPointsRegistryClosed(t *testing.T) {
 		chaos.AggWorker:      true,
 		chaos.AggMerge:       true,
 		chaos.PivotAlloc:     true,
+		chaos.CoreBatch:      true,
 		chaos.InsertSink:     true,
 		chaos.CacheDelta:     true,
 		chaos.CacheMerge:     true,

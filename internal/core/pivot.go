@@ -120,6 +120,64 @@ type pivotRowBox struct{ vals []value.Value }
 // ColumnValue returns the i-th value.
 func (b *pivotRowBox) ColumnValue(i int) value.Value { return b.vals[i] }
 
+// lazyPivotRow adapts one stored row to expr.Row, materializing only the
+// cells the expression touches — the batched scan's view for WHERE and the
+// measure, mirroring engine/batch.go's lazyRow.
+type lazyPivotRow struct {
+	tab *storage.Table
+	r   int
+}
+
+func (l *lazyPivotRow) ColumnValue(i int) value.Value { return l.tab.Get(l.r, i) }
+
+// cellGetter reads one column cell, boxing only that cell. Typed getters
+// resolve the column vector once instead of per row.
+type cellGetter func(r int) value.Value
+
+// colGetter builds a typed cellGetter for one column of t.
+func colGetter(t *storage.Table, idx int) cellGetter {
+	if ints, isNull, ok := t.IntColumn(idx); ok {
+		return func(r int) value.Value {
+			if isNull(r) {
+				return value.Null
+			}
+			return value.NewInt(ints[r])
+		}
+	}
+	if flts, isNull, ok := t.FloatColumn(idx); ok {
+		return func(r int) value.Value {
+			if isNull(r) {
+				return value.Null
+			}
+			return value.NewFloat(flts[r])
+		}
+	}
+	if strs, isNull, ok := t.StringColumn(idx); ok {
+		return func(r int) value.Value {
+			if isNull(r) {
+				return value.Null
+			}
+			return value.NewString(strs[r])
+		}
+	}
+	if bools, isNull, ok := t.BoolColumn(idx); ok {
+		return func(r int) value.Value {
+			if isNull(r) {
+				return value.Null
+			}
+			return value.NewBool(bools[r])
+		}
+	}
+	return func(r int) value.Value { return t.Get(r, idx) }
+}
+
+// Pivot batch metrics: hash-pivot scans that ran with columnar row access
+// vs. ones pinned to the boxed-row path by an injected core.batch fault.
+var (
+	mPivotBatch         = obs.Default.Counter("batch.pivot.folds")
+	mPivotBatchFallback = obs.Default.Counter("batch.pivot.fallbacks")
+)
+
 // pivotAcc folds one (group, column) cell.
 type pivotAcc struct {
 	fn       expr.AggFn
@@ -310,6 +368,32 @@ func runPivot(ctx context.Context, eng *engine.Engine, table, fh string, groupCo
 		colOf[value.EncodeKeyString(c.vals...)] = i
 	}
 
+	// Row-access strategy. The boxed path materializes every column of the
+	// row once per iteration; with vectorized execution enabled the scan
+	// reads only the cells it touches — typed getters for the grouping and
+	// BY columns, a lazy row view for WHERE and the measure. The values,
+	// evaluation order, and errors are identical either way. An injected
+	// core.batch fault pins the boxed path for this statement (the silent-
+	// fallback contract of the fault point).
+	batched := eng.BatchEnabled()
+	if batched {
+		if err := chaos.Hit(chaos.CoreBatch); err != nil {
+			batched = false
+		}
+	}
+	var groupGet, byGet []cellGetter
+	if batched {
+		mPivotBatch.Inc()
+		for _, gi := range groupIdx {
+			groupGet = append(groupGet, colGetter(src, gi))
+		}
+		for _, bi := range byIdx {
+			byGet = append(byGet, colGetter(src, bi))
+		}
+	} else {
+		mPivotBatchFallback.Inc()
+	}
+
 	type group struct {
 		keyVals []value.Value
 		cells   []pivotAcc
@@ -342,6 +426,7 @@ func runPivot(ctx context.Context, eng *engine.Engine, table, fh string, groupCo
 		var order []string
 		var rowBuf []value.Value
 		var box pivotRowBox
+		lr := lazyPivotRow{tab: src}
 		keyBuf := make([]byte, 0, 64)
 		byBuf := make([]byte, 0, 64)
 		for r := lo; r < hi; r++ {
@@ -350,9 +435,15 @@ func runPivot(ctx context.Context, eng *engine.Engine, table, fh string, groupCo
 					return nil, nil, err
 				}
 			}
-			rowBuf = src.Row(r, rowBuf)
-			box.vals = rowBuf
-			rv := &box
+			var rv expr.Row
+			if batched {
+				lr.r = r
+				rv = &lr
+			} else {
+				rowBuf = src.Row(r, rowBuf)
+				box.vals = rowBuf
+				rv = &box
+			}
 			if pred != nil {
 				v, err := pred.Eval(rv)
 				if err != nil {
@@ -363,8 +454,14 @@ func runPivot(ctx context.Context, eng *engine.Engine, table, fh string, groupCo
 				}
 			}
 			keyBuf = keyBuf[:0]
-			for _, gi := range groupIdx {
-				keyBuf = value.AppendKey(keyBuf, rowBuf[gi])
+			if batched {
+				for _, get := range groupGet {
+					keyBuf = value.AppendKey(keyBuf, get(r))
+				}
+			} else {
+				for _, gi := range groupIdx {
+					keyBuf = value.AppendKey(keyBuf, rowBuf[gi])
+				}
 			}
 			g, ok := groups[string(keyBuf)]
 			if !ok {
@@ -383,16 +480,28 @@ func runPivot(ctx context.Context, eng *engine.Engine, table, fh string, groupCo
 					g.cells[i].fn = fn
 				}
 				g.total.fn = expr.AggSum
-				for _, gi := range groupIdx {
-					g.keyVals = append(g.keyVals, rowBuf[gi])
+				if batched {
+					for _, get := range groupGet {
+						g.keyVals = append(g.keyVals, get(r))
+					}
+				} else {
+					for _, gi := range groupIdx {
+						g.keyVals = append(g.keyVals, rowBuf[gi])
+					}
 				}
 				k := string(keyBuf)
 				groups[k] = g
 				order = append(order, k)
 			}
 			byBuf = byBuf[:0]
-			for _, bi := range byIdx {
-				byBuf = value.AppendKey(byBuf, rowBuf[bi])
+			if batched {
+				for _, get := range byGet {
+					byBuf = value.AppendKey(byBuf, get(r))
+				}
+			} else {
+				for _, bi := range byIdx {
+					byBuf = value.AppendKey(byBuf, rowBuf[bi])
+				}
 			}
 			ci, ok := colOf[string(byBuf)]
 			if !ok {

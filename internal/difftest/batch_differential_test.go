@@ -1,0 +1,314 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/leakcheck"
+	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/workload"
+)
+
+// CompareBatch proves the vectorized batch path equivalent to the scalar
+// fold on one query: the reference runs with batch kernels disabled at P=1,
+// every candidate runs with them enabled at each parallelism in ps. Results
+// must be identical by Equal's exact, kind-sensitive comparison, and errors
+// must be deterministic: if the scalar reference errors, every batch run
+// must error too (and vice versa). The engine is left with batch enabled.
+func CompareBatch(p *core.Planner, sql string, opts core.Options, ps []int) error {
+	p.Eng.SetBatch(false)
+	ref, refErr := Run(p, sql, opts, 1)
+	p.Eng.SetBatch(true)
+	for _, par := range ps {
+		got, err := Run(p, sql, opts, par)
+		if (refErr == nil) != (err == nil) {
+			return fmt.Errorf("difftest: %s: batch P=%d err=%v, scalar err=%v", sql, par, err, refErr)
+		}
+		if refErr != nil {
+			if refErr.Error() != err.Error() {
+				return fmt.Errorf("difftest: %s: batch P=%d error %q, scalar error %q", sql, par, err, refErr)
+			}
+			continue
+		}
+		if diff := Equal(ref, got); diff != "" {
+			return fmt.Errorf("difftest: %s: batch P=%d diverges from scalar: %s", sql, par, diff)
+		}
+	}
+	return nil
+}
+
+// TestDifferentialBatchGoldenQueries sweeps the paper's running example
+// through the strategy knobs with batch kernels on, against the scalar
+// reference. The tiny fixtures hit the batch path's edge cases: groups
+// smaller than a batch, empty partitions at P=8, the no-GROUP-BY global
+// fold, and mixed aggregate lists.
+func TestDifferentialBatchGoldenQueries(t *testing.T) {
+	defer leakcheck.Check(t)()
+	p := goldenPlanner(t)
+	cases := []struct {
+		sql  string
+		opts []core.Options
+	}{
+		{
+			sql: "SELECT state, city, Vpct(salesAmt BY city) FROM sales GROUP BY state, city",
+			opts: []core.Options{
+				core.DefaultOptions(),
+				{Vpct: core.VpctOptions{FjFromF: true}},
+				{Vpct: core.VpctOptions{UseUpdate: true, SubkeyIndexes: true}},
+				{Vpct: core.VpctOptions{MissingRows: core.MissingPost}},
+			},
+		},
+		{
+			sql:  "SELECT state, city, Vpct(salesAmt BY city), sum(salesAmt), count(*) FROM sales GROUP BY state, city",
+			opts: []core.Options{core.DefaultOptions()},
+		},
+		{
+			sql:  "SELECT city, Vpct(salesAmt) FROM sales GROUP BY city",
+			opts: []core.Options{core.DefaultOptions()},
+		},
+		{
+			sql: "SELECT store, Hpct(salesAmt BY dweek) FROM daily GROUP BY store",
+			opts: []core.Options{
+				{},
+				{Hpct: core.HpctOptions{FromFV: true, Vpct: core.VpctOptions{SubkeyIndexes: true}}},
+				{Hpct: core.HpctOptions{HashPivot: true}},
+			},
+		},
+		{
+			sql:  "SELECT state, Hpct(salesAmt BY city), sum(salesAmt) FROM sales GROUP BY state",
+			opts: []core.Options{{}},
+		},
+		{
+			sql: "SELECT store, sum(salesAmt BY dweek) FROM daily GROUP BY store",
+			opts: []core.Options{
+				{Hagg: core.HaggOptions{Method: core.HaggCASE}},
+				{Hagg: core.HaggOptions{Method: core.HaggSPJ}},
+				{Hagg: core.HaggOptions{Method: core.HaggCASE, HashPivot: true}},
+			},
+		},
+		{
+			sql:  "SELECT store, count(salesAmt BY dweek), avg(salesAmt BY dweek) FROM daily GROUP BY store",
+			opts: []core.Options{{Hagg: core.HaggOptions{Method: core.HaggCASE}}},
+		},
+	}
+	for _, c := range cases {
+		for oi, opts := range c.opts {
+			if err := CompareBatch(p, c.sql, opts, Parallelisms); err != nil {
+				t.Errorf("opts[%d]: %v", oi, err)
+			}
+		}
+	}
+}
+
+// primaryPlanner loads the workload data the primary-query sweep runs on:
+// large enough that every batch query spans multiple 1024-row batches.
+func primaryPlanner(t *testing.T) *core.Planner {
+	t.Helper()
+	cat := storage.NewCatalog()
+	cards := workload.PaperCardinalities()
+	cards.Store = 5
+	cards.Dept = 10
+	if _, err := workload.LoadEmployee(cat, "employee", 4000, 21); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.LoadSales(cat, "sales", 6000, cards, 22); err != nil {
+		t.Fatal(err)
+	}
+	return core.NewPlanner(engine.New(cat))
+}
+
+// primaryShapes renders the eight primary queries' Vpct and Hpct SQL.
+func primaryShapes() []struct{ vpct, hpct string } {
+	type primary struct {
+		dataset, measure string
+		totals, by       []string
+	}
+	primaries := []primary{
+		{"employee", "salary", nil, []string{"gender"}},
+		{"employee", "salary", []string{"marstatus"}, []string{"gender"}},
+		{"employee", "salary", []string{"educat", "marstatus"}, []string{"gender"}},
+		{"employee", "salary", []string{"age", "marstatus"}, []string{"gender", "educat"}},
+		{"sales", "salesAmt", nil, []string{"dweek"}},
+		{"sales", "salesAmt", []string{"dweek"}, []string{"monthNo"}},
+		{"sales", "salesAmt", []string{"dweek", "monthNo"}, []string{"dept"}},
+		{"sales", "salesAmt", []string{"dweek", "monthNo"}, []string{"dept", "store"}},
+	}
+	var out []struct{ vpct, hpct string }
+	for _, q := range primaries {
+		all := append(append([]string{}, q.totals...), q.by...)
+		var s struct{ vpct, hpct string }
+		if len(q.totals) == 0 {
+			s.vpct = fmt.Sprintf("SELECT %s, Vpct(%s) FROM %s GROUP BY %s",
+				strings.Join(q.by, ", "), q.measure, q.dataset, strings.Join(q.by, ", "))
+			s.hpct = fmt.Sprintf("SELECT Hpct(%s BY %s) FROM %s",
+				q.measure, strings.Join(q.by, ", "), q.dataset)
+		} else {
+			s.vpct = fmt.Sprintf("SELECT %s, Vpct(%s BY %s) FROM %s GROUP BY %s",
+				strings.Join(all, ", "), q.measure, strings.Join(q.by, ", "),
+				q.dataset, strings.Join(all, ", "))
+			s.hpct = fmt.Sprintf("SELECT %s, Hpct(%s BY %s) FROM %s GROUP BY %s",
+				strings.Join(q.totals, ", "), q.measure, strings.Join(q.by, ", "),
+				q.dataset, strings.Join(q.totals, ", "))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestDifferentialBatchPrimaryQueries runs the eight primary benchmark
+// queries (Tables 4–6) in their Vpct and Hpct forms on workload data large
+// enough to span many 1024-row batches, batch kernels vs the scalar fold.
+func TestDifferentialBatchPrimaryQueries(t *testing.T) {
+	p := primaryPlanner(t)
+	for qi, q := range primaryShapes() {
+		if err := CompareBatch(p, q.vpct, core.DefaultOptions(), Parallelisms); err != nil {
+			t.Errorf("primary %d Vpct: %v", qi, err)
+		}
+		if err := CompareBatch(p, q.hpct, core.Options{}, Parallelisms); err != nil {
+			t.Errorf("primary %d Hpct: %v", qi, err)
+		}
+	}
+}
+
+// TestDifferentialBatchRandomizedProperty runs seeded random fact tables —
+// NULLs in measures and dimensions, signed measures, string dimensions —
+// through the batch and scalar paths for every property query shape. On the
+// first divergence it shrinks the table with ddmin and fails with a
+// standalone SQL reproducer.
+func TestDifferentialBatchRandomizedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		rows := randTableRows(rng, 200+rng.Intn(400))
+		p := plannerFor(t, rows)
+		for qi, q := range propertyQueries {
+			err := CompareBatch(p, q.sql, q.opts, Parallelisms)
+			if err == nil {
+				continue
+			}
+			fails := func(cand [][]value.Value) bool {
+				return CompareBatch(plannerFor(t, cand), q.sql, q.opts, Parallelisms) != nil
+			}
+			minRows := MinimizeRows(rows, fails)
+			t.Fatalf("trial %d query %d: %v\nminimized reproducer (%d of %d rows):\n%s-- failing query: %s",
+				trial, qi, err, len(minRows), len(rows), DumpRows("f", randSchema, minRows), q.sql)
+		}
+	}
+}
+
+// TestDifferentialBatchErroringPredicates pins the error-determinism rule:
+// WHERE clauses that can raise per-row errors (division by zero, type
+// mismatches) force the batch path into interleaved pred-then-fold order,
+// so the batch run must fail with exactly the scalar path's error — same
+// row, same message — or succeed with identical rows when no row errors.
+func TestDifferentialBatchErroringPredicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	queries := []string{
+		// 10/d2 errors on the first d2=0 row; scan order fixes which row.
+		"SELECT d1, sum(a) FROM f WHERE 10 / d2 > 2 GROUP BY d1",
+		// Errors only when a d2=0 row survives the d1 filter first.
+		"SELECT d1, count(*) FROM f WHERE d1 = 1 AND 10 / d2 > 2 GROUP BY d1",
+		// Error-free filters stay vectorized; results must still match.
+		"SELECT d1, sum(a), min(a), max(a) FROM f WHERE d2 = 1 GROUP BY d1",
+		"SELECT d3, count(a) FROM f WHERE d1 IS NULL GROUP BY d3",
+	}
+	for trial := 0; trial < 4; trial++ {
+		rows := randTableRows(rng, 300)
+		p := plannerFor(t, rows)
+		for qi, sql := range queries {
+			if err := CompareBatch(p, sql, core.Options{}, Parallelisms); err != nil {
+				t.Errorf("trial %d query %d: %v", trial, qi, err)
+			}
+		}
+	}
+}
+
+// TestDifferentialBatchMetamorphicVpct rides the paper's vertical invariant
+// on the batch path: with a non-negative measure, every Vpct value lies in
+// [0, 1] and each super-group sums to 1 at every parallelism, batch on.
+func TestDifferentialBatchMetamorphicVpct(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 3; trial++ {
+		rows := randTableRows(rng, 400)
+		for _, r := range rows {
+			if !r[3].IsNull() && r[3].Int() < 0 {
+				r[3] = value.NewInt(-r[3].Int())
+			}
+		}
+		p := plannerFor(t, rows)
+		p.Eng.SetBatch(true)
+		for _, par := range Parallelisms {
+			res, err := Run(p, "SELECT d1, d2, Vpct(a BY d2) FROM f GROUP BY d1, d2", core.DefaultOptions(), par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sums := map[string]float64{}
+			skip := map[string]bool{}
+			for ri, row := range res.Rows {
+				v := row[2]
+				key := row[0].String()
+				if v.IsNull() {
+					skip[key] = true
+					continue
+				}
+				f, _ := v.AsFloat()
+				if f < 0 || f > 1 {
+					t.Fatalf("trial %d P=%d row %d: Vpct %v outside [0,1]", trial, par, ri, f)
+				}
+				sums[key] += f
+			}
+			for key, s := range sums {
+				if skip[key] {
+					continue
+				}
+				if s < 1-1e-9 || s > 1+1e-9 {
+					t.Fatalf("trial %d P=%d super-group %s sums to %v, want 1", trial, par, key, s)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialBatchMetamorphicHpct rides the horizontal invariant on
+// the batch path: each Hpct row sums to 1 or NULL-propagates whole.
+func TestDifferentialBatchMetamorphicHpct(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 3; trial++ {
+		p := plannerFor(t, randTableRows(rng, 400))
+		p.Eng.SetBatch(true)
+		for _, par := range Parallelisms {
+			res, err := Run(p, "SELECT d1, Hpct(a BY d2) FROM f GROUP BY d1", core.Options{}, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ri, row := range res.Rows {
+				sum := 0.0
+				nulls := 0
+				for _, v := range row[1:] {
+					if v.IsNull() {
+						nulls++
+						continue
+					}
+					f, _ := v.AsFloat()
+					sum += f
+				}
+				switch {
+				case nulls == len(row)-1:
+					// whole row NULL-propagated under the division-by-zero rule
+				case nulls > 0:
+					t.Fatalf("trial %d P=%d row %d: mixed NULL and non-NULL percentages: %v", trial, par, ri, row)
+				case sum < 1-1e-9 || sum > 1+1e-9:
+					t.Fatalf("trial %d P=%d row %d: percentages sum to %v, want 1", trial, par, ri, sum)
+				}
+			}
+		}
+	}
+}

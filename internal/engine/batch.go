@@ -1,0 +1,765 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/chaos"
+	"repro/internal/expr"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// Vectorized batch aggregation. When a GROUP BY pipeline is a plain
+// scan→filter*→fold over one stored table, the row-at-a-time iterator walk
+// (which boxes every column of every row into value.Values and crosses an
+// interface call per operator per row) is replaced by kernels that read
+// the table's raw column vectors directly, batch.Size (= govStride = 1024)
+// rows at a time:
+//
+//   - selection: error-free specialized predicates (eqConstFast,
+//     isNullFast, andFast — see specialize.go) refine a pooled selection
+//     vector per batch; typed fast paths compare raw int/string/bool
+//     vectors and fall back to per-row SQLEqual for cross-kind compares
+//     (still error-free). A predicate that can error disables
+//     vectorization of the filter only: rows are then filtered and folded
+//     one at a time in input order, preserving the scalar path's error
+//     ordering exactly, but still without boxing whole rows.
+//   - fold: group keys come straight from the key columns. When every key
+//     column is INTEGER (≤ 4 of them) the group table is keyed by a fixed
+//     [4]int64+null-mask struct — no encoding, no string allocation;
+//     otherwise keys use the same order-preserving value.AppendKey
+//     encoding as the scalar fold, so grouping is bit-identical. The
+//     accumulators are the scalar path's own (aggregate.go), fed from
+//     typed column getters — results are byte-identical by construction.
+//
+// Everything else mirrors the scalar path contract for contract: the
+// governor is charged per batch (same stride), group creation is charged
+// via addGroups, parallel execution partitions the table into contiguous
+// row ranges folded by workers under the same span names, chaos points,
+// cancel-context plumbing, panic containment, and deterministic merge
+// order as hashAggregateParallel. Shapes the kernels do not cover (joins,
+// computed keys or arguments, sum/avg over non-numeric columns) and
+// injected core.batch faults fall back to the scalar path silently.
+
+// Batch-execution metrics: folds that ran vectorized, rows they consumed,
+// and aggregates that fell back to the scalar path (unsupported shape or
+// an injected core.batch fault).
+var (
+	mBatchFolds     = obs.Default.Counter("batch.folds")
+	mBatchFoldRows  = obs.Default.Counter("batch.fold.rows")
+	mBatchFallbacks = obs.Default.Counter("batch.fallbacks")
+)
+
+// colGetter boxes one cell of a column. The boxing here is a struct
+// construction, not a heap allocation — the saving over the scalar path is
+// touching only the columns the query uses.
+type colGetter func(r int) value.Value
+
+// batchExec is a validated batch-aggregation plan over one stored table.
+type batchExec struct {
+	in      iterator
+	scan    *tableScan
+	tab     *storage.Table
+	filters []*filterIter // innermost first
+	preds   []expr.Expr   // innermost first, matching filters
+	vector  bool          // all preds error-free → vectorized selection
+	keyGet  []colGetter
+	argGet  []colGetter // per spec; nil = count(*)
+	specs   []aggSpec
+	// intKeys selects the [4]int64 group-key fast path.
+	intKeys bool
+	keyInts [][]int64
+	keyNull []func(int) bool
+}
+
+// bGroup is one group's partial state (the batch twin of partGroup).
+type bGroup struct {
+	keyVals []value.Value
+	accs    []accumulator
+}
+
+// bPart is one worker's fold output, generic over the group-key type.
+type bPart[K comparable] struct {
+	groups map[K]*bGroup
+	order  []K // local first-appearance order
+	err    error
+	// passed counts rows surviving each predicate (for operator stats);
+	// folded is the number of rows that reached the accumulators.
+	passed []int64
+	folded int64
+}
+
+// intKey is the fixed-width group key for ≤ 4 INTEGER key columns. Two
+// rows map to the same intKey exactly when their AppendKey encodings are
+// equal, so grouping matches the scalar fold.
+type intKey struct {
+	v    [4]int64
+	mask uint8 // bit i set = key column i is NULL (v[i] is then 0)
+}
+
+// batchAggregate tries the vectorized fold. handled is false when the
+// pipeline shape is not covered (or a core.batch fault is injected); the
+// caller then runs the scalar path.
+func batchAggregate(in iterator, keyExprs []expr.Expr, specs []aggSpec, ec execCtx) (out [][]value.Value, handled bool, err error) {
+	bx, ok := planBatch(in, keyExprs, specs)
+	if !ok {
+		mBatchFallbacks.Inc()
+		return nil, false, nil
+	}
+	if cerr := chaos.Hit(chaos.CoreBatch); cerr != nil {
+		// An injected kernel error means "batch unavailable", not "query
+		// failed": report the shape as unhandled and let the scalar path
+		// produce the result.
+		mBatchFallbacks.Inc()
+		return nil, false, nil
+	}
+	if bx.intKeys {
+		out, err = batchRun(bx, bx.runInt, keyExprs, specs, ec)
+	} else {
+		out, err = batchRun(bx, bx.runStr, keyExprs, specs, ec)
+	}
+	if err == nil {
+		n := int64(bx.tab.NumRows())
+		mBatchFolds.Inc()
+		mBatchFoldRows.Add(n)
+		// The scalar scan counts its rows at exhaustion; mirror that on
+		// kernel success only.
+		mRowsScanned.Add(n)
+	}
+	return out, true, err
+}
+
+// planBatch validates the pipeline shape and builds the kernel plan.
+func planBatch(in iterator, keyExprs []expr.Expr, specs []aggSpec) (*batchExec, bool) {
+	bx := &batchExec{in: in, specs: specs}
+	cur := in
+unwrap:
+	for {
+		switch n := cur.(type) {
+		case *filterIter:
+			bx.filters = append(bx.filters, n)
+			bx.preds = append(bx.preds, n.pred)
+			cur = n.child
+		case *tableScan:
+			if n.pos != 0 {
+				return nil, false
+			}
+			bx.scan = n
+			bx.tab = n.tab
+			break unwrap
+		default:
+			return nil, false
+		}
+	}
+	// Collected outermost-first; reverse to application (innermost-first)
+	// order so interleaved filtering reproduces the scalar error order.
+	for i, j := 0, len(bx.preds)-1; i < j; i, j = i+1, j-1 {
+		bx.preds[i], bx.preds[j] = bx.preds[j], bx.preds[i]
+		bx.filters[i], bx.filters[j] = bx.filters[j], bx.filters[i]
+	}
+	bx.vector = true
+	for _, p := range bx.preds {
+		if !predErrFree(p) {
+			bx.vector = false
+			break
+		}
+	}
+	ncols := bx.tab.NumCols()
+	bx.intKeys = len(keyExprs) > 0 && len(keyExprs) <= 4
+	for _, ke := range keyExprs {
+		cr, ok := ke.(*expr.ColumnRef)
+		if !ok || cr.Index < 0 || cr.Index >= ncols {
+			return nil, false
+		}
+		bx.keyGet = append(bx.keyGet, columnGetter(bx.tab, cr.Index))
+		if ints, isNull, isInt := bx.tab.IntColumn(cr.Index); isInt {
+			bx.keyInts = append(bx.keyInts, ints)
+			bx.keyNull = append(bx.keyNull, isNull)
+		} else {
+			bx.intKeys = false
+		}
+	}
+	for _, s := range specs {
+		if s.arg == nil {
+			bx.argGet = append(bx.argGet, nil)
+			continue
+		}
+		cr, ok := s.arg.(*expr.ColumnRef)
+		if !ok || cr.Index < 0 || cr.Index >= ncols {
+			return nil, false
+		}
+		if s.call.Fn == expr.AggSum || s.call.Fn == expr.AggAvg {
+			// sum()/avg() over a non-numeric column errors per row on the
+			// scalar path; keep that path authoritative for the error.
+			if t := bx.tab.Schema()[cr.Index].Type; t == storage.TypeString || t == storage.TypeBool {
+				return nil, false
+			}
+		}
+		bx.argGet = append(bx.argGet, columnGetter(bx.tab, cr.Index))
+	}
+	return bx, true
+}
+
+// predErrFree reports whether a specialized predicate tree cannot return
+// an error from Eval — the condition for vectorizing its filter.
+func predErrFree(e expr.Expr) bool {
+	switch n := e.(type) {
+	case *eqConstFast, *isNullFast:
+		return true
+	case *andFast:
+		return predErrFree(n.left) && predErrFree(n.right)
+	}
+	return false
+}
+
+// columnGetter builds a typed boxing getter for one column of tab; the
+// batched join probe shares it.
+func columnGetter(tab *storage.Table, idx int) colGetter {
+	if ints, isNull, ok := tab.IntColumn(idx); ok {
+		return func(r int) value.Value {
+			if isNull(r) {
+				return value.Null
+			}
+			return value.NewInt(ints[r])
+		}
+	}
+	if flts, isNull, ok := tab.FloatColumn(idx); ok {
+		return func(r int) value.Value {
+			if isNull(r) {
+				return value.Null
+			}
+			return value.NewFloat(flts[r])
+		}
+	}
+	if strs, isNull, ok := tab.StringColumn(idx); ok {
+		return func(r int) value.Value {
+			if isNull(r) {
+				return value.Null
+			}
+			return value.NewString(strs[r])
+		}
+	}
+	if bools, isNull, ok := tab.BoolColumn(idx); ok {
+		return func(r int) value.Value {
+			if isNull(r) {
+				return value.Null
+			}
+			return value.NewBool(bools[r])
+		}
+	}
+	return func(r int) value.Value { return tab.Get(r, idx) }
+}
+
+// lazyRow adapts one stored row to expr.Row without boxing every column:
+// only the cells the expression touches are materialized.
+type lazyRow struct {
+	tab *storage.Table
+	r   int
+}
+
+func (l *lazyRow) ColumnValue(i int) value.Value { return l.tab.Get(l.r, i) }
+
+// applySel refines a selection vector through one error-free predicate.
+func (bx *batchExec) applySel(p expr.Expr, sel []int32) []int32 {
+	switch n := p.(type) {
+	case *andFast:
+		// Truthy(AND) is both-truthy under 3VL, so successive refinement
+		// is exact.
+		sel = bx.applySel(n.left, sel)
+		if len(sel) == 0 {
+			return sel
+		}
+		return bx.applySel(n.right, sel)
+	case *isNullFast:
+		isNull := bx.tab.ColumnNulls(n.idx)
+		out := sel[:0]
+		for _, r := range sel {
+			if isNull(int(r)) != n.negate {
+				out = append(out, r)
+			}
+		}
+		return out
+	case *eqConstFast:
+		return bx.eqSel(n, sel)
+	}
+	return sel // unreachable: predErrFree admits only the cases above
+}
+
+// eqSel is the column = constant kernel. Typed fast paths cover same-kind
+// int/string/bool compares; everything else (floats, cross-kind) goes
+// through per-row SQLEqual, which is still error-free and bit-identical to
+// eqConstFast.Eval.
+func (bx *batchExec) eqSel(e *eqConstFast, sel []int32) []int32 {
+	out := sel[:0]
+	if e.val.IsNull() {
+		return out // NULL compares to nothing; never truthy
+	}
+	if ints, isNull, ok := bx.tab.IntColumn(e.idx); ok && e.val.Kind() == value.KindInt {
+		c := e.val.Int()
+		for _, r := range sel {
+			if !isNull(int(r)) && ints[r] == c {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	if strs, isNull, ok := bx.tab.StringColumn(e.idx); ok && e.val.Kind() == value.KindString {
+		c := e.val.Str()
+		for _, r := range sel {
+			if !isNull(int(r)) && strs[r] == c {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	if bools, isNull, ok := bx.tab.BoolColumn(e.idx); ok && e.val.Kind() == value.KindBool {
+		c := e.val.Bool()
+		for _, r := range sel {
+			if !isNull(int(r)) && bools[r] == c {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	get := columnGetter(bx.tab, e.idx)
+	for _, r := range sel {
+		if value.SQLEqual(get(int(r)), e.val).Truthy() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// selectBatch fills sel with the row ids in [base, base+bn) passing every
+// predicate, recording per-predicate survivor counts. Vector mode only.
+func (bx *batchExec) selectBatch(base, bn int, sel []int32, passed []int64) []int32 {
+	sel = sel[:0]
+	for i := 0; i < bn; i++ {
+		sel = append(sel, int32(base+i))
+	}
+	for i, p := range bx.preds {
+		if len(sel) > 0 {
+			sel = bx.applySel(p, sel)
+		}
+		passed[i] += int64(len(sel))
+	}
+	return sel
+}
+
+// newGroup allocates one group's key values and accumulators for row r.
+func (bx *batchExec) newGroup(r int) (*bGroup, error) {
+	g := &bGroup{accs: make([]accumulator, len(bx.specs))}
+	for i, s := range bx.specs {
+		acc, err := newAccumulator(s.call)
+		if err != nil {
+			return nil, err
+		}
+		g.accs[i] = acc
+	}
+	if len(bx.keyGet) > 0 {
+		g.keyVals = make([]value.Value, len(bx.keyGet))
+		for i, get := range bx.keyGet {
+			g.keyVals[i] = get(r)
+		}
+	}
+	return g, nil
+}
+
+// foldInto feeds row r into a group's accumulators.
+func (bx *batchExec) foldInto(g *bGroup, r int) error {
+	for i := range bx.specs {
+		var v value.Value
+		if get := bx.argGet[i]; get != nil {
+			v = get(r)
+		}
+		if err := g.accs[i].add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runStr folds rows [lo, hi) with AppendKey-encoded string group keys —
+// the general path, grouping-compatible with the scalar fold by sharing
+// its key encoding.
+func (bx *batchExec) runStr(lo, hi int, gov *governor) bPart[string] {
+	part := bPart[string]{groups: make(map[string]*bGroup), passed: make([]int64, len(bx.preds))}
+	pool := batch.Default
+	sel := pool.GetSel(batch.Size)
+	defer func() { pool.PutSel(sel) }()
+	keyBuf := pool.GetBytes(64)
+	defer func() { pool.PutBytes(keyBuf) }()
+
+	foldRow := func(r int) error {
+		keyBuf = keyBuf[:0]
+		for _, get := range bx.keyGet {
+			keyBuf = value.AppendKey(keyBuf, get(r))
+		}
+		g, ok := part.groups[string(keyBuf)]
+		if !ok {
+			if err := gov.addGroups(1); err != nil {
+				return err
+			}
+			var err error
+			if g, err = bx.newGroup(r); err != nil {
+				return err
+			}
+			k := string(keyBuf)
+			part.groups[k] = g
+			part.order = append(part.order, k)
+		}
+		part.folded++
+		return bx.foldInto(g, r)
+	}
+
+	lr := lazyRow{tab: bx.tab}
+	for base := lo; base < hi; base += batch.Size {
+		bn := hi - base
+		if bn > batch.Size {
+			bn = batch.Size
+		}
+		if bx.vector {
+			sel = bx.selectBatch(base, bn, sel, part.passed)
+			for _, r := range sel {
+				if part.err = foldRow(int(r)); part.err != nil {
+					return part
+				}
+			}
+		} else {
+			// Interleaved mode: a predicate that can error forces per-row
+			// pred-then-fold order, so the first error is the scalar one.
+			for r := base; r < base+bn; r++ {
+				lr.r = r
+				pass := true
+				for pi, p := range bx.preds {
+					v, err := p.Eval(&lr)
+					if err != nil {
+						part.err = err
+						return part
+					}
+					if !v.Truthy() {
+						pass = false
+						break
+					}
+					part.passed[pi]++
+				}
+				if !pass {
+					continue
+				}
+				if part.err = foldRow(r); part.err != nil {
+					return part
+				}
+			}
+		}
+		// One governor charge per batch: same stride, totals, and typed
+		// errors as the scalar scan.
+		if part.err = gov.addScanned(int64(bn)); part.err != nil {
+			return part
+		}
+	}
+	return part
+}
+
+// runInt folds rows [lo, hi) with the fixed-width integer group key — no
+// key encoding or string allocation on the hot path.
+func (bx *batchExec) runInt(lo, hi int, gov *governor) bPart[intKey] {
+	part := bPart[intKey]{groups: make(map[intKey]*bGroup), passed: make([]int64, len(bx.preds))}
+	pool := batch.Default
+	sel := pool.GetSel(batch.Size)
+	defer func() { pool.PutSel(sel) }()
+
+	foldRow := func(r int) error {
+		var k intKey
+		for i, ints := range bx.keyInts {
+			if bx.keyNull[i](r) {
+				k.mask |= 1 << i
+			} else {
+				k.v[i] = ints[r]
+			}
+		}
+		g, ok := part.groups[k]
+		if !ok {
+			if err := gov.addGroups(1); err != nil {
+				return err
+			}
+			var err error
+			if g, err = bx.newGroup(r); err != nil {
+				return err
+			}
+			part.groups[k] = g
+			part.order = append(part.order, k)
+		}
+		part.folded++
+		return bx.foldInto(g, r)
+	}
+
+	lr := lazyRow{tab: bx.tab}
+	for base := lo; base < hi; base += batch.Size {
+		bn := hi - base
+		if bn > batch.Size {
+			bn = batch.Size
+		}
+		if bx.vector {
+			sel = bx.selectBatch(base, bn, sel, part.passed)
+			for _, r := range sel {
+				if part.err = foldRow(int(r)); part.err != nil {
+					return part
+				}
+			}
+		} else {
+			for r := base; r < base+bn; r++ {
+				lr.r = r
+				pass := true
+				for pi, p := range bx.preds {
+					v, err := p.Eval(&lr)
+					if err != nil {
+						part.err = err
+						return part
+					}
+					if !v.Truthy() {
+						pass = false
+						break
+					}
+					part.passed[pi]++
+				}
+				if !pass {
+					continue
+				}
+				if part.err = foldRow(r); part.err != nil {
+					return part
+				}
+			}
+		}
+		if part.err = gov.addScanned(int64(bn)); part.err != nil {
+			return part
+		}
+	}
+	return part
+}
+
+// batchRun orchestrates one fold: sequential or partitioned-parallel, with
+// the same spans, chaos points, governor plumbing, panic containment, and
+// deterministic merge order as the scalar paths in parallel.go.
+func batchRun[K comparable](bx *batchExec, run func(lo, hi int, gov *governor) bPart[K], keyExprs []expr.Expr, specs []aggSpec, ec execCtx) ([][]value.Value, error) {
+	nRows := bx.tab.NumRows()
+	workers := resolveWorkers(ec.par)
+	if ec.par <= 0 && nRows < autoParallelMinRows {
+		workers = 1
+	}
+	if workers > nRows {
+		workers = nRows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	if workers <= 1 {
+		sp := ec.span.NewChild("fold")
+		sp.Attr("kernel", "batch")
+		t0 := time.Now()
+		part := run(0, nRows, ec.gov)
+		kernelNs := time.Since(t0).Nanoseconds()
+		sp.End()
+		if part.err == nil {
+			bx.fillStats(int64(nRows), part.passed, kernelNs)
+		}
+		if sp != nil {
+			sp.AddChild(operatorSpans(bx.in))
+		}
+		if part.err != nil {
+			sp.SetRows(-1, 0)
+			return nil, part.err
+		}
+		out, err := emitParts(bx, []bPart[K]{part}, keyExprs, specs)
+		sp.SetRows(-1, int64(len(out)))
+		return out, err
+	}
+
+	mAggParallel.Inc()
+	if ec.rec != nil {
+		ec.rec.parallel = true
+	}
+	// Unlike the scalar parallel path there is no materialized copy — the
+	// workers read disjoint row ranges of the immutable column vectors —
+	// so the operator subtree's time is spent inside the workers and the
+	// standalone operator spans carry rows only.
+	if ec.span != nil {
+		ec.span.AddChild(operatorSpans(bx.in))
+	}
+	fan := ec.span.NewChild("partition fan-out")
+	if fan != nil {
+		fan.Concurrent = true
+		fan.AttrInt("workers", int64(workers))
+		fan.Attr("kernel", "batch")
+	}
+	cancel := func() {}
+	wgov := ec.gov
+	if ec.gov != nil && ec.gov.ctx != nil {
+		var wctx context.Context
+		wctx, cancel = context.WithCancel(ec.gov.ctx)
+		defer cancel()
+		wgov = ec.gov.withCtx(wctx)
+	}
+	parts := make([]bPart[K], workers)
+	chunk := (nRows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if lo > nRows {
+			lo = nRows
+		}
+		if hi > nRows {
+			hi = nRows
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var ws *obs.Span
+			if fan != nil {
+				ws = fan.NewChild(fmt.Sprintf("worker %d/%d", w+1, workers))
+			}
+			defer func() {
+				if r := recover(); r != nil {
+					parts[w].err = NewPanicError(fmt.Sprintf("batch worker %d/%d", w+1, workers), r)
+				}
+				if parts[w].err != nil {
+					ws.Attr("error", parts[w].err.Error())
+					cancel()
+				}
+				ws.End()
+				ws.SetRows(int64(hi-lo), int64(len(parts[w].order)))
+			}()
+			if err := chaos.HitN(chaos.AggWorker, w+1); err != nil {
+				parts[w].err = err
+				return
+			}
+			parts[w] = run(lo, hi, wgov)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	fan.End()
+
+	ms := ec.span.NewChild("merge")
+	defer ms.End()
+	if err := batchWorkerError(parts); err != nil {
+		return nil, err
+	}
+	if err := chaos.Hit(chaos.AggMerge); err != nil {
+		return nil, err
+	}
+	passed := make([]int64, len(bx.preds))
+	for pi := range parts {
+		for i, n := range parts[pi].passed {
+			passed[i] += n
+		}
+	}
+	bx.fillStats(int64(nRows), passed, 0)
+	out, err := emitParts(bx, parts, keyExprs, specs)
+	if err != nil {
+		return nil, err
+	}
+	ms.SetRows(int64(nRows), int64(len(out)))
+	return out, nil
+}
+
+// emitParts merges partition partials in ascending partition order (which
+// reproduces the sequential first-appearance order — see parallel.go) and
+// renders the output rows.
+func emitParts[K comparable](bx *batchExec, parts []bPart[K], keyExprs []expr.Expr, specs []aggSpec) ([][]value.Value, error) {
+	var merged map[K]*bGroup
+	var order []K
+	if len(parts) == 1 {
+		merged, order = parts[0].groups, parts[0].order
+	} else {
+		merged = make(map[K]*bGroup)
+		for pi := range parts {
+			p := &parts[pi]
+			for _, k := range p.order {
+				g := p.groups[k]
+				tgt, ok := merged[k]
+				if !ok {
+					merged[k] = g
+					order = append(order, k)
+					continue
+				}
+				for i := range tgt.accs {
+					if err := tgt.accs[i].merge(g.accs[i]); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	if len(keyExprs) == 0 && len(order) == 0 {
+		// A global aggregate over zero input rows still yields one row,
+		// exactly as the scalar fold's empty-input group.
+		g := &bGroup{accs: make([]accumulator, len(specs))}
+		for i, s := range specs {
+			acc, err := newAccumulator(s.call)
+			if err != nil {
+				return nil, err
+			}
+			g.accs[i] = acc
+		}
+		var zero K
+		merged[zero] = g
+		order = append(order, zero)
+	}
+	out := make([][]value.Value, 0, len(order))
+	for _, k := range order {
+		g := merged[k]
+		row := make([]value.Value, 0, len(g.keyVals)+len(g.accs))
+		row = append(row, g.keyVals...)
+		for _, acc := range g.accs {
+			row = append(row, acc.result())
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// batchWorkerError mirrors workerError for the generic partials: the
+// lowest-numbered partition's real error wins; sibling cancellations are
+// reported only when nothing else failed.
+func batchWorkerError[K comparable](parts []bPart[K]) error {
+	var firstCancel error
+	for pi := range parts {
+		err := parts[pi].err
+		if err == nil {
+			continue
+		}
+		var c *CancelledError
+		if errors.As(err, &c) {
+			if firstCancel == nil {
+				firstCancel = err
+			}
+			continue
+		}
+		return err
+	}
+	return firstCancel
+}
+
+// fillStats backfills the per-operator instrumentation (allocated by
+// instrumentIter when the statement is traced) that the kernels bypassed:
+// the scan's row count and each filter's survivor count. ns is the kernel
+// wall charged inclusively down the chain in sequential mode; the parallel
+// path passes 0 (its time lives in the worker spans).
+func (bx *batchExec) fillStats(nRows int64, passed []int64, ns int64) {
+	if bx.scan.stats != nil {
+		bx.scan.stats.rows = nRows
+		bx.scan.stats.ns = ns
+	}
+	for i, f := range bx.filters {
+		if f.stats != nil && i < len(passed) {
+			f.stats.rows = passed[i]
+			f.stats.ns = ns
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/value"
+)
+
+// fuzzFoldSchema is the fuzz fact table: int and string group keys, an int
+// and a float measure, a bool column — every type the fold kernels
+// specialize on, all nullable.
+var fuzzFoldSchema = storage.Schema{
+	{Name: "d1", Type: storage.TypeInt},
+	{Name: "d2", Type: storage.TypeInt},
+	{Name: "d3", Type: storage.TypeString},
+	{Name: "a", Type: storage.TypeInt},
+	{Name: "b", Type: storage.TypeFloat},
+	{Name: "c", Type: storage.TypeBool},
+}
+
+// fuzzFoldQueries sweep the five aggregates (sum, count, min, max, count
+// DISTINCT, plus avg) over int, float, string, and bool columns, the
+// int-key and string-key group paths, error-free and erroring WHERE
+// clauses, and shapes the batch planner must refuse (sum over bool).
+var fuzzFoldQueries = []string{
+	"SELECT d1, sum(a), count(*) FROM f GROUP BY d1",
+	"SELECT d1, d3, min(a), max(b), count(a) FROM f GROUP BY d1, d3",
+	"SELECT d3, count(DISTINCT a), sum(b) FROM f GROUP BY d3",
+	"SELECT d1, d2, sum(a), avg(b) FROM f WHERE d2 = 1 GROUP BY d1, d2",
+	"SELECT sum(a), min(b), max(a), count(*) FROM f",
+	"SELECT d1, count(*) FROM f WHERE 10 / d2 > 2 GROUP BY d1",
+	"SELECT c, sum(a), min(d3) FROM f WHERE d1 IS NULL GROUP BY c",
+	"SELECT d1, sum(c) FROM f GROUP BY d1",
+}
+
+func fuzzFoldRow(rng *rand.Rand) []value.Value {
+	strs := []string{"x", "y", "z", "w"}
+	row := []value.Value{
+		value.NewInt(int64(rng.Intn(5))),
+		value.NewInt(int64(rng.Intn(3))), // includes 0: 10/d2 errors
+		value.NewString(strs[rng.Intn(len(strs))]),
+		value.NewInt(int64(rng.Intn(41) - 20)),
+		value.NewFloat(float64(rng.Intn(200)-100) / 4),
+		value.NewBool(rng.Intn(2) == 0),
+	}
+	if rng.Intn(8) == 0 {
+		row[3] = value.Null
+	}
+	if rng.Intn(8) == 0 {
+		row[4] = value.Null
+	}
+	if rng.Intn(12) == 0 {
+		row[rng.Intn(3)] = value.Null
+	}
+	return row
+}
+
+// fuzzResultDiff compares two results exactly — same columns, rows, order,
+// value kinds — and returns "" when identical.
+func fuzzResultDiff(a, b *Result) string {
+	if len(a.Columns) != len(b.Columns) {
+		return fmt.Sprintf("column count %d vs %d", len(a.Columns), len(b.Columns))
+	}
+	if len(a.Rows) != len(b.Rows) {
+		return fmt.Sprintf("row count %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for ri := range a.Rows {
+		for ci := range a.Rows[ri] {
+			va, vb := a.Rows[ri][ci], b.Rows[ri][ci]
+			switch {
+			case va.IsNull() != vb.IsNull():
+				return fmt.Sprintf("row %d col %d: %v vs %v", ri, ci, va, vb)
+			case va.IsNull():
+			case va.Kind() != vb.Kind() || value.Compare(va, vb) != 0:
+				return fmt.Sprintf("row %d col %d: %v (%v) vs %v (%v)", ri, ci, va, va.Kind(), vb, vb.Kind())
+			}
+		}
+	}
+	return ""
+}
+
+// FuzzBatchFoldEquivalence proves batched folds ≡ scalar folds: a seeded
+// random typed table (NULLs included) runs one aggregation query with the
+// batch kernels off at P=1 (the reference) and on at a fuzzed parallelism;
+// results must be byte-identical and errors must match exactly.
+func FuzzBatchFoldEquivalence(f *testing.F) {
+	for q := range fuzzFoldQueries {
+		f.Add(int64(q)*7919+1, uint16(900+137*q), uint8(q), uint8(q%3))
+	}
+	f.Add(int64(-42), uint16(0), uint8(0), uint8(2))    // empty-ish table
+	f.Add(int64(1234), uint16(3000), uint8(5), uint8(1)) // many batches, erroring pred
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, q uint8, par uint8) {
+		rows := int(n) % 3000
+		rng := rand.New(rand.NewSource(seed))
+		cat := storage.NewCatalog()
+		tab, err := cat.Create("f", fuzzFoldSchema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rows; i++ {
+			if _, err := tab.AppendRow(fuzzFoldRow(rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sql := fuzzFoldQueries[int(q)%len(fuzzFoldQueries)]
+		p := []int{1, 2, 8}[int(par)%3]
+
+		e := New(cat)
+		e.SetBatch(false)
+		ref, refErr := e.ExecSQLP(sql, 1)
+		e.SetBatch(true)
+		got, gotErr := e.ExecSQLP(sql, p)
+
+		if (refErr == nil) != (gotErr == nil) {
+			t.Fatalf("%s: scalar err=%v, batch P=%d err=%v", sql, refErr, p, gotErr)
+		}
+		if refErr != nil {
+			if refErr.Error() != gotErr.Error() {
+				t.Fatalf("%s: scalar error %q, batch P=%d error %q", sql, refErr, p, gotErr)
+			}
+			return
+		}
+		if diff := fuzzResultDiff(ref, got); diff != "" {
+			t.Fatalf("%s: batch P=%d diverges from scalar: %s", sql, p, diff)
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// TestBatchPathFires pins that the demo-shaped GROUP BY actually takes the
+// vectorized path (guarding against silent eligibility regressions) and
+// that SetBatch(false) routes around it.
+func TestBatchPathFires(t *testing.T) {
+	cat := storage.NewCatalog()
+	e := New(cat)
+	mustExec := func(sql string) {
+		t.Helper()
+		if _, err := e.ExecSQL(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustExec(`CREATE TABLE s (k INTEGER, g VARCHAR, v INTEGER);
+		INSERT INTO s VALUES (1,'a',10),(2,'b',20),(3,'a',30)`)
+	before := mBatchFolds.Value()
+	mustExec(`SELECT g, sum(v) FROM s GROUP BY g`)
+	if after := mBatchFolds.Value(); after != before+1 {
+		t.Fatalf("batch.folds went %d -> %d, want one vectorized fold", before, after)
+	}
+	e.SetBatch(false)
+	fallBefore := mBatchFolds.Value()
+	mustExec(`SELECT g, sum(v) FROM s GROUP BY g`)
+	if after := mBatchFolds.Value(); after != fallBefore {
+		t.Fatalf("SetBatch(false) still ran the batch kernel")
+	}
+	if !e.BatchEnabled() {
+		e.SetBatch(true)
+	}
+	if !e.BatchEnabled() {
+		t.Fatal("SetBatch(true) did not re-enable the batch path")
+	}
+}

@@ -39,6 +39,10 @@ type Engine struct {
 	// intro is the introspection state (nil = off); see introspect.go.
 	// Atomic so enabling/disabling races safely with statements in flight.
 	intro atomic.Pointer[introState]
+	// batchOff disables the vectorized aggregation fast path (batch.go).
+	// Stored inverted so the zero value is "batch on"; atomic for the same
+	// concurrent-submitter reason as par.
+	batchOff atomic.Bool
 	// virt maps lowercased names to registered read-only virtual relations
 	// (the pct_stat_* catalog). Guarded by virtMu; registration is rare and
 	// the per-statement lookup is a short read-locked map probe.
@@ -112,6 +116,14 @@ func (e *Engine) SetParallelism(p int) { e.par.Store(int32(p)) }
 // Parallelism returns the engine's default parallelism.
 func (e *Engine) Parallelism() int { return int(e.par.Load()) }
 
+// SetBatch toggles the vectorized batch-execution fast path (on by
+// default). Off forces every statement down the row-at-a-time scalar path
+// — the reference the differential suite and pctbench compare against.
+func (e *Engine) SetBatch(on bool) { e.batchOff.Store(!on) }
+
+// BatchEnabled reports whether the vectorized fast path is enabled.
+func (e *Engine) BatchEnabled() bool { return !e.batchOff.Load() }
+
 // Catalog returns the engine's catalog.
 func (e *Engine) Catalog() *storage.Catalog { return e.cat }
 
@@ -162,6 +174,7 @@ func (e *Engine) ExecuteCtxP(ctx context.Context, stmt sqlparse.Statement, paral
 // itself, and classifies the outcome in metrics. ec.span/ec.par come from
 // the caller; ec.gov is installed here.
 func (e *Engine) runStatement(ctx context.Context, stmt sqlparse.Statement, ec execCtx) (res *Result, err error) {
+	ec.batch = !e.batchOff.Load()
 	lim := e.effectiveLimits(ctx)
 	if lim.Timeout > 0 {
 		var cancel context.CancelFunc

@@ -56,7 +56,7 @@ func (e *Engine) execExplainAnalyze(ex *sqlparse.Explain, ec execCtx) (*Result, 
 	}
 	insp := &selInspect{}
 	t0 := time.Now()
-	_, err := e.execSelect(sel, execCtx{par: ec.par, span: root, inspect: insp})
+	_, err := e.execSelect(sel, execCtx{par: ec.par, span: root, inspect: insp, batch: ec.batch})
 	total := time.Since(t0)
 	if err != nil {
 		return nil, err

@@ -224,6 +224,103 @@ type hashJoin struct {
 	current []value.Value // current probe row (copy not needed within step)
 	outBuf  []value.Value
 	stats   *opStats
+	// Batched probe fast path (see stepFast): enabled by markJoinBatch when
+	// the statement runs with vectorized execution on. fastProbe is lazily
+	// decided on the first step: 0 undecided, 1 on, -1 off.
+	batchOK   bool
+	fastProbe int8
+	probeScan *tableScan
+	probeGet  []colGetter
+	curBuf    []value.Value
+}
+
+// markJoinBatch arms the batched probe fast path on every hash join in a
+// pipeline. Called by execSelect once the statement's batch toggle is
+// known; the per-join eligibility check happens at first probe.
+func markJoinBatch(it iterator, on bool) {
+	switch n := it.(type) {
+	case *hashJoin:
+		n.batchOK = on
+		markJoinBatch(n.left, on)
+	case *nestedLoopJoin:
+		markJoinBatch(n.left, on)
+	case *filterIter:
+		markJoinBatch(n.child, on)
+	}
+}
+
+// initFastProbe decides whether this join may probe straight off the left
+// table's column vectors: inner join, bare table-scan left side, and no
+// per-operator instrumentation (the scalar probe is the one that feeds
+// operator stats and the governor through the scan iterator).
+func (j *hashJoin) initFastProbe() {
+	j.fastProbe = -1
+	if !j.batchOK || j.outer || j.stats != nil {
+		return
+	}
+	scan, ok := j.left.(*tableScan)
+	if !ok || scan.stats != nil || scan.pos != 0 || scan.counted {
+		return
+	}
+	for _, p := range j.pairs {
+		j.probeGet = append(j.probeGet, columnGetter(scan.tab, p.leftIdx))
+	}
+	j.probeScan = scan
+	j.fastProbe = 1
+}
+
+// stepFast is the batched probe: the join key is encoded from typed column
+// getters and a probe row is boxed only when it has matches — misses cost
+// no row materialization at all. Governor charging mirrors tableScan.step
+// (same stride, same exhaustion remainder), so limits and cancellation
+// behave identically to the scalar probe.
+func (j *hashJoin) stepFast() ([]value.Value, bool, error) {
+	scan := j.probeScan
+	n := scan.tab.NumRows()
+	// pctvet:ok each iteration dequeues a match or advances the scan cursor, governed every stride
+	for {
+		if len(j.pending) > 0 {
+			r := j.pending[0]
+			j.pending = j.pending[1:]
+			return j.emit(r), true, nil
+		}
+		r := scan.pos
+		if r >= n {
+			if !scan.counted {
+				scan.counted = true
+				mRowsScanned.Add(int64(r))
+				if err := scan.gov.addScanned(int64(r % govStride)); err != nil {
+					return nil, false, err
+				}
+			}
+			return nil, false, nil
+		}
+		if r > 0 && r%govStride == 0 {
+			if err := scan.gov.addScanned(govStride); err != nil {
+				return nil, false, err
+			}
+		}
+		scan.pos++
+		j.keyBuf = j.keyBuf[:0]
+		nullKey := false
+		for i, get := range j.probeGet {
+			v := get(r)
+			if v.IsNull() && !j.pairs[i].nullSafe {
+				nullKey = true
+			}
+			j.keyBuf = value.AppendKey(j.keyBuf, v)
+		}
+		var matches []int
+		if !nullKey { // plain SQL equality never matches on NULL keys
+			matches = j.build.lookupFn(string(j.keyBuf))
+		}
+		if len(matches) == 0 {
+			continue
+		}
+		j.curBuf = scan.tab.Row(r, j.curBuf)
+		j.current = j.curBuf
+		j.pending = matches
+	}
 }
 
 // newHashJoinFromTable sets up the join against a base table right side. If
@@ -287,6 +384,12 @@ func (j *hashJoin) next() ([]value.Value, bool, error) {
 func (j *hashJoin) step() ([]value.Value, bool, error) {
 	if err := j.build.ensure(); err != nil {
 		return nil, false, err
+	}
+	if j.fastProbe == 0 {
+		j.initFastProbe()
+	}
+	if j.fastProbe > 0 {
+		return j.stepFast()
 	}
 	// pctvet:ok each iteration dequeues a match or pulls left.next(), governed at the scan leaf
 	for {

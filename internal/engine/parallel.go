@@ -53,6 +53,16 @@ func resolveWorkers(parallelism int) int {
 // stage span: the sequential path adds a "fold" child, the parallel path a
 // concurrent "partition fan-out" with one child per worker plus a "merge".
 func hashAggregate(in iterator, keyExprs []expr.Expr, specs []aggSpec, ec execCtx) ([][]value.Value, error) {
+	if ec.batch {
+		// Vectorized fast path (batch.go): covers plain scan→filter→fold
+		// pipelines over stored tables, byte-identical to the scalar fold.
+		// Unsupported shapes and injected core.batch faults report
+		// handled=false and fall through to the scalar paths below.
+		if out, handled, err := batchAggregate(in, keyExprs, specs, ec); handled {
+			mGroupsEmitted.Add(int64(len(out)))
+			return out, err
+		}
+	}
 	workers := resolveWorkers(ec.par)
 	if workers <= 1 {
 		// The fold drains the pipeline itself, so the operator subtree nests

@@ -38,6 +38,7 @@ func (e *Engine) execSelect(sel *sqlparse.Select, ec execCtx) (*Result, error) {
 	if ec.span != nil && !ec.liteSpan() {
 		instrumentIter(in)
 	}
+	markJoinBatch(in, ec.batch)
 	governIter(in, ec.gov)
 	if ec.inspect != nil {
 		ec.inspect.in = in
@@ -91,7 +92,7 @@ func (e *Engine) execSelect(sel *sqlparse.Select, ec execCtx) (*Result, error) {
 	case len(sel.GroupBy) > 0 || sel.Having != nil || anyAggregate(items):
 		consumer = ec.span.NewChild("aggregate")
 		attachOps = false
-		rows, err = e.execGroupSelect(sel, items, in, execCtx{par: ec.par, span: consumer, gov: ec.gov, rec: ec.rec})
+		rows, err = e.execGroupSelect(sel, items, in, execCtx{par: ec.par, span: consumer, gov: ec.gov, rec: ec.rec, batch: ec.batch})
 	default:
 		consumer = ec.span.NewChild("project")
 		rows, err = e.execPlainSelect(sel, items, in, ec.gov)

@@ -35,6 +35,10 @@ type execCtx struct {
 	// off or the statement is excluded by the self-observation guard); the
 	// parallel aggregation path marks it (see parallel.go).
 	rec *stmtRec
+	// batch enables the vectorized aggregation fast path (batch.go);
+	// snapshotted from Engine.batch by runStatement so one statement never
+	// mixes paths.
+	batch bool
 }
 
 // liteSpan reports whether the statement span exists only so the flight

@@ -376,3 +376,28 @@ func (t *Table) FloatColumn(col int) (vals []float64, isNull func(int) bool, ok 
 	}
 	return c.flts, c.nulls.get, true
 }
+
+// StringColumn exposes the raw string vector of a VARCHAR column, as
+// IntColumn.
+func (t *Table) StringColumn(col int) (vals []string, isNull func(int) bool, ok bool) {
+	c := t.cols[col]
+	if c.typ != TypeString {
+		return nil, nil, false
+	}
+	return c.strs, c.nulls.get, true
+}
+
+// BoolColumn exposes the raw bool vector of a BOOLEAN column, as IntColumn.
+func (t *Table) BoolColumn(col int) (vals []bool, isNull func(int) bool, ok bool) {
+	c := t.cols[col]
+	if c.typ != TypeBool {
+		return nil, nil, false
+	}
+	return c.bools, c.nulls.get, true
+}
+
+// ColumnNulls exposes a column's null test regardless of its type; the
+// vectorized IS NULL kernel needs only the bitmap.
+func (t *Table) ColumnNulls(col int) func(int) bool {
+	return t.cols[col].nulls.get
+}

@@ -151,6 +151,15 @@ func TestMetricNamesStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	pinned := []string{
+		"batch.fallbacks",
+		"batch.fold.rows",
+		"batch.folds",
+		"batch.pivot.fallbacks",
+		"batch.pivot.folds",
+		"batch.pool.gets",
+		"batch.pool.hits",
+		"batch.pool.misses",
+		"batch.pool.puts",
 		"cache.delta_applied",
 		"cache.delta_fallback",
 		"cache.fj_rollup",

@@ -90,8 +90,9 @@ func metricname(p *pass) []finding {
 
 // metricShape matches the dotted names the engine's registries use. The
 // server namespace covers both its metrics (server.connects, …) and its
-// chaos fault points (server.accept, …).
-var metricShape = regexp.MustCompile(`^(engine|core|cache|query|introspect|server)(\.[A-Za-z0-9_]+)+$`)
+// chaos fault points (server.accept, …); batch covers the vectorized
+// kernel and buffer-pool counters (batch.folds, batch.pool.hits, …).
+var metricShape = regexp.MustCompile(`^(engine|core|cache|query|introspect|server|batch)(\.[A-Za-z0-9_]+)+$`)
 
 // virtShape matches the introspection catalog's virtual-table namespace.
 // Generated temporaries (pct_fk_1, pct_fh_2, …) use different prefixes and

@@ -1,0 +1,18 @@
+// Batch-namespace cases for the metricname analyzer: the vectorized kernel
+// and buffer-pool counters live under batch.*.
+package engine
+
+import "corpus/obs"
+
+var mBatchFolds = obs.Default.Counter("batch.corpus.folds")
+
+// useBatchGood references the registered batch metric: known, no finding.
+func useBatchGood() string {
+	return "batch.corpus.folds"
+}
+
+// useBatchTypo references a batch-shaped name nothing registered:
+// metricname fires.
+func useBatchTypo() string {
+	return "batch.corpus.foldz"
+}
